@@ -1,0 +1,204 @@
+//! Hybrid QRM + targeted repair (extension; the paper's §VI future-work
+//! direction of combining the fast parallel schedule with completeness).
+//!
+//! QRM's greedy kernel occasionally converges with a few corner defects,
+//! and no QRM configuration can repair a quadrant-starved instance
+//! (atoms never cross quadrant boundaries). The hybrid runs QRM first —
+//! microseconds of analysis, massively parallel moves — then routes
+//! single reservoir atoms to any residual defects MTA1-style. The repair
+//! stage costs `O(defects x W^2)` analysis but typically handles 0–3
+//! defects, keeping the total analysis time close to pure QRM while
+//! reaching MTA1-class assembly success.
+//!
+//! Like MTA1, the repair legs fly over occupied traps, so hybrid
+//! schedules execute under
+//! [`PathPolicy::EndpointsOnly`](qrm_core::executor::PathPolicy) (use
+//! [`hybrid_executor`]).
+
+use qrm_core::error::Error;
+use qrm_core::executor::{Executor, PathPolicy};
+use qrm_core::geometry::Rect;
+use qrm_core::grid::AtomGrid;
+use qrm_core::schedule::Schedule;
+use qrm_core::scheduler::{Plan, QrmConfig, QrmScheduler, Rearranger};
+
+use crate::mta1::{Mta1Config, Mta1Scheduler};
+
+/// Returns an executor configured for hybrid schedules (fly-over repair
+/// legs).
+pub fn hybrid_executor() -> Executor {
+    Executor::new().with_path_policy(PathPolicy::EndpointsOnly)
+}
+
+/// Configuration of the [`HybridScheduler`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HybridConfig {
+    /// The QRM stage.
+    pub qrm: QrmConfig,
+    /// Repair rounds for the residual defects.
+    pub repair_rounds: usize,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        HybridConfig {
+            qrm: QrmConfig::default(),
+            repair_rounds: 2,
+        }
+    }
+}
+
+/// QRM followed by single-tweezer defect repair.
+///
+/// ```
+/// use qrm_baselines::hybrid::{hybrid_executor, HybridScheduler};
+/// use qrm_core::prelude::*;
+///
+/// let mut rng = qrm_core::loading::seeded_rng(5);
+/// let grid = AtomGrid::random(20, 20, 0.5, &mut rng);
+/// let target = Rect::centered(20, 20, 12, 12)?;
+/// let plan = HybridScheduler::default().plan(&grid, &target)?;
+/// let report = hybrid_executor().run(&grid, &plan.schedule)?;
+/// assert_eq!(report.final_grid, plan.predicted);
+/// # Ok::<(), qrm_core::Error>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct HybridScheduler {
+    config: HybridConfig,
+}
+
+impl HybridScheduler {
+    /// Creates a scheduler.
+    pub fn new(config: HybridConfig) -> Self {
+        HybridScheduler { config }
+    }
+
+    /// A hybrid over the paper-faithful greedy QRM (the configuration a
+    /// downstream user would deploy on the paper's hardware: fast static
+    /// schedule plus a tiny software repair tail).
+    pub fn paper_qrm() -> Self {
+        HybridScheduler {
+            config: HybridConfig {
+                qrm: QrmConfig::paper(),
+                repair_rounds: 2,
+            },
+        }
+    }
+}
+
+impl Rearranger for HybridScheduler {
+    fn name(&self) -> &'static str {
+        "QRM + repair (hybrid)"
+    }
+
+    fn plan(&self, grid: &AtomGrid, target: &Rect) -> Result<Plan, Error> {
+        // Stage 1: QRM.
+        let qrm_plan = QrmScheduler::new(self.config.qrm.clone()).plan(grid, target)?;
+        if qrm_plan.filled || self.config.repair_rounds == 0 {
+            return Ok(qrm_plan);
+        }
+        // Stage 2: MTA1-style repair on the predicted occupancy.
+        let repair = Mta1Scheduler::new(Mta1Config {
+            max_rounds: self.config.repair_rounds,
+        });
+        let repair_plan = repair.plan(&qrm_plan.predicted, target)?;
+
+        let mut schedule = Schedule::new(grid.height(), grid.width());
+        schedule.extend(qrm_plan.schedule.iter().cloned());
+        schedule.extend(repair_plan.schedule.iter().cloned());
+        Ok(Plan {
+            schedule,
+            predicted: repair_plan.predicted,
+            filled: repair_plan.filled,
+            iterations: qrm_plan.iterations + repair_plan.iterations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrm_core::kernel::KernelStrategy;
+    use qrm_core::loading::seeded_rng;
+
+    #[test]
+    fn hybrid_fills_where_greedy_qrm_does_not() {
+        let mut rng = seeded_rng(60);
+        let mut qrm_filled = 0;
+        let mut hybrid_filled = 0;
+        let mut tried = 0;
+        let greedy = QrmScheduler::new(QrmConfig::paper());
+        let hybrid = HybridScheduler::paper_qrm();
+        for _ in 0..10 {
+            let grid = AtomGrid::random(20, 20, 0.5, &mut rng);
+            if grid.atom_count() < 160 {
+                continue;
+            }
+            tried += 1;
+            let target = Rect::centered(20, 20, 12, 12).unwrap();
+            qrm_filled += usize::from(greedy.plan(&grid, &target).unwrap().filled);
+            let plan = hybrid.plan(&grid, &target).unwrap();
+            let report = hybrid_executor().run(&grid, &plan.schedule).unwrap();
+            assert_eq!(report.final_grid, plan.predicted);
+            hybrid_filled += usize::from(plan.filled);
+        }
+        assert!(tried >= 6);
+        assert!(hybrid_filled >= qrm_filled);
+        assert!(
+            hybrid_filled * 10 >= tried * 9,
+            "hybrid filled {hybrid_filled}/{tried}"
+        );
+    }
+
+    #[test]
+    fn hybrid_repairs_quadrant_starvation() {
+        // The instance QRM fundamentally cannot complete (see the
+        // planner-contracts integration test): hybrid repair imports
+        // atoms across the quadrant boundary.
+        let mut grid = AtomGrid::new(12, 12).unwrap();
+        grid.set_unchecked(0, 0, true);
+        grid.set_unchecked(5, 5, true);
+        for r in 0..12 {
+            for c in 0..12 {
+                if (r < 6 && c < 6) || (r + c) % 5 == 4 {
+                    continue;
+                }
+                grid.set_unchecked(r, c, true);
+            }
+        }
+        let target = Rect::centered(12, 12, 8, 8).unwrap();
+        let plan = HybridScheduler::default().plan(&grid, &target).unwrap();
+        assert!(plan.filled, "{} defects", plan.defects(&target).unwrap());
+        let report = hybrid_executor().run(&grid, &plan.schedule).unwrap();
+        assert!(report.target_filled(&target).unwrap());
+    }
+
+    #[test]
+    fn no_repair_needed_means_pure_qrm_schedule() {
+        let mut rng = seeded_rng(61);
+        let grid = AtomGrid::random(16, 16, 0.6, &mut rng);
+        let target = Rect::centered(16, 16, 8, 8).unwrap();
+        let balanced = QrmScheduler::new(
+            QrmConfig::default().with_strategy(KernelStrategy::Balanced),
+        );
+        let qrm_plan = balanced.plan(&grid, &target).unwrap();
+        if qrm_plan.filled {
+            let hybrid = HybridScheduler::default().plan(&grid, &target).unwrap();
+            assert_eq!(hybrid.schedule, qrm_plan.schedule);
+        }
+    }
+
+    #[test]
+    fn repair_moves_are_single_atom() {
+        let mut rng = seeded_rng(62);
+        let grid = AtomGrid::random(20, 20, 0.5, &mut rng);
+        let target = Rect::centered(20, 20, 12, 12).unwrap();
+        let hybrid = HybridScheduler::paper_qrm();
+        let qrm = QrmScheduler::new(QrmConfig::paper());
+        let base_len = qrm.plan(&grid, &target).unwrap().schedule.len();
+        let plan = hybrid.plan(&grid, &target).unwrap();
+        for mv in plan.schedule.moves().iter().skip(base_len) {
+            assert_eq!(mv.trap_count(), 1, "repair stage uses single tweezers");
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! The MTA1 sequential single-tweezer baseline (Ebadi et al. 2021).
+//!
+//! Published structure: defects are repaired one at a time — for each
+//! empty target site the nearest reservoir atom is picked up by a single
+//! moving tweezer and carried to the defect. Transport routes between
+//! lattice lines, so occupied traps do not block transit (only pick-up
+//! and drop-off sites matter); each repair is an L-shaped trajectory of
+//! one horizontal and one vertical leg.
+//!
+//! Analysis scans the whole lattice for the nearest reservoir atom per
+//! defect (`O(defects x W^2)`), and the schedule has no move-level
+//! parallelism, which is why MTA1 anchors the slow end of the paper's
+//! Fig. 7(b) (~1000x slower analysis than QRM-CPU at 20x20).
+//!
+//! **Execution note:** because legs fly over occupied traps, MTA1
+//! schedules must be executed with
+//! [`PathPolicy::EndpointsOnly`](qrm_core::executor::PathPolicy) — the
+//! strict sweep check models AOD row/column shifts, not single-tweezer
+//! transport.
+
+use qrm_core::error::Error;
+use qrm_core::executor::{Executor, PathPolicy};
+use qrm_core::geometry::{Position, Rect};
+use qrm_core::grid::AtomGrid;
+use qrm_core::moves::ParallelMove;
+use qrm_core::schedule::Schedule;
+use qrm_core::scheduler::{Plan, Rearranger};
+
+/// MTA1 configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mta1Config {
+    /// Defect-repair rounds (a round sweeps every remaining defect once).
+    pub max_rounds: usize,
+}
+
+impl Default for Mta1Config {
+    fn default() -> Self {
+        Mta1Config { max_rounds: 3 }
+    }
+}
+
+/// Returns an executor configured for MTA1 schedules (fly-over
+/// transport).
+pub fn mta1_executor() -> Executor {
+    Executor::new().with_path_policy(PathPolicy::EndpointsOnly)
+}
+
+/// The MTA1 scheduler.
+///
+/// ```
+/// use qrm_baselines::mta1::{mta1_executor, Mta1Scheduler};
+/// use qrm_core::prelude::*;
+///
+/// let mut rng = qrm_core::loading::seeded_rng(30);
+/// let grid = AtomGrid::random(12, 12, 0.6, &mut rng);
+/// let target = Rect::centered(12, 12, 6, 6)?;
+/// let plan = Mta1Scheduler::default().plan(&grid, &target)?;
+/// let report = mta1_executor().run(&grid, &plan.schedule)?;
+/// assert_eq!(report.final_grid, plan.predicted);
+/// # Ok::<(), qrm_core::Error>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Mta1Scheduler {
+    config: Mta1Config,
+}
+
+impl Mta1Scheduler {
+    /// Creates a scheduler.
+    pub fn new(config: Mta1Config) -> Self {
+        Mta1Scheduler { config }
+    }
+
+    /// The nearest reservoir atom (outside `target`), scanning the whole
+    /// lattice — the per-defect cost that dominates MTA1 analysis time.
+    fn nearest_reservoir(
+        working: &AtomGrid,
+        target: &Rect,
+        defect: Position,
+    ) -> Vec<Position> {
+        let mut candidates: Vec<Position> = working
+            .occupied()
+            .filter(|p| !target.contains(*p))
+            .collect();
+        candidates.sort_by_key(|p| p.manhattan(defect));
+        candidates
+    }
+
+    /// Plans the L-shaped trajectory from `atom` to `defect`: one
+    /// horizontal and one vertical leg, choosing the leg order whose
+    /// corner site is free (drop-off must land on an empty trap).
+    fn l_path(working: &AtomGrid, atom: Position, defect: Position) -> Option<[Option<ParallelMove>; 2]> {
+        let dr = defect.row as isize - atom.row as isize;
+        let dc = defect.col as isize - atom.col as isize;
+        if dr == 0 && dc == 0 {
+            return None;
+        }
+        if dr == 0 || dc == 0 {
+            let mv = ParallelMove::single(atom, dr, dc).ok()?;
+            return Some([Some(mv), None]);
+        }
+        // Row-first: corner at (atom.row, defect.col).
+        if !working.get_unchecked(atom.row, defect.col) {
+            let first = ParallelMove::single(atom, 0, dc).ok()?;
+            let second =
+                ParallelMove::single(Position::new(atom.row, defect.col), dr, 0).ok()?;
+            return Some([Some(first), Some(second)]);
+        }
+        // Column-first: corner at (defect.row, atom.col).
+        if !working.get_unchecked(defect.row, atom.col) {
+            let first = ParallelMove::single(atom, dr, 0).ok()?;
+            let second =
+                ParallelMove::single(Position::new(defect.row, atom.col), 0, dc).ok()?;
+            return Some([Some(first), Some(second)]);
+        }
+        None
+    }
+}
+
+impl Rearranger for Mta1Scheduler {
+    fn name(&self) -> &'static str {
+        "MTA1 (Ebadi 2021)"
+    }
+
+    fn plan(&self, grid: &AtomGrid, target: &Rect) -> Result<Plan, Error> {
+        if !target.fits_in(grid.height(), grid.width()) || target.area() == 0 {
+            return Err(Error::InvalidTarget {
+                reason: "target does not fit the array",
+            });
+        }
+        let mut working = grid.clone();
+        let mut schedule = Schedule::new(grid.height(), grid.width());
+        let executor = mta1_executor();
+        let mut rounds = 0;
+
+        for _ in 0..self.config.max_rounds {
+            let defects = working.defects_in(target)?;
+            if defects.is_empty() {
+                break;
+            }
+            rounds += 1;
+            let mut repaired_any = false;
+            for defect in defects {
+                if working.get_unchecked(defect.row, defect.col) {
+                    continue;
+                }
+                let mut routed = false;
+                for atom in Self::nearest_reservoir(&working, target, defect) {
+                    let Some(legs) = Self::l_path(&working, atom, defect) else {
+                        continue;
+                    };
+                    for mv in legs.into_iter().flatten() {
+                        let mut single = Schedule::new(working.height(), working.width());
+                        single.push(mv.clone());
+                        working = executor.run(&working, &single)?.final_grid;
+                        schedule.push(mv);
+                    }
+                    routed = true;
+                    break;
+                }
+                repaired_any |= routed;
+            }
+            if !repaired_any {
+                break;
+            }
+        }
+
+        let filled = working.is_filled(target)?;
+        Ok(Plan {
+            schedule,
+            predicted: working,
+            filled,
+            iterations: rounds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrm_core::loading::seeded_rng;
+
+    #[test]
+    fn repairs_single_defect_with_l_move() {
+        let grid = AtomGrid::parse(
+            "....\n\
+             .#..\n\
+             ...#\n\
+             ....",
+        )
+        .unwrap();
+        let target = Rect::new(1, 1, 2, 2);
+        let plan = Mta1Scheduler::default().plan(&grid, &target).unwrap();
+        // 4 target cells, 2 atoms total: fills what it can with the
+        // reservoir atom at (2,3).
+        assert!(!plan.filled);
+        assert_eq!(plan.predicted.count_in(&target).unwrap(), 2);
+    }
+
+    #[test]
+    fn fills_with_ample_reservoir() {
+        let mut rng = seeded_rng(31);
+        let mut filled = 0;
+        let mut tried = 0;
+        for _ in 0..10 {
+            let grid = AtomGrid::random(14, 14, 0.6, &mut rng);
+            let target = Rect::centered(14, 14, 6, 6).unwrap();
+            if grid.atom_count() < 60 {
+                continue;
+            }
+            tried += 1;
+            let plan = Mta1Scheduler::default().plan(&grid, &target).unwrap();
+            let report = mta1_executor().run(&grid, &plan.schedule).unwrap();
+            assert_eq!(report.final_grid, plan.predicted);
+            if plan.filled {
+                filled += 1;
+            }
+        }
+        assert!(tried >= 6);
+        assert!(filled * 10 >= tried * 8, "filled {filled}/{tried}");
+    }
+
+    #[test]
+    fn all_moves_are_single_atom() {
+        let mut rng = seeded_rng(32);
+        let grid = AtomGrid::random(12, 12, 0.6, &mut rng);
+        let target = Rect::centered(12, 12, 6, 6).unwrap();
+        let plan = Mta1Scheduler::default().plan(&grid, &target).unwrap();
+        assert!(!plan.schedule.is_empty());
+        for mv in &plan.schedule {
+            assert_eq!(mv.trap_count(), 1);
+            assert!(mv.is_axis_aligned());
+        }
+        // At most two legs per repaired defect.
+        assert!(plan.schedule.len() <= 2 * target.area());
+    }
+
+    #[test]
+    fn pinned_target_atoms_are_not_harvested() {
+        // The only atoms sit inside the target; MTA1 must not move them
+        // to other target cells.
+        let grid = AtomGrid::parse(
+            "....\n\
+             .##.\n\
+             ....\n\
+             ....",
+        )
+        .unwrap();
+        let target = Rect::new(1, 1, 2, 2);
+        let plan = Mta1Scheduler::default().plan(&grid, &target).unwrap();
+        assert!(plan.schedule.is_empty());
+        assert!(!plan.filled);
+    }
+
+    #[test]
+    fn strict_execution_rejects_flyover_schedules() {
+        // Documents the execution contract: MTA1 legs may sweep occupied
+        // traps, so the strict executor can reject them.
+        // Target covers columns 2..5; the only reservoir atom (column 0)
+        // must fly over the pinned target atom at column 2.
+        let grid = AtomGrid::parse("#.#..").unwrap();
+        let target = Rect::new(0, 2, 1, 3);
+        let plan = Mta1Scheduler::default().plan(&grid, &target).unwrap();
+        assert!(!plan.schedule.is_empty());
+        // endpoints-only executor accepts
+        assert!(mta1_executor().run(&grid, &plan.schedule).is_ok());
+        // strict executor rejects the fly-over of the atom at column 2
+        assert!(Executor::new().run(&grid, &plan.schedule).is_err());
+    }
+}

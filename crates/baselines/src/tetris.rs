@@ -1,0 +1,280 @@
+//! The Tetris maximum-parallelism baseline (Wang et al. 2023).
+//!
+//! Published structure: each line's atoms are *assigned* to target sites
+//! by a minimum-displacement, order-preserving matching (the "Tetris
+//! piece" alignment), and assignments are executed as parallel move
+//! layers grouped by displacement. Horizontal alignment layers alternate
+//! with vertical compression layers until the target is defect-free.
+//!
+//! The per-line matching is the classic 1D assignment dynamic program —
+//! `O(atoms x slots)` per line, `O(W^3)` per phase — which is what makes
+//! Tetris's analysis time an order of magnitude slower than QRM's
+//! bit-parallel single passes (paper Fig. 7(b): QRM-CPU ≈ 20x faster).
+
+use qrm_core::error::Error;
+use qrm_core::geometry::{Axis, Position, Rect};
+use qrm_core::grid::AtomGrid;
+use qrm_core::schedule::Schedule;
+use qrm_core::scheduler::{Plan, Rearranger};
+
+use crate::stepper::{realize_plan, PlannedMove};
+
+/// Tetris configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TetrisConfig {
+    /// Maximum horizontal+vertical iterations.
+    pub max_iterations: usize,
+}
+
+impl Default for TetrisConfig {
+    fn default() -> Self {
+        TetrisConfig { max_iterations: 6 }
+    }
+}
+
+/// The Tetris scheduler.
+///
+/// ```
+/// use qrm_baselines::TetrisScheduler;
+/// use qrm_core::prelude::*;
+///
+/// let mut rng = qrm_core::loading::seeded_rng(12);
+/// let grid = AtomGrid::random(20, 20, 0.5, &mut rng);
+/// let target = Rect::centered(20, 20, 12, 12)?;
+/// let plan = TetrisScheduler::default().plan(&grid, &target)?;
+/// let report = Executor::new().run(&grid, &plan.schedule)?;
+/// assert_eq!(report.final_grid, plan.predicted);
+/// # Ok::<(), qrm_core::Error>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TetrisScheduler {
+    config: TetrisConfig,
+}
+
+impl TetrisScheduler {
+    /// Creates a scheduler.
+    pub fn new(config: TetrisConfig) -> Self {
+        TetrisScheduler { config }
+    }
+}
+
+impl Rearranger for TetrisScheduler {
+    fn name(&self) -> &'static str {
+        "Tetris (Wang 2023)"
+    }
+
+    fn plan(&self, grid: &AtomGrid, target: &Rect) -> Result<Plan, Error> {
+        if !target.fits_in(grid.height(), grid.width()) || target.area() == 0 {
+            return Err(Error::InvalidTarget {
+                reason: "target does not fit the array",
+            });
+        }
+        let mut working = grid.clone();
+        let mut schedule = Schedule::new(grid.height(), grid.width());
+        let mut iterations = 0;
+
+        for _ in 0..self.config.max_iterations {
+            if working.is_filled(target)? {
+                break;
+            }
+            iterations += 1;
+            let before = schedule.len();
+
+            // Horizontal alignment: every row assigns its atoms onto the
+            // target column range.
+            let slots: Vec<usize> = (target.col..target.col_end()).collect();
+            let mut plan = Vec::new();
+            for r in 0..working.height() {
+                let atoms: Vec<usize> = (0..working.width())
+                    .filter(|&c| working.get_unchecked(r, c))
+                    .collect();
+                for (from, to) in assign_line(&atoms, &slots) {
+                    plan.push(PlannedMove {
+                        from: Position::new(r, from),
+                        delta: to as isize - from as isize,
+                    });
+                }
+            }
+            realize_plan(&mut working, &mut schedule, Axis::Row, &plan)?;
+
+            // Vertical compression: each target column assigns its atoms
+            // onto the target row range.
+            let slots: Vec<usize> = (target.row..target.row_end()).collect();
+            let mut plan = Vec::new();
+            for c in target.col..target.col_end() {
+                let atoms: Vec<usize> = (0..working.height())
+                    .filter(|&r| working.get_unchecked(r, c))
+                    .collect();
+                for (from, to) in assign_line(&atoms, &slots) {
+                    plan.push(PlannedMove {
+                        from: Position::new(from, c),
+                        delta: to as isize - from as isize,
+                    });
+                }
+            }
+            realize_plan(&mut working, &mut schedule, Axis::Col, &plan)?;
+
+            if schedule.len() == before {
+                break;
+            }
+        }
+
+        let filled = working.is_filled(target)?;
+        Ok(Plan {
+            schedule,
+            predicted: working,
+            filled,
+            iterations,
+        })
+    }
+}
+
+/// Minimum-total-displacement, order-preserving matching of sorted atom
+/// positions onto sorted slot positions. When atoms outnumber slots the
+/// cheapest subset is chosen (and vice versa). Returns `(atom, slot)`
+/// pairs.
+///
+/// Classic 1D assignment DP: `cost[i][j]` = best cost matching the first
+/// `i` atoms to the first `j` slots.
+pub fn assign_line(atoms: &[usize], slots: &[usize]) -> Vec<(usize, usize)> {
+    let m = atoms.len();
+    let n = slots.len();
+    if m == 0 || n == 0 {
+        return Vec::new();
+    }
+    // Every position of the smaller side must be matched; the larger side
+    // may skip entries.
+    reconstruct(atoms, slots, m >= n)
+}
+
+/// DP with parent tracking. `slots_all` = true when every slot must be
+/// matched (atoms >= slots); otherwise every atom must be matched.
+fn reconstruct(atoms: &[usize], slots: &[usize], slots_all: bool) -> Vec<(usize, usize)> {
+    // Normalise to "every b must be matched, a side may skip".
+    let (a, b, flip) = if slots_all {
+        (atoms, slots, false)
+    } else {
+        (slots, atoms, true)
+    };
+    let (m, n) = (a.len(), b.len());
+    const INF: u64 = u64::MAX / 4;
+    let mut dp = vec![vec![INF; n + 1]; m + 1];
+    // choice[i][j] = true when a[i-1] matched b[j-1]
+    let mut choice = vec![vec![false; n + 1]; m + 1];
+    for row in dp.iter_mut() {
+        row[0] = 0;
+    }
+    for i in 1..=m {
+        for j in 1..=n.min(i) {
+            let take = dp[i - 1][j - 1].saturating_add(a[i - 1].abs_diff(b[j - 1]) as u64);
+            let skip = dp[i - 1][j];
+            if take <= skip {
+                dp[i][j] = take;
+                choice[i][j] = true;
+            } else {
+                dp[i][j] = skip;
+            }
+        }
+    }
+    let mut pairs = Vec::new();
+    let (mut i, mut j) = (m, n);
+    while i > 0 && j > 0 {
+        if choice[i][j] {
+            let (atom, slot) = if flip {
+                (b[j - 1], a[i - 1])
+            } else {
+                (a[i - 1], b[j - 1])
+            };
+            pairs.push((atom, slot));
+            i -= 1;
+            j -= 1;
+        } else {
+            i -= 1;
+        }
+    }
+    pairs.reverse();
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrm_core::executor::Executor;
+    use qrm_core::loading::seeded_rng;
+
+    #[test]
+    fn assignment_exact_fit() {
+        let pairs = assign_line(&[0, 5, 9], &[4, 5, 6]);
+        assert_eq!(pairs, vec![(0, 4), (5, 5), (9, 6)]);
+    }
+
+    #[test]
+    fn assignment_surplus_atoms_picks_cheapest() {
+        let pairs = assign_line(&[0, 4, 6, 9], &[4, 5]);
+        assert_eq!(pairs, vec![(4, 4), (6, 5)]);
+    }
+
+    #[test]
+    fn assignment_deficit_atoms_picks_cheapest_slots() {
+        let pairs = assign_line(&[5], &[0, 4, 9]);
+        assert_eq!(pairs, vec![(5, 4)]);
+    }
+
+    #[test]
+    fn assignment_empty_sides() {
+        assert!(assign_line(&[], &[1, 2]).is_empty());
+        assert!(assign_line(&[1, 2], &[]).is_empty());
+    }
+
+    #[test]
+    fn assignment_preserves_order() {
+        let pairs = assign_line(&[1, 2, 3, 8, 9], &[3, 4, 5]);
+        for w in pairs.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+    }
+
+    #[test]
+    fn plan_matches_execution_and_fills() {
+        let mut rng = seeded_rng(14);
+        let mut filled = 0;
+        let mut tried = 0;
+        for _ in 0..10 {
+            let grid = AtomGrid::random(16, 16, 0.5, &mut rng);
+            let target = Rect::centered(16, 16, 8, 8).unwrap();
+            if grid.atom_count() < 70 {
+                continue;
+            }
+            tried += 1;
+            let plan = TetrisScheduler::default().plan(&grid, &target).unwrap();
+            let report = Executor::new().run(&grid, &plan.schedule).unwrap();
+            assert_eq!(report.final_grid, plan.predicted);
+            if plan.filled {
+                filled += 1;
+            }
+        }
+        assert!(tried >= 6);
+        assert!(filled * 10 >= tried * 7, "filled {filled}/{tried}");
+    }
+
+    #[test]
+    fn rejects_bad_target() {
+        let grid = AtomGrid::new(8, 8).unwrap();
+        assert!(TetrisScheduler::default()
+            .plan(&grid, &Rect::new(6, 6, 4, 4))
+            .is_err());
+    }
+
+    #[test]
+    fn moves_are_unit_step_axis_aligned() {
+        let mut rng = seeded_rng(15);
+        let grid = AtomGrid::random(12, 12, 0.6, &mut rng);
+        let target = Rect::centered(12, 12, 6, 6).unwrap();
+        let plan = TetrisScheduler::default().plan(&grid, &target).unwrap();
+        for mv in &plan.schedule {
+            assert_eq!(mv.step(), 1);
+            assert!(mv.is_axis_aligned());
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests for the baseline planners and the shared
+//! displacement stepper.
+
+use proptest::prelude::*;
+use qrm_baselines::stepper::{realize_plan, PlannedMove};
+use qrm_baselines::tetris::assign_line;
+use qrm_core::executor::Executor;
+use qrm_core::geometry::{Axis, Position};
+use qrm_core::grid::AtomGrid;
+use qrm_core::schedule::Schedule;
+use rand::SeedableRng;
+
+fn arb_row() -> impl Strategy<Value = (Vec<usize>, Vec<usize>)> {
+    // sorted atom positions and sorted slot positions within 0..24
+    (
+        proptest::collection::btree_set(0usize..24, 0..12),
+        proptest::collection::btree_set(0usize..24, 1..12),
+    )
+        .prop_map(|(a, s)| (a.into_iter().collect(), s.into_iter().collect()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn assignment_is_order_preserving_and_maximal((atoms, slots) in arb_row()) {
+        let pairs = assign_line(&atoms, &slots);
+        prop_assert_eq!(pairs.len(), atoms.len().min(slots.len()));
+        for w in pairs.windows(2) {
+            prop_assert!(w[0].0 < w[1].0, "atom order violated");
+            prop_assert!(w[0].1 < w[1].1, "slot order violated");
+        }
+        for (a, s) in &pairs {
+            prop_assert!(atoms.contains(a));
+            prop_assert!(slots.contains(s));
+        }
+    }
+
+    #[test]
+    fn assignment_cost_beats_naive_prefix((atoms, slots) in arb_row()) {
+        // The DP's cost must not exceed the naive "first k atoms to first
+        // k slots" matching.
+        let pairs = assign_line(&atoms, &slots);
+        let k = pairs.len();
+        if k > 0 {
+            let dp_cost: usize = pairs.iter().map(|(a, s)| a.abs_diff(*s)).sum();
+            let naive_cost: usize = atoms
+                .iter()
+                .take(k)
+                .zip(slots.iter().take(k))
+                .map(|(a, s)| a.abs_diff(*s))
+                .sum();
+            prop_assert!(dp_cost <= naive_cost, "dp {dp_cost} > naive {naive_cost}");
+        }
+    }
+
+    #[test]
+    fn stepper_never_loses_atoms(seed in any::<u64>(), deltas in proptest::collection::vec(-4isize..5, 1..6)) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let grid0 = AtomGrid::random(6, 12, 0.4, &mut rng);
+        // plan: move the first atoms of distinct rows by the given deltas
+        let mut plan = Vec::new();
+        let mut used_rows = std::collections::BTreeSet::new();
+        for (i, p) in grid0.occupied().enumerate() {
+            if i >= deltas.len() {
+                break;
+            }
+            if !used_rows.insert(p.row) {
+                continue;
+            }
+            let delta = deltas[i];
+            let dest = p.col as isize + delta;
+            if !(0..12).contains(&dest) {
+                continue;
+            }
+            plan.push(PlannedMove { from: Position::new(p.row, p.col), delta });
+        }
+        let mut grid = grid0.clone();
+        let mut schedule = Schedule::new(6, 12);
+        let _stats = realize_plan(&mut grid, &mut schedule, Axis::Row, &plan).unwrap();
+        prop_assert_eq!(grid.atom_count(), grid0.atom_count());
+        // the emitted schedule replays identically
+        let replay = Executor::new().run(&grid0, &schedule).unwrap();
+        prop_assert_eq!(replay.final_grid, grid);
+    }
+}

@@ -1,0 +1,499 @@
+//! # qrm-bench — experiment harness for the paper's evaluation
+//!
+//! Shared workload generation, timing helpers, and one function per
+//! table/figure of the paper (see the workspace `DESIGN.md`, experiment
+//! index E-7a … E-x4). The `experiments` binary prints the tables; the
+//! Criterion benches in `benches/` measure the wall-clock analysis times
+//! on this machine.
+//!
+//! Paper reference numbers carried in the rows come from two sources:
+//! values the text quotes directly (1.0 µs at 50×50, 54× and 134×
+//! speedups, 6.31 %/6.19 % utilisation at 90×90, 120×/300× vs Tetris)
+//! and values read off the logarithmic figures (marked approximate).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+use qrm_baselines::mta1::mta1_executor;
+use qrm_baselines::{Mta1Scheduler, PscaScheduler, TetrisScheduler};
+use qrm_core::executor::Executor;
+use qrm_core::geometry::Rect;
+use qrm_core::grid::AtomGrid;
+use qrm_core::kernel::KernelStrategy;
+use qrm_core::loading::{seeded_rng, LoadModel};
+use qrm_core::scheduler::{QrmConfig, QrmScheduler, Rearranger};
+use qrm_core::typical::TypicalScheduler;
+use qrm_fpga::accelerator::{AcceleratorConfig, QrmAccelerator};
+use qrm_fpga::latency::LatencyModel;
+use qrm_fpga::resources::ResourceModel;
+use qrm_control::system::{Architecture, SystemModel};
+
+/// The paper's standard workload: `size x size` array at 50 % fill with
+/// a centred target of ~60 % linear size (even), with enough atoms to be
+/// globally feasible.
+pub fn paper_instance(size: usize, seed: u64) -> (AtomGrid, Rect) {
+    let side = (size * 3 / 5) & !1;
+    let target = Rect::centered(size, size, side, side).expect("fits");
+    let need = target.area();
+    let mut rng = seeded_rng(seed);
+    let grid = LoadModel::new(0.5)
+        .load_at_least(size, size, need + need / 10, 128, &mut rng)
+        .expect("feasible instance");
+    (grid, target)
+}
+
+/// Median wall time of `f` over `reps` runs, in microseconds.
+pub fn median_us<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        times.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times[reps / 2]
+}
+
+/// One row of the Fig. 7(a) reproduction.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig7aRow {
+    /// Array side.
+    pub size: usize,
+    /// Measured CPU time of the full QRM plan (kernels + AOD-legal merge
+    /// and batching) on this machine (µs).
+    pub cpu_us: f64,
+    /// Measured CPU time of the kernel analysis only — the scope of the
+    /// paper's CPU measurement (µs).
+    pub cpu_kernel_us: f64,
+    /// Modelled FPGA analysis latency at 250 MHz (µs).
+    pub fpga_us: f64,
+    /// `cpu_kernel_us / fpga_us` (paper-comparable speedup).
+    pub speedup: f64,
+    /// Paper's FPGA value (µs; quoted for 10/50/90, figure-read else).
+    pub paper_fpga_us: f64,
+    /// Paper's speedup where quoted (50: 54x, 90: 134x).
+    pub paper_speedup: Option<f64>,
+}
+
+/// E-7a: CPU vs FPGA execution time across array sizes 10..90.
+pub fn fig7a(reps: usize) -> Vec<Fig7aRow> {
+    let paper_fpga = [(10, 0.8), (30, 0.9), (50, 1.0), (70, 1.4), (90, 1.9)];
+    let paper_speedup = [(50usize, 54.0), (90, 134.0)];
+    let scheduler = QrmScheduler::new(QrmConfig::paper());
+    let accel = QrmAccelerator::new(AcceleratorConfig::paper());
+    paper_fpga
+        .iter()
+        .map(|&(size, paper_us)| {
+            let (grid, target) = paper_instance(size, 1000 + size as u64);
+            let cpu_us = median_us(reps, || scheduler.plan(&grid, &target).expect("plan"));
+            let cpu_kernel_us = median_us(reps, || {
+                scheduler.quadrant_outcomes(&grid, &target).expect("plan")
+            });
+            let fpga_us = accel.run(&grid, &target).expect("run").time_us;
+            Fig7aRow {
+                size,
+                cpu_us,
+                cpu_kernel_us,
+                fpga_us,
+                speedup: cpu_kernel_us / fpga_us,
+                paper_fpga_us: paper_us,
+                paper_speedup: paper_speedup
+                    .iter()
+                    .find(|&&(s, _)| s == size)
+                    .map(|&(_, x)| x),
+            }
+        })
+        .collect()
+}
+
+/// One row of the Fig. 7(b) reproduction.
+#[derive(Debug, Clone)]
+pub struct Fig7bRow {
+    /// Planner name.
+    pub name: &'static str,
+    /// Measured analysis time at 20x20 (µs; modelled for the FPGA row).
+    pub analysis_us: f64,
+    /// Analysis time relative to QRM-CPU.
+    pub relative: f64,
+    /// Paper's value (µs; 0.9 quoted for FPGA, others derived from the
+    /// quoted ratios 20x/246x/1000x over QRM-CPU ≈ 5.4 µs).
+    pub paper_us: f64,
+    /// Fill success on the benchmark instances.
+    pub filled: usize,
+    /// Number of instances.
+    pub total: usize,
+}
+
+/// E-7b: planner comparison at 20x20 (the related-work benchmark
+/// setting).
+pub fn fig7b(reps: usize, instances: usize) -> Vec<Fig7bRow> {
+    let grids: Vec<(AtomGrid, Rect)> = (0..instances)
+        .map(|i| paper_instance(20, 2000 + i as u64))
+        .collect();
+
+    // Measured planners, with their paper references. QRM-CPU at 20x20 is
+    // derived from the paper's 120x FPGA-vs-Tetris and 20x Tetris-vs-CPU
+    // claims: Tetris ≈ 108 us, QRM-CPU ≈ 5.4 us.
+    let qrm = QrmScheduler::new(QrmConfig::paper());
+    let typical = TypicalScheduler::default();
+    let tetris = TetrisScheduler::default();
+    let psca = PscaScheduler::default();
+    let mta1 = Mta1Scheduler::default();
+    let planners: Vec<(&dyn Rearranger, f64)> = vec![
+        (&qrm, 5.4),
+        (&typical, f64::NAN),
+        (&tetris, 108.0),
+        (&psca, 1328.0),
+        (&mta1, 5400.0),
+    ];
+
+    let mut rows = Vec::new();
+    // The paper's CPU measurement scope: kernel analysis only.
+    let qrm_kernel_us = median_us(reps, || {
+        for (grid, target) in &grids {
+            std::hint::black_box(qrm.quadrant_outcomes(grid, target).expect("plan"));
+        }
+    }) / instances as f64;
+    let mut qrm_us = f64::NAN;
+    for (planner, paper_us) in planners {
+        let mut filled = 0usize;
+        let analysis_us = median_us(reps, || {
+            for (grid, target) in &grids {
+                std::hint::black_box(planner.plan(grid, target).expect("plan"));
+            }
+        }) / instances as f64;
+        for (grid, target) in &grids {
+            let plan = planner.plan(grid, target).expect("plan");
+            // sanity: schedules must execute under the planner's policy
+            let executor = if planner.name().starts_with("MTA1") {
+                mta1_executor()
+            } else {
+                Executor::new()
+            };
+            executor.run(grid, &plan.schedule).expect("valid schedule");
+            filled += usize::from(plan.filled);
+        }
+        if planner.name().starts_with("QRM") {
+            qrm_us = analysis_us;
+        }
+        rows.push(Fig7bRow {
+            name: planner.name(),
+            analysis_us,
+            relative: analysis_us / qrm_us,
+            paper_us,
+            filled,
+            total: instances,
+        });
+    }
+
+    // The kernel-only row (paper CPU scope) and the balanced extension.
+    rows.insert(
+        1,
+        Fig7bRow {
+            name: "QRM analysis only (paper scope)",
+            analysis_us: qrm_kernel_us,
+            relative: qrm_kernel_us / qrm_us,
+            paper_us: 5.4,
+            filled: rows[0].filled,
+            total: instances,
+        },
+    );
+    let balanced = QrmScheduler::new(QrmConfig::default());
+    let bal_us = median_us(reps, || {
+        for (grid, target) in &grids {
+            std::hint::black_box(balanced.plan(grid, target).expect("plan"));
+        }
+    }) / instances as f64;
+    let bal_filled: usize = grids
+        .iter()
+        .map(|(g, t)| usize::from(balanced.plan(g, t).expect("plan").filled))
+        .sum();
+    rows.push(Fig7bRow {
+        name: "QRM (balanced, extension)",
+        analysis_us: bal_us,
+        relative: bal_us / qrm_us,
+        paper_us: f64::NAN,
+        filled: bal_filled,
+        total: instances,
+    });
+
+    // The FPGA row (modelled latency, quoted 0.9 µs in the paper).
+    let accel = QrmAccelerator::new(AcceleratorConfig::paper());
+    let (grid, target) = &grids[0];
+    let report = accel.run(grid, target).expect("run");
+    rows.insert(
+        0,
+        Fig7bRow {
+            name: "QRM-FPGA (modelled)",
+            analysis_us: report.time_us,
+            relative: report.time_us / qrm_us,
+            paper_us: 0.9,
+            filled: grids
+                .iter()
+                .map(|(g, t)| usize::from(accel.run(g, t).expect("run").plan.filled))
+                .sum(),
+            total: instances,
+        },
+    );
+    rows
+}
+
+/// One row of the Fig. 8 reproduction.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig8Row {
+    /// Array side.
+    pub size: usize,
+    /// Modelled LUT utilisation (%).
+    pub lut_pct: f64,
+    /// Modelled FF utilisation (%).
+    pub ff_pct: f64,
+    /// Modelled BRAM utilisation (%).
+    pub bram_pct: f64,
+}
+
+/// E-8: resource utilisation across sizes (paper quotes 6.31 % LUT /
+/// 6.19 % FF at 90 and flat BRAM).
+pub fn fig8() -> Vec<Fig8Row> {
+    let model = ResourceModel::new();
+    [10usize, 30, 50, 70, 90]
+        .iter()
+        .map(|&size| {
+            let u = model.utilization(size);
+            Fig8Row {
+                size,
+                lut_pct: u.lut.percent,
+                ff_pct: u.ff.percent,
+                bram_pct: u.bram.percent,
+            }
+        })
+        .collect()
+}
+
+/// E-h1/h2/h3: the headline numbers.
+#[derive(Debug, Clone, Copy)]
+pub struct Headline {
+    /// Modelled FPGA analysis time for 50x50 -> 30x30 (µs); paper: ~1.0.
+    pub fpga_us: f64,
+    /// Measured CPU time of the full QRM plan on this machine (µs).
+    pub cpu_full_us: f64,
+    /// Measured CPU time of the kernel analysis only (paper scope, µs).
+    pub cpu_kernel_us: f64,
+    /// Kernel-scope speedup (paper: ~54x).
+    pub speedup: f64,
+    /// This machine's measured Tetris analysis time at 50x50 (µs). The
+    /// paper's 300x compares against Tetris running on the RFSoC's ARM
+    /// core; we report the host-measured ratio without inventing an ARM
+    /// scaling factor.
+    pub tetris_us: f64,
+    /// `tetris_us / fpga_us` on this machine.
+    pub vs_tetris_host: f64,
+    /// Analysis cycles on the FPGA model.
+    pub cycles: u64,
+}
+
+/// Computes the headline row.
+pub fn headline(reps: usize) -> Headline {
+    let (grid, target) = paper_instance(50, 42);
+    let scheduler = QrmScheduler::new(QrmConfig::paper());
+    let accel = QrmAccelerator::new(AcceleratorConfig::paper());
+    let cpu_full_us = median_us(reps, || scheduler.plan(&grid, &target).expect("plan"));
+    let cpu_kernel_us = median_us(reps, || {
+        scheduler.quadrant_outcomes(&grid, &target).expect("plan")
+    });
+    let report = accel.run(&grid, &target).expect("run");
+    let tetris = TetrisScheduler::default();
+    let tetris_us = median_us(reps.max(3), || tetris.plan(&grid, &target).expect("plan"));
+    Headline {
+        fpga_us: report.time_us,
+        cpu_full_us,
+        cpu_kernel_us,
+        speedup: cpu_kernel_us / report.time_us,
+        tetris_us,
+        vs_tetris_host: tetris_us / report.time_us,
+        cycles: report.cycles.analysis(),
+    }
+}
+
+/// One row of the schedule-quality study (E-x1).
+#[derive(Debug, Clone)]
+pub struct QualityRow {
+    /// Strategy under test.
+    pub strategy: KernelStrategy,
+    /// Iteration budget.
+    pub iterations: usize,
+    /// Instances fully assembled.
+    pub filled: usize,
+    /// Instances tried.
+    pub total: usize,
+    /// Mean defects left.
+    pub mean_defects: f64,
+    /// Mean parallel moves per schedule.
+    pub mean_moves: f64,
+}
+
+/// E-x1: fill quality of the greedy (paper) and balanced (extension)
+/// kernels vs iteration budget, on the headline 50x50 -> 30x30 workload.
+pub fn quality(instances: usize) -> Vec<QualityRow> {
+    let mut rows = Vec::new();
+    for strategy in [KernelStrategy::Greedy, KernelStrategy::Balanced] {
+        for iterations in [2usize, 4, 8, 12] {
+            let scheduler = QrmScheduler::new(
+                QrmConfig::default()
+                    .with_strategy(strategy)
+                    .with_max_iterations(iterations),
+            );
+            let mut filled = 0;
+            let mut defects = 0usize;
+            let mut moves = 0usize;
+            for i in 0..instances {
+                let (grid, target) = paper_instance(50, 3000 + i as u64);
+                let plan = scheduler.plan(&grid, &target).expect("plan");
+                filled += usize::from(plan.filled);
+                defects += plan.defects(&target).expect("defects");
+                moves += plan.schedule.len();
+            }
+            rows.push(QualityRow {
+                strategy,
+                iterations,
+                filled,
+                total: instances,
+                mean_defects: defects as f64 / instances as f64,
+                mean_moves: moves as f64 / instances as f64,
+            });
+        }
+    }
+    rows
+}
+
+/// E-x2: the quadrant-parallelism ablation — modelled FPGA analysis
+/// latency with 4 parallel QPMs vs one QPM processing the quadrants
+/// back-to-back. Returns `(size, parallel_us, serial_us)` rows.
+pub fn ablation_quadrants() -> Vec<(usize, f64, f64)> {
+    let accel = QrmAccelerator::new(AcceleratorConfig::paper());
+    [10usize, 30, 50, 70, 90]
+        .iter()
+        .map(|&size| {
+            let (grid, target) = paper_instance(size, 4000 + size as u64);
+            let report = accel.run(&grid, &target).expect("run");
+            let parallel = report.cycles;
+            // Serial: the four QPM computations queue on one unit.
+            let serial_compute: u64 = report.quadrant_cycles.iter().sum();
+            let serial_cycles =
+                parallel.control + parallel.input + serial_compute + parallel.combine;
+            let clock = accel.config().clock;
+            (
+                size,
+                report.time_us,
+                clock.us(serial_cycles),
+            )
+        })
+        .collect()
+}
+
+/// E-x3: the command-merging ablation — schedule length with and without
+/// cross-quadrant merging. Returns `(size, merged_moves, unmerged_moves)`.
+pub fn ablation_merge(instances: usize) -> Vec<(usize, f64, f64)> {
+    [20usize, 50]
+        .iter()
+        .map(|&size| {
+            let mut merged = 0usize;
+            let mut unmerged = 0usize;
+            for i in 0..instances {
+                let (grid, target) = paper_instance(size, 5000 + i as u64);
+                let on = QrmScheduler::new(QrmConfig::default().with_merge_quadrants(true))
+                    .plan(&grid, &target)
+                    .expect("plan");
+                let off = QrmScheduler::new(QrmConfig::default().with_merge_quadrants(false))
+                    .plan(&grid, &target)
+                    .expect("plan");
+                merged += on.schedule.len();
+                unmerged += off.schedule.len();
+            }
+            (
+                size,
+                merged as f64 / instances as f64,
+                unmerged as f64 / instances as f64,
+            )
+        })
+        .collect()
+}
+
+/// E-x4: the Fig. 2 system-architecture budgets, with the measured
+/// scheduling times plugged in.
+pub fn system_budgets(cpu_sched_us: f64, fpga_sched_us: f64) -> (f64, f64, String) {
+    let model = SystemModel::typical().with_scheduling_us(cpu_sched_us, fpga_sched_us);
+    let host = model.budget(Architecture::HostLoop, (300, 300), 150);
+    let fpga = model.budget(Architecture::OnFpga, (300, 300), 150);
+    let text = format!(
+        "host-in-the-loop (Fig. 2a):\n{host}\n\nfully integrated (Fig. 2b):\n{fpga}\n"
+    );
+    (host.total_us(), fpga.total_us(), text)
+}
+
+/// Consistency guard used by the latency-model sweep in the bin.
+pub fn latency_model_check() -> bool {
+    let cfg = AcceleratorConfig::paper();
+    let model = LatencyModel::new(cfg);
+    let accel = QrmAccelerator::new(cfg);
+    [10usize, 50, 90].iter().all(|&size| {
+        let (grid, target) = paper_instance(size, 6000 + size as u64);
+        let report = accel.run(&grid, &target).expect("run");
+        model.analysis_cycles(size, target.height) == report.cycles.analysis()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_instance_is_feasible() {
+        let (grid, target) = paper_instance(20, 1);
+        assert!(grid.atom_count() >= target.area());
+        assert_eq!(target.height, 12);
+    }
+
+    #[test]
+    fn fig8_rows_match_anchors() {
+        let rows = fig8();
+        assert_eq!(rows.len(), 5);
+        let last = rows.last().unwrap();
+        assert!((last.lut_pct - 6.31).abs() < 0.35);
+        assert!((last.ff_pct - 6.19).abs() < 0.35);
+    }
+
+    #[test]
+    fn quality_rows_cover_grid() {
+        let rows = quality(3);
+        assert_eq!(rows.len(), 8);
+        // balanced at 12 iterations should dominate greedy at 4
+        let greedy4 = rows
+            .iter()
+            .find(|r| r.strategy == KernelStrategy::Greedy && r.iterations == 4)
+            .unwrap();
+        let bal12 = rows
+            .iter()
+            .find(|r| r.strategy == KernelStrategy::Balanced && r.iterations == 12)
+            .unwrap();
+        assert!(bal12.mean_defects <= greedy4.mean_defects);
+    }
+
+    #[test]
+    fn ablations_have_expected_direction() {
+        let quad = ablation_quadrants();
+        for (size, parallel, serial) in quad {
+            assert!(serial > parallel, "size {size}: serial {serial} <= parallel {parallel}");
+        }
+        let merge = ablation_merge(2);
+        for (size, merged, unmerged) in merge {
+            assert!(merged <= unmerged, "size {size}");
+        }
+    }
+
+    #[test]
+    fn latency_model_consistent() {
+        assert!(latency_model_check());
+    }
+}

@@ -1,0 +1,26 @@
+//! # qrm-control — AWG control path, system budgets, end-to-end pipeline
+//!
+//! The rearrangement schedule is only useful once it drives hardware:
+//! an Arbitrary Waveform Generator (AWG) synthesises RF tone ramps that
+//! steer the 2D acousto-optic deflector, physically dragging the trapped
+//! atoms (paper Fig. 1). This crate models that consumer side plus the
+//! system-level picture:
+//!
+//! * [`awg`] — compiles a [`Schedule`](qrm_core::schedule::Schedule) into
+//!   per-move RF tone ramps with a physical motion-time model, and can
+//!   synthesise the actual multi-tone waveform samples.
+//! * [`system`] — the Fig. 2 architecture comparison: the conventional
+//!   host-in-the-loop control system (camera → host CPU/GPU → AWG) versus
+//!   the paper's fully FPGA-integrated system, as latency budgets.
+//! * [`pipeline`] — executable end-to-end cycles: synthetic fluorescence
+//!   frame → atom detection → scheduling (software QRM or the
+//!   cycle-accurate FPGA model) → validated execution with optional
+//!   transport loss → re-imaging rounds until the target is defect-free.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod awg;
+pub mod pipeline;
+pub mod system;

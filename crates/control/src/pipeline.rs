@@ -1,0 +1,285 @@
+//! Executable end-to-end rearrangement cycles (paper Fig. 1).
+//!
+//! One cycle: synthesise a fluorescence frame from the true occupancy,
+//! detect atoms, plan with the chosen scheduler, execute the schedule on
+//! the trap array (optionally with per-move transport loss), and check
+//! the target. Real systems iterate — lost or missed atoms are repaired
+//! after re-imaging — so the driver supports multi-round operation.
+
+use rand::Rng;
+
+use qrm_core::error::Error;
+use qrm_core::executor::{CollisionPolicy, Executor};
+use qrm_core::geometry::Rect;
+use qrm_core::grid::AtomGrid;
+use qrm_core::schedule::MotionModel;
+use qrm_core::scheduler::{QrmConfig, QrmScheduler, Rearranger};
+use qrm_fpga::accelerator::{AcceleratorConfig, QrmAccelerator};
+use qrm_vision::prelude::*;
+
+use crate::awg::{AodCalibration, ToneProgram};
+
+/// Which planner drives the cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Planner {
+    /// Software QRM on the host (Fig. 2(a) role).
+    Software(QrmConfig),
+    /// The cycle-accurate FPGA accelerator model (Fig. 2(b) role).
+    Fpga(AcceleratorConfig),
+}
+
+impl Default for Planner {
+    fn default() -> Self {
+        Planner::Software(QrmConfig::default())
+    }
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Imaging physics.
+    pub imaging: ImagingConfig,
+    /// Detector settings.
+    pub detector: Detector,
+    /// Trap-to-pixel geometry pitch (pixels).
+    pub pitch_px: f64,
+    /// Planner choice.
+    pub planner: Planner,
+    /// Physical motion model for AWG compilation.
+    pub motion: MotionModel,
+    /// Per-move atom-loss probability during transport.
+    pub loss_prob: f64,
+    /// Maximum image→plan→move rounds.
+    pub max_rounds: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            imaging: ImagingConfig::default(),
+            detector: Detector::default(),
+            pitch_px: 6.0,
+            planner: Planner::default(),
+            motion: MotionModel::typical(),
+            loss_prob: 0.0,
+            max_rounds: 3,
+        }
+    }
+}
+
+/// Report of one cycle round.
+#[derive(Debug, Clone)]
+pub struct RoundReport {
+    /// Detection fidelity against the true occupancy.
+    pub detection_fidelity: f64,
+    /// Parallel moves planned.
+    pub moves: usize,
+    /// Atoms lost in transport this round.
+    pub atoms_lost: usize,
+    /// Physical tweezer time of the round's AWG program (µs).
+    pub motion_us: f64,
+    /// True occupancy after the round.
+    pub state: AtomGrid,
+    /// Whether the target is defect-free after the round.
+    pub filled: bool,
+}
+
+/// Report of a full multi-round run.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Per-round details.
+    pub rounds: Vec<RoundReport>,
+    /// Final true occupancy.
+    pub final_state: AtomGrid,
+    /// Whether the target ended defect-free.
+    pub filled: bool,
+}
+
+impl PipelineReport {
+    /// Total physical motion time across rounds (µs).
+    pub fn total_motion_us(&self) -> f64 {
+        self.rounds.iter().map(|r| r.motion_us).sum()
+    }
+
+    /// Total atoms lost across rounds.
+    pub fn total_lost(&self) -> usize {
+        self.rounds.iter().map(|r| r.atoms_lost).sum()
+    }
+}
+
+/// The end-to-end pipeline driver.
+#[derive(Debug, Clone, Default)]
+pub struct Pipeline {
+    config: PipelineConfig,
+}
+
+impl Pipeline {
+    /// Creates a pipeline.
+    pub fn new(config: PipelineConfig) -> Self {
+        Pipeline { config }
+    }
+
+    /// Runs up to `max_rounds` image→detect→plan→move rounds on the true
+    /// occupancy `truth`, stopping early once `target` is defect-free.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planner and executor failures; detection errors cannot
+    /// occur for matching layouts.
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        truth: &AtomGrid,
+        target: &Rect,
+        rng: &mut R,
+    ) -> Result<PipelineReport, Error> {
+        let mut state = truth.clone();
+        let mut rounds = Vec::new();
+        let layout = TrapLayout::new(state.height(), state.width(), self.config.pitch_px, 4.0);
+        let executor = Executor::new().with_collision_policy(CollisionPolicy::Eject);
+
+        for _ in 0..self.config.max_rounds {
+            if state.is_filled(target)? {
+                break;
+            }
+            // Image + detect.
+            let frame = render(&state, &layout, &self.config.imaging, rng);
+            let detection = self.config.detector.detect(&frame, &layout)?;
+            let detection_fidelity = detection.fidelity(&state)?;
+
+            // Plan on the *detected* occupancy.
+            let plan = match &self.config.planner {
+                Planner::Software(cfg) => {
+                    QrmScheduler::new(cfg.clone()).plan(&detection.grid, target)?
+                }
+                Planner::Fpga(cfg) => QrmAccelerator::new(*cfg).plan(&detection.grid, target)?,
+            };
+
+            // Compile for the AWG (validates the move encoding) and
+            // execute on the true occupancy with transport loss.
+            // Detection errors can make a planned move land on an atom
+            // the detector missed; physically that light-assisted
+            // collision ejects both atoms, and the control loop recovers
+            // by re-imaging — hence the eject collision policy here.
+            let program = ToneProgram::compile(
+                &plan.schedule,
+                &AodCalibration::default(),
+                &self.config.motion,
+            )?;
+            let report = executor.run_with_loss(
+                &state,
+                &plan.schedule,
+                self.config.loss_prob,
+                rng,
+            )?;
+            let atoms_lost = report.lost_atoms + report.ejected_atoms;
+            state = report.final_grid;
+            let filled = state.is_filled(target)?;
+            rounds.push(RoundReport {
+                detection_fidelity,
+                moves: plan.schedule.len(),
+                atoms_lost,
+                motion_us: program.total_duration_us(),
+                state: state.clone(),
+                filled,
+            });
+            if filled {
+                break;
+            }
+        }
+
+        let filled = state.is_filled(target)?;
+        Ok(PipelineReport {
+            rounds,
+            final_state: state,
+            filled,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrm_core::loading::seeded_rng;
+
+    #[test]
+    fn single_round_fills_at_high_snr_no_loss() {
+        let mut rng = seeded_rng(40);
+        let mut done = 0;
+        let mut tried = 0;
+        for _ in 0..5 {
+            let truth = AtomGrid::random(20, 20, 0.5, &mut rng);
+            if truth.atom_count() < 170 {
+                continue;
+            }
+            tried += 1;
+            let target = Rect::centered(20, 20, 12, 12).unwrap();
+            let report = Pipeline::default().run(&truth, &target, &mut rng).unwrap();
+            assert_eq!(
+                report.final_state.atom_count(),
+                truth.atom_count(),
+                "no loss configured"
+            );
+            if report.filled && report.rounds.len() == 1 {
+                done += 1;
+            }
+        }
+        assert!(tried >= 3);
+        assert!(done * 10 >= tried * 7, "done {done}/{tried}");
+    }
+
+    #[test]
+    fn loss_requires_extra_rounds() {
+        let mut rng = seeded_rng(41);
+        let truth = AtomGrid::random(20, 20, 0.55, &mut rng);
+        let target = Rect::centered(20, 20, 10, 10).unwrap();
+        let config = PipelineConfig {
+            loss_prob: 0.02,
+            max_rounds: 5,
+            ..PipelineConfig::default()
+        };
+        let report = Pipeline::new(config).run(&truth, &target, &mut rng).unwrap();
+        // with 2% per-move loss some atoms vanish...
+        assert!(report.total_lost() > 0);
+        // ...and the pipeline still assembles the target by retrying
+        assert!(report.filled, "rounds {}", report.rounds.len());
+    }
+
+    #[test]
+    fn fpga_planner_path() {
+        let mut rng = seeded_rng(42);
+        let truth = AtomGrid::random(20, 20, 0.55, &mut rng);
+        let target = Rect::centered(20, 20, 12, 12).unwrap();
+        let config = PipelineConfig {
+            planner: Planner::Fpga(AcceleratorConfig::balanced()),
+            ..PipelineConfig::default()
+        };
+        let report = Pipeline::new(config).run(&truth, &target, &mut rng).unwrap();
+        assert!(!report.rounds.is_empty());
+        assert!(report.rounds[0].detection_fidelity > 0.99);
+    }
+
+    #[test]
+    fn already_filled_target_needs_no_rounds() {
+        let mut truth = AtomGrid::new(8, 8).unwrap();
+        let target = Rect::centered(8, 8, 2, 2).unwrap();
+        for p in target.positions() {
+            truth.set_unchecked(p.row, p.col, true);
+        }
+        let mut rng = seeded_rng(43);
+        let report = Pipeline::default().run(&truth, &target, &mut rng).unwrap();
+        assert!(report.filled);
+        assert!(report.rounds.is_empty());
+        assert_eq!(report.total_motion_us(), 0.0);
+    }
+
+    #[test]
+    fn motion_time_accumulates() {
+        let mut rng = seeded_rng(44);
+        let truth = AtomGrid::random(16, 16, 0.6, &mut rng);
+        let target = Rect::centered(16, 16, 8, 8).unwrap();
+        let report = Pipeline::default().run(&truth, &target, &mut rng).unwrap();
+        if !report.rounds.is_empty() && report.rounds[0].moves > 0 {
+            assert!(report.total_motion_us() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! System-architecture latency budgets (paper Fig. 2).
+//!
+//! The paper motivates the accelerator with the control-loop picture:
+//! in the conventional architecture (Fig. 2(a)) the camera frame crosses
+//! CoaXPress into a frame-grabber FPGA, then PCIe into host memory, is
+//! analysed on the CPU/GPU, and the move list crosses PCIe again to the
+//! AWG; in the integrated architecture (Fig. 2(b)) detection and
+//! scheduling run on the same FPGA that terminates the camera link and
+//! feeds the AWG, eliminating both PCIe crossings and the host software
+//! stack. This module quantifies the two loops with explicit,
+//! overridable constants.
+
+use std::fmt;
+
+/// A point-to-point link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    /// Fixed per-transfer latency (µs): protocol framing, DMA setup,
+    /// interrupt/poll handoff.
+    pub latency_us: f64,
+    /// Sustained throughput in megabytes per second.
+    pub mbytes_per_s: f64,
+}
+
+impl LinkModel {
+    /// CoaXPress CXP-6 camera link (≈600 MB/s usable).
+    pub const fn coaxpress() -> Self {
+        LinkModel {
+            latency_us: 5.0,
+            mbytes_per_s: 600.0,
+        }
+    }
+
+    /// PCIe Gen3 x4 with driver/interrupt overhead as seen by a
+    /// user-space control process.
+    pub const fn pcie() -> Self {
+        LinkModel {
+            latency_us: 25.0,
+            mbytes_per_s: 3000.0,
+        }
+    }
+
+    /// Transfer time for a payload (µs).
+    pub fn transfer_us(&self, bytes: usize) -> f64 {
+        self.latency_us + bytes as f64 / self.mbytes_per_s
+    }
+}
+
+/// One named contribution to a latency budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetItem {
+    /// Contribution label.
+    pub label: &'static str,
+    /// Contribution in microseconds.
+    pub us: f64,
+}
+
+/// A complete control-loop latency budget.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LatencyBudget {
+    /// Itemised contributions in loop order.
+    pub items: Vec<BudgetItem>,
+}
+
+impl LatencyBudget {
+    /// Total loop latency (µs), excluding physical atom motion.
+    pub fn total_us(&self) -> f64 {
+        self.items.iter().map(|i| i.us).sum()
+    }
+}
+
+impl fmt::Display for LatencyBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for item in &self.items {
+            writeln!(f, "  {:<28} {:>10.2} us", item.label, item.us)?;
+        }
+        write!(f, "  {:<28} {:>10.2} us", "TOTAL", self.total_us())
+    }
+}
+
+/// Which control-system architecture to budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Architecture {
+    /// Fig. 2(a): detection and scheduling on the host CPU/GPU.
+    HostLoop,
+    /// Fig. 2(b): detection and scheduling in FPGA fabric.
+    OnFpga,
+}
+
+/// Parameters of the budget model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemModel {
+    /// Camera link.
+    pub camera_link: LinkModel,
+    /// Host interconnect (PCIe) used twice in the host loop.
+    pub host_link: LinkModel,
+    /// Camera sensor readout/exposure tail (µs).
+    pub camera_readout_us: f64,
+    /// Host-side image analysis (detection) time (µs).
+    pub host_detection_us: f64,
+    /// Host-side scheduling time (µs) — measured CPU planner time goes
+    /// here.
+    pub host_scheduling_us: f64,
+    /// Host AWG programming overhead (driver + buffer upload) (µs).
+    pub host_awg_program_us: f64,
+    /// In-fabric detection time (µs) — streaming threshold at line rate.
+    pub fpga_detection_us: f64,
+    /// In-fabric scheduling time (µs) — the accelerator's analysis
+    /// latency goes here.
+    pub fpga_scheduling_us: f64,
+    /// In-fabric AWG hand-off (µs) — direct FIFO, no driver.
+    pub fpga_awg_handoff_us: f64,
+    /// Bytes per camera pixel.
+    pub bytes_per_px: usize,
+}
+
+impl SystemModel {
+    /// Defaults representative of published neutral-atom control stacks;
+    /// scheduling fields are meant to be overridden with measured values.
+    pub fn typical() -> Self {
+        SystemModel {
+            camera_link: LinkModel::coaxpress(),
+            host_link: LinkModel::pcie(),
+            camera_readout_us: 500.0,
+            host_detection_us: 200.0,
+            host_scheduling_us: 100.0,
+            host_awg_program_us: 50.0,
+            fpga_detection_us: 10.0,
+            fpga_scheduling_us: 1.0,
+            fpga_awg_handoff_us: 1.0,
+            bytes_per_px: 2,
+        }
+    }
+
+    /// Replaces the scheduling entries with measured planner times.
+    #[must_use]
+    pub fn with_scheduling_us(mut self, host_us: f64, fpga_us: f64) -> Self {
+        self.host_scheduling_us = host_us;
+        self.fpga_scheduling_us = fpga_us;
+        self
+    }
+
+    /// Builds the loop budget for an `h x w`-pixel frame and a schedule
+    /// of `moves` parallel moves.
+    pub fn budget(&self, arch: Architecture, frame_px: (usize, usize), moves: usize) -> LatencyBudget {
+        let frame_bytes = frame_px.0 * frame_px.1 * self.bytes_per_px;
+        // ~14 bytes per encoded move record (selection masks + header).
+        let move_bytes = moves * 14;
+        let mut items = vec![BudgetItem {
+            label: "camera readout",
+            us: self.camera_readout_us,
+        }];
+        match arch {
+            Architecture::HostLoop => {
+                items.push(BudgetItem {
+                    label: "CoaXPress to frame grabber",
+                    us: self.camera_link.transfer_us(frame_bytes),
+                });
+                items.push(BudgetItem {
+                    label: "PCIe frame to host",
+                    us: self.host_link.transfer_us(frame_bytes),
+                });
+                items.push(BudgetItem {
+                    label: "host detection",
+                    us: self.host_detection_us,
+                });
+                items.push(BudgetItem {
+                    label: "host scheduling",
+                    us: self.host_scheduling_us,
+                });
+                items.push(BudgetItem {
+                    label: "PCIe moves to AWG",
+                    us: self.host_link.transfer_us(move_bytes),
+                });
+                items.push(BudgetItem {
+                    label: "AWG programming",
+                    us: self.host_awg_program_us,
+                });
+            }
+            Architecture::OnFpga => {
+                items.push(BudgetItem {
+                    label: "CoaXPress to FPGA",
+                    us: self.camera_link.transfer_us(frame_bytes),
+                });
+                items.push(BudgetItem {
+                    label: "in-fabric detection",
+                    us: self.fpga_detection_us,
+                });
+                items.push(BudgetItem {
+                    label: "in-fabric scheduling",
+                    us: self.fpga_scheduling_us,
+                });
+                items.push(BudgetItem {
+                    label: "AWG hand-off",
+                    us: self.fpga_awg_handoff_us,
+                });
+            }
+        }
+        LatencyBudget { items }
+    }
+}
+
+impl Default for SystemModel {
+    fn default() -> Self {
+        SystemModel::typical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_transfer_math() {
+        let link = LinkModel {
+            latency_us: 10.0,
+            mbytes_per_s: 1000.0,
+        };
+        // 1 MB at 1000 MB/s = 1000 us + 10 us latency... careful with
+        // units: bytes / (MB/s) gives µs when bytes are in MB * 1e6 /
+        // 1e6. transfer_us uses bytes/mbytes_per_s = µs directly.
+        assert!((link.transfer_us(1_000_000) - 1010.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fpga_loop_is_faster() {
+        let model = SystemModel::typical();
+        let host = model.budget(Architecture::HostLoop, (300, 300), 150);
+        let fpga = model.budget(Architecture::OnFpga, (300, 300), 150);
+        assert!(
+            fpga.total_us() < host.total_us(),
+            "fpga {} >= host {}",
+            fpga.total_us(),
+            host.total_us()
+        );
+        // Excluding the shared camera readout, the integrated loop should
+        // win clearly (the camera link itself is paid by both).
+        let host_wo = host.total_us() - model.camera_readout_us;
+        let fpga_wo = fpga.total_us() - model.camera_readout_us;
+        assert!(
+            fpga_wo * 2.0 < host_wo,
+            "loop gain too small: {fpga_wo} vs {host_wo}"
+        );
+        // Post-link processing (detect + schedule + hand-off) gain is an
+        // order of magnitude.
+        let host_proc =
+            model.host_detection_us + model.host_scheduling_us + model.host_awg_program_us;
+        let fpga_proc =
+            model.fpga_detection_us + model.fpga_scheduling_us + model.fpga_awg_handoff_us;
+        assert!(fpga_proc * 10.0 < host_proc);
+    }
+
+    #[test]
+    fn budgets_itemised_and_displayed() {
+        let model = SystemModel::typical();
+        let b = model.budget(Architecture::HostLoop, (100, 100), 10);
+        assert_eq!(b.items.len(), 7);
+        let text = b.to_string();
+        assert!(text.contains("TOTAL"));
+        assert!(text.contains("host scheduling"));
+    }
+
+    #[test]
+    fn scheduling_override() {
+        let model = SystemModel::typical().with_scheduling_us(54.0, 1.0);
+        let host = model.budget(Architecture::HostLoop, (100, 100), 10);
+        assert!(host
+            .items
+            .iter()
+            .any(|i| i.label == "host scheduling" && (i.us - 54.0).abs() < 1e-12));
+    }
+}

@@ -1,0 +1,651 @@
+//! Schedule execution, validation, and failure injection.
+//!
+//! The [`Executor`] models the physical trap array: it applies each
+//! [`ParallelMove`] with AOD semantics (every occupied site of the
+//! selection cross product moves by the common displacement) and validates
+//! that the motion is physically sound — in bounds, collision-free, and
+//! with clear transit paths for multi-step moves. It is the ground truth
+//! that every planner in the workspace is tested against.
+
+use rand::Rng;
+
+use crate::error::Error;
+use crate::geometry::{Position, Rect};
+use crate::grid::AtomGrid;
+use crate::moves::{MoveRecord, ParallelMove};
+use crate::schedule::Schedule;
+
+/// How multi-step transit paths are validated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PathPolicy {
+    /// Sweeping a trapped atom across an occupied stationary site is an
+    /// error (default: a moving tweezer passing through a filled trap
+    /// would eject the stationary atom).
+    #[default]
+    Strict,
+    /// Only end positions are checked (optimistic hardware that ramps
+    /// trap depth to fly over occupied sites).
+    EndpointsOnly,
+}
+
+/// What happens when a moved atom lands on an occupied stationary site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CollisionPolicy {
+    /// Treat it as a planner bug: fail with [`Error::Collision`]
+    /// (default — validated schedules never collide).
+    #[default]
+    Fail,
+    /// Physical behaviour: a light-assisted collision ejects **both**
+    /// atoms from the trap. Used when executing schedules planned on
+    /// *imperfect detection data*, where occasional collisions are
+    /// expected and the control loop recovers by re-imaging.
+    Eject,
+}
+
+/// Validating executor for rearrangement schedules.
+///
+/// ```
+/// use qrm_core::executor::Executor;
+/// use qrm_core::grid::AtomGrid;
+/// use qrm_core::moves::ParallelMove;
+/// use qrm_core::schedule::Schedule;
+///
+/// let grid = AtomGrid::parse(".#\n..")?;
+/// let mut schedule = Schedule::new(2, 2);
+/// schedule.push(ParallelMove::new(vec![0], vec![1], 0, -1)?);
+/// let report = Executor::new().run(&grid, &schedule)?;
+/// assert_eq!(report.final_grid, AtomGrid::parse("#.\n..")?);
+/// assert_eq!(report.atom_moves, 1);
+/// # Ok::<(), qrm_core::Error>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Executor {
+    path_policy: PathPolicy,
+    collision_policy: CollisionPolicy,
+    allow_diagonal: bool,
+}
+
+impl Executor {
+    /// An executor with strict path checking and axis-aligned moves only.
+    pub fn new() -> Self {
+        Executor::default()
+    }
+
+    /// Sets the transit-path policy.
+    #[must_use]
+    pub fn with_path_policy(mut self, policy: PathPolicy) -> Self {
+        self.path_policy = policy;
+        self
+    }
+
+    /// Sets the collision policy.
+    #[must_use]
+    pub fn with_collision_policy(mut self, policy: CollisionPolicy) -> Self {
+        self.collision_policy = policy;
+        self
+    }
+
+    /// Permits diagonal displacements (both 2D-AOD axes ramping at once).
+    #[must_use]
+    pub fn with_diagonal_moves(mut self, allow: bool) -> Self {
+        self.allow_diagonal = allow;
+        self
+    }
+
+    /// Executes a schedule on a copy of `grid`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first validation failure:
+    /// [`Error::MoveOutOfBounds`], [`Error::DiagonalMove`],
+    /// [`Error::Collision`], or [`Error::PathBlocked`], each carrying the
+    /// index of the offending move.
+    pub fn run(&self, grid: &AtomGrid, schedule: &Schedule) -> Result<ExecutionReport, Error> {
+        let mut state = grid.clone();
+        let mut records = Vec::new();
+        let mut max_parallel_atoms = 0usize;
+        let mut ejected_atoms = 0usize;
+        for (index, mv) in schedule.iter().enumerate() {
+            let (moved, ejected) = self.apply_move(&mut state, mv, index)?;
+            max_parallel_atoms = max_parallel_atoms.max(moved.len());
+            ejected_atoms += ejected;
+            records.extend(moved);
+        }
+        Ok(ExecutionReport {
+            atom_moves: records.len(),
+            max_parallel_atoms,
+            final_grid: state,
+            records,
+            lost_atoms: 0,
+            ejected_atoms,
+        })
+    }
+
+    /// Executes a schedule with independent per-atom transport loss: each
+    /// trapped atom survives a move with probability `1 - loss_prob`.
+    ///
+    /// Collisions involving surviving atoms still fail; a lost atom simply
+    /// vanishes (it leaves its source trap and never arrives).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `loss_prob` is outside `0.0..=1.0`.
+    pub fn run_with_loss<R: Rng + ?Sized>(
+        &self,
+        grid: &AtomGrid,
+        schedule: &Schedule,
+        loss_prob: f64,
+        rng: &mut R,
+    ) -> Result<ExecutionReport, Error> {
+        assert!(
+            (0.0..=1.0).contains(&loss_prob),
+            "loss probability {loss_prob} outside [0, 1]"
+        );
+        let mut state = grid.clone();
+        let mut records = Vec::new();
+        let mut lost_atoms = 0usize;
+        let mut ejected_atoms = 0usize;
+        let mut max_parallel_atoms = 0usize;
+        for (index, mv) in schedule.iter().enumerate() {
+            let moved = self.apply_move_lossy(&mut state, mv, index, loss_prob, rng)?;
+            lost_atoms += moved.lost;
+            ejected_atoms += moved.ejected;
+            max_parallel_atoms = max_parallel_atoms.max(moved.records.len());
+            records.extend(moved.records);
+        }
+        Ok(ExecutionReport {
+            atom_moves: records.len(),
+            max_parallel_atoms,
+            final_grid: state,
+            records,
+            lost_atoms,
+            ejected_atoms,
+        })
+    }
+
+    /// Validates a schedule without keeping per-atom records (slightly
+    /// cheaper; used by property tests over large batches).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn validate(&self, grid: &AtomGrid, schedule: &Schedule) -> Result<AtomGrid, Error> {
+        Ok(self.run(grid, schedule)?.final_grid)
+    }
+
+    fn check_move_shape(
+        &self,
+        grid: &AtomGrid,
+        mv: &ParallelMove,
+        index: usize,
+    ) -> Result<(), Error> {
+        let (dr, dc) = mv.delta();
+        if dr == 0 && dc == 0 {
+            return Err(Error::NullMove { move_index: index });
+        }
+        if !self.allow_diagonal && !mv.is_axis_aligned() {
+            return Err(Error::DiagonalMove { move_index: index });
+        }
+        let _ = grid;
+        Ok(())
+    }
+
+    /// Collects the trapped atoms of `mv` in row-major order.
+    fn trapped(&self, grid: &AtomGrid, mv: &ParallelMove) -> Vec<Position> {
+        mv.trap_sites()
+            .filter(|p| {
+                p.row < grid.height() && p.col < grid.width() && grid.get_unchecked(p.row, p.col)
+            })
+            .collect()
+    }
+
+    fn apply_move(
+        &self,
+        grid: &mut AtomGrid,
+        mv: &ParallelMove,
+        index: usize,
+    ) -> Result<(Vec<MoveRecord>, usize), Error> {
+        self.check_move_shape(grid, mv, index)?;
+        let trapped = self.trapped(grid, mv);
+        let (dr, dc) = mv.delta();
+
+        // Destination validation.
+        let mut dests = Vec::with_capacity(trapped.len());
+        for &p in &trapped {
+            let dest = p
+                .offset(dr, dc)
+                .filter(|d| d.row < grid.height() && d.col < grid.width())
+                .ok_or(Error::MoveOutOfBounds { move_index: index })?;
+            dests.push(dest);
+        }
+
+        // Remove movers, then check destinations and transit paths against
+        // the stationary population.
+        for &p in &trapped {
+            grid.set_unchecked(p.row, p.col, false);
+        }
+        for (&from, &to) in trapped.iter().zip(&dests) {
+            if grid.get_unchecked(to.row, to.col)
+                && self.collision_policy == CollisionPolicy::Fail
+            {
+                // restore before failing so callers can inspect the grid
+                self.restore(grid, &trapped);
+                return Err(Error::Collision {
+                    move_index: index,
+                    site: to,
+                });
+            }
+            if self.path_policy == PathPolicy::Strict {
+                if let Some(site) = self.blocked_on_path(grid, from, dr, dc) {
+                    self.restore(grid, &trapped);
+                    return Err(Error::PathBlocked {
+                        move_index: index,
+                        site,
+                    });
+                }
+            }
+        }
+        let mut records = Vec::with_capacity(trapped.len());
+        let mut ejected = 0usize;
+        for (&from, &to) in trapped.iter().zip(&dests) {
+            if grid.get_unchecked(to.row, to.col) {
+                // CollisionPolicy::Eject (Fail returned above): the
+                // light-assisted collision removes both atoms.
+                grid.set_unchecked(to.row, to.col, false);
+                ejected += 2;
+                continue;
+            }
+            grid.set_unchecked(to.row, to.col, true);
+            records.push(MoveRecord {
+                move_index: index,
+                from,
+                to,
+            });
+        }
+        Ok((records, ejected))
+    }
+
+    fn apply_move_lossy<R: Rng + ?Sized>(
+        &self,
+        grid: &mut AtomGrid,
+        mv: &ParallelMove,
+        index: usize,
+        loss_prob: f64,
+        rng: &mut R,
+    ) -> Result<LossyOutcome, Error> {
+        self.check_move_shape(grid, mv, index)?;
+        let trapped = self.trapped(grid, mv);
+        let (dr, dc) = mv.delta();
+        let mut records = Vec::new();
+        let mut lost = 0usize;
+        // Remove all movers first (they leave their traps together).
+        for &p in &trapped {
+            grid.set_unchecked(p.row, p.col, false);
+        }
+        let mut ejected = 0usize;
+        let mut survivors = Vec::with_capacity(trapped.len());
+        for &p in &trapped {
+            if rng.gen_bool(loss_prob) {
+                lost += 1;
+            } else {
+                survivors.push(p);
+            }
+        }
+        for &from in &survivors {
+            let to = from
+                .offset(dr, dc)
+                .filter(|d| d.row < grid.height() && d.col < grid.width())
+                .ok_or(Error::MoveOutOfBounds { move_index: index })?;
+            if grid.get_unchecked(to.row, to.col) {
+                match self.collision_policy {
+                    CollisionPolicy::Fail => {
+                        return Err(Error::Collision {
+                            move_index: index,
+                            site: to,
+                        })
+                    }
+                    CollisionPolicy::Eject => {
+                        grid.set_unchecked(to.row, to.col, false);
+                        ejected += 2;
+                        continue;
+                    }
+                }
+            }
+            if self.path_policy == PathPolicy::Strict {
+                if let Some(site) = self.blocked_on_path(grid, from, dr, dc) {
+                    return Err(Error::PathBlocked {
+                        move_index: index,
+                        site,
+                    });
+                }
+            }
+            grid.set_unchecked(to.row, to.col, true);
+            records.push(MoveRecord {
+                move_index: index,
+                from,
+                to,
+            });
+        }
+        Ok(LossyOutcome {
+            records,
+            lost,
+            ejected,
+        })
+    }
+
+    fn restore(&self, grid: &mut AtomGrid, trapped: &[Position]) {
+        for &p in trapped {
+            grid.set_unchecked(p.row, p.col, true);
+        }
+    }
+
+    /// First stationary atom on the open transit path of an atom moving
+    /// from `from` by `(dr, dc)` (endpoints excluded). Only axis-aligned
+    /// paths are sweepable; diagonal moves skip this check.
+    fn blocked_on_path(
+        &self,
+        grid: &AtomGrid,
+        from: Position,
+        dr: isize,
+        dc: isize,
+    ) -> Option<Position> {
+        if dr != 0 && dc != 0 {
+            return None;
+        }
+        let steps = dr.unsigned_abs().max(dc.unsigned_abs());
+        let (ur, uc) = (dr.signum(), dc.signum());
+        for k in 1..steps as isize {
+            let p = from.offset(ur * k, uc * k)?;
+            if grid.get_unchecked(p.row, p.col) {
+                return Some(p);
+            }
+        }
+        None
+    }
+}
+
+/// Outcome of executing a schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecutionReport {
+    /// Final trap-array occupancy.
+    pub final_grid: AtomGrid,
+    /// Per-atom displacement records, in execution order.
+    pub records: Vec<MoveRecord>,
+    /// Total atom displacements performed.
+    pub atom_moves: usize,
+    /// Largest number of atoms moved by a single parallel move.
+    pub max_parallel_atoms: usize,
+    /// Atoms lost in transit (only non-zero for
+    /// [`Executor::run_with_loss`]).
+    pub lost_atoms: usize,
+    /// Atoms removed by light-assisted collisions (only non-zero under
+    /// [`CollisionPolicy::Eject`]; counts both partners).
+    pub ejected_atoms: usize,
+}
+
+impl ExecutionReport {
+    /// Whether `target` ended up defect-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::RectOutOfBounds`] when the rect does not fit.
+    pub fn target_filled(&self, target: &Rect) -> Result<bool, Error> {
+        self.final_grid.is_filled(target)
+    }
+}
+
+struct LossyOutcome {
+    records: Vec<MoveRecord>,
+    lost: usize,
+    ejected: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loading::seeded_rng;
+
+    fn sched(h: usize, w: usize, moves: Vec<ParallelMove>) -> Schedule {
+        let mut s = Schedule::new(h, w);
+        s.extend(moves);
+        s
+    }
+
+    #[test]
+    fn simple_west_shift() {
+        let g = AtomGrid::parse(".##\n...").unwrap();
+        let s = sched(
+            2,
+            3,
+            vec![ParallelMove::new(vec![0], vec![1, 2], 0, -1).unwrap()],
+        );
+        let rep = Executor::new().run(&g, &s).unwrap();
+        assert_eq!(rep.final_grid, AtomGrid::parse("##.\n...").unwrap());
+        assert_eq!(rep.atom_moves, 2);
+        assert_eq!(rep.max_parallel_atoms, 2);
+    }
+
+    #[test]
+    fn cross_product_traps_all_occupied_intersections() {
+        let g = AtomGrid::parse("#.#\n...\n#.#\n...").unwrap();
+        let s = sched(
+            4,
+            3,
+            vec![ParallelMove::new(vec![0, 2], vec![0, 2], 1, 0).unwrap()],
+        );
+        let rep = Executor::new().run(&g, &s).unwrap();
+        assert_eq!(rep.atom_moves, 4);
+        assert_eq!(
+            rep.final_grid,
+            AtomGrid::parse("...\n#.#\n...\n#.#").unwrap()
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        let g = AtomGrid::parse("#.").unwrap();
+        let s = sched(
+            1,
+            2,
+            vec![ParallelMove::new(vec![0], vec![0], 0, -1).unwrap()],
+        );
+        assert_eq!(
+            Executor::new().run(&g, &s),
+            Err(Error::MoveOutOfBounds { move_index: 0 })
+        );
+    }
+
+    #[test]
+    fn collision_detected_and_grid_restored_in_error_path() {
+        let g = AtomGrid::parse("##").unwrap();
+        // moving only col 1 west collides with the stationary atom at col 0
+        let s = sched(
+            1,
+            2,
+            vec![ParallelMove::new(vec![0], vec![1], 0, -1).unwrap()],
+        );
+        assert_eq!(
+            Executor::new().run(&g, &s),
+            Err(Error::Collision {
+                move_index: 0,
+                site: Position::new(0, 0)
+            })
+        );
+    }
+
+    #[test]
+    fn simultaneous_movers_do_not_self_collide() {
+        // Both atoms shift west together: legal (lockstep motion).
+        let g = AtomGrid::parse(".##").unwrap();
+        let s = sched(
+            1,
+            3,
+            vec![ParallelMove::new(vec![0], vec![1, 2], 0, -1).unwrap()],
+        );
+        assert!(Executor::new().run(&g, &s).is_ok());
+    }
+
+    #[test]
+    fn path_blocking_for_multistep() {
+        // atom at col 0 jumps 2 east over an occupied col 1
+        let g = AtomGrid::parse("##.").unwrap();
+        let s = sched(
+            1,
+            3,
+            vec![ParallelMove::new(vec![0], vec![0], 0, 2).unwrap()],
+        );
+        // col 1's atom is NOT selected, so it blocks the path... but note
+        // the mover passes over it.
+        let err = Executor::new().run(&g, &s);
+        assert_eq!(
+            err,
+            Err(Error::PathBlocked {
+                move_index: 0,
+                site: Position::new(0, 1)
+            })
+        );
+        // EndpointsOnly tolerates the fly-over.
+        let rep = Executor::new()
+            .with_path_policy(PathPolicy::EndpointsOnly)
+            .run(&g, &s)
+            .unwrap();
+        assert_eq!(rep.final_grid, AtomGrid::parse(".##").unwrap());
+    }
+
+    #[test]
+    fn diagonal_moves_gated() {
+        let g = AtomGrid::parse("#.\n..").unwrap();
+        let s = sched(
+            2,
+            2,
+            vec![ParallelMove::new(vec![0], vec![0], 1, 1).unwrap()],
+        );
+        assert_eq!(
+            Executor::new().run(&g, &s),
+            Err(Error::DiagonalMove { move_index: 0 })
+        );
+        let rep = Executor::new()
+            .with_diagonal_moves(true)
+            .run(&g, &s)
+            .unwrap();
+        assert!(rep.final_grid.get_unchecked(1, 1));
+    }
+
+    #[test]
+    fn empty_selection_moves_nothing() {
+        let g = AtomGrid::parse("..\n..").unwrap();
+        let s = sched(
+            2,
+            2,
+            vec![ParallelMove::new(vec![0], vec![0], 0, 1).unwrap()],
+        );
+        let rep = Executor::new().run(&g, &s).unwrap();
+        assert_eq!(rep.atom_moves, 0);
+        assert_eq!(rep.final_grid, g);
+    }
+
+    #[test]
+    fn atom_conservation_over_random_legal_schedules() {
+        // Random single-atom moves that are always legal by construction.
+        let mut rng = seeded_rng(12);
+        let mut grid = AtomGrid::random(8, 8, 0.4, &mut rng);
+        let n0 = grid.atom_count();
+        let exec = Executor::new();
+        for _ in 0..50 {
+            // pick a random atom with a free neighbour
+            let atoms: Vec<Position> = grid.occupied().collect();
+            if atoms.is_empty() {
+                break;
+            }
+            let a = atoms[rng.gen_range(0..atoms.len())];
+            let candidates = [(0isize, 1isize), (0, -1), (1, 0), (-1, 0)];
+            let mut applied = false;
+            for (dr, dc) in candidates {
+                if let Some(d) = a.offset(dr, dc) {
+                    if d.row < 8 && d.col < 8 && !grid.get_unchecked(d.row, d.col) {
+                        let s = sched(8, 8, vec![ParallelMove::single(a, dr, dc).unwrap()]);
+                        grid = exec.run(&grid, &s).unwrap().final_grid;
+                        applied = true;
+                        break;
+                    }
+                }
+            }
+            if !applied {
+                continue;
+            }
+            assert_eq!(grid.atom_count(), n0);
+        }
+    }
+
+    #[test]
+    fn loss_injection_removes_atoms() {
+        let g = AtomGrid::parse("#########").unwrap();
+        let s = sched(
+            1,
+            9,
+            vec![ParallelMove::new(vec![0], (0..8).collect(), 0, 1).unwrap()],
+        );
+        // With certain loss, all 8 movers vanish.
+        let mut rng = seeded_rng(4);
+        let rep = Executor::new()
+            .run_with_loss(&g, &s, 1.0, &mut rng)
+            .unwrap();
+        assert_eq!(rep.lost_atoms, 8);
+        assert_eq!(rep.final_grid.atom_count(), 1);
+        // With zero loss... the move would collide with col 8's atom.
+        let mut rng = seeded_rng(4);
+        assert!(Executor::new()
+            .run_with_loss(&g, &s, 0.0, &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn eject_policy_removes_both_atoms() {
+        // Mover at col 1 pushed west onto the stationary atom at col 0:
+        // a light-assisted collision removes both.
+        let g = AtomGrid::parse("##.").unwrap();
+        let s = sched(
+            1,
+            3,
+            vec![ParallelMove::new(vec![0], vec![1], 0, -1).unwrap()],
+        );
+        let rep = Executor::new()
+            .with_collision_policy(CollisionPolicy::Eject)
+            .run(&g, &s)
+            .unwrap();
+        assert_eq!(rep.ejected_atoms, 2);
+        assert_eq!(rep.final_grid.atom_count(), 0);
+        assert_eq!(rep.atom_moves, 0);
+        // default policy still fails
+        assert!(Executor::new().run(&g, &s).is_err());
+    }
+
+    #[test]
+    fn eject_policy_in_lossy_execution() {
+        let g = AtomGrid::parse("##.").unwrap();
+        let s = sched(
+            1,
+            3,
+            vec![ParallelMove::new(vec![0], vec![1], 0, -1).unwrap()],
+        );
+        let mut rng = seeded_rng(6);
+        let rep = Executor::new()
+            .with_collision_policy(CollisionPolicy::Eject)
+            .run_with_loss(&g, &s, 0.0, &mut rng)
+            .unwrap();
+        assert_eq!(rep.ejected_atoms, 2);
+        assert_eq!(rep.final_grid.atom_count(), 0);
+    }
+
+    #[test]
+    fn target_filled_helper() {
+        let g = AtomGrid::parse("##\n##").unwrap();
+        let rep = Executor::new().run(&g, &Schedule::new(2, 2)).unwrap();
+        assert!(rep.target_filled(&Rect::new(0, 0, 2, 2)).unwrap());
+        assert!(rep.target_filled(&Rect::new(0, 0, 4, 4)).is_err());
+    }
+}

@@ -1,0 +1,223 @@
+//! Schedule post-optimisation.
+//!
+//! Every parallel move costs fixed pickup/hand-off ramps on the AWG
+//! (hundreds of µs — far more than the analysis time the accelerator
+//! saves), so shortening the move stream directly shortens physical
+//! rearrangement. [`coalesce`] is a peephole pass that merges runs of
+//! same-displacement moves into single AOD commands whenever the merged
+//! command provably does the same thing.
+//!
+//! Merging is validated by simulation, not by heuristics: the union of
+//! two cross-product selections is a *larger* cross product that can trap
+//! bystander atoms, so a candidate merge is accepted only if executing
+//! the combined move from the current state reproduces exactly the state
+//! the original sequence reaches (and the executor accepts it). This
+//! makes the pass conservative and always safe.
+
+use crate::error::Error;
+use crate::executor::Executor;
+use crate::grid::AtomGrid;
+use crate::moves::ParallelMove;
+use crate::schedule::Schedule;
+
+/// Outcome of a coalescing pass.
+#[derive(Debug, Clone)]
+pub struct CoalesceReport {
+    /// The optimised schedule.
+    pub schedule: Schedule,
+    /// Moves before optimisation.
+    pub before: usize,
+    /// Moves after optimisation.
+    pub after: usize,
+}
+
+impl CoalesceReport {
+    /// Fraction of moves eliminated.
+    pub fn saving(&self) -> f64 {
+        if self.before == 0 {
+            0.0
+        } else {
+            1.0 - self.after as f64 / self.before as f64
+        }
+    }
+}
+
+/// Coalesces runs of same-displacement moves where the merged command is
+/// simulation-equivalent to the original sequence.
+///
+/// `grid` must be the occupancy the schedule was planned for. The
+/// returned schedule reaches exactly the same final occupancy.
+///
+/// # Errors
+///
+/// Propagates executor failures on the *input* schedule (an invalid
+/// input schedule is a caller bug; candidate merges that fail validation
+/// are simply not applied).
+pub fn coalesce(grid: &AtomGrid, schedule: &Schedule) -> Result<CoalesceReport, Error> {
+    let executor = Executor::new();
+    let before = schedule.len();
+    let mut out = Schedule::new(schedule.height(), schedule.width());
+    let mut state = grid.clone();
+
+    let mut pending: Option<(ParallelMove, AtomGrid)> = None; // (merged move, state after it)
+    for mv in schedule {
+        // State transition for this single move (validates the input).
+        let cur_after = apply(&executor, &state_of(&pending, &state), mv)?;
+        match pending.take() {
+            None => pending = Some((mv.clone(), cur_after)),
+            Some((acc, acc_after)) => {
+                let mergeable = acc.delta() == mv.delta();
+                let merged = if mergeable {
+                    merge_moves(&acc, mv)
+                } else {
+                    None
+                };
+                let mut fused = None;
+                if let Some(candidate) = merged {
+                    // Accept only if the fused command, applied to the
+                    // pre-batch state, reproduces the sequential result.
+                    if let Ok(fused_after) = apply(&executor, &state, &candidate) {
+                        if fused_after == cur_after {
+                            fused = Some((candidate, fused_after));
+                        }
+                    }
+                }
+                match fused {
+                    Some(pair) => pending = Some(pair),
+                    None => {
+                        out.push(acc);
+                        state = acc_after;
+                        pending = Some((mv.clone(), cur_after));
+                    }
+                }
+            }
+        }
+    }
+    if let Some((acc, acc_after)) = pending {
+        out.push(acc);
+        state = acc_after;
+    }
+
+    // Safety net: the optimised schedule must reach the same final state.
+    let check = executor.run(grid, &out)?;
+    debug_assert_eq!(check.final_grid, state);
+    let _ = state;
+    Ok(CoalesceReport {
+        before,
+        after: out.len(),
+        schedule: out,
+    })
+}
+
+fn state_of(pending: &Option<(ParallelMove, AtomGrid)>, state: &AtomGrid) -> AtomGrid {
+    match pending {
+        Some((_, after)) => after.clone(),
+        None => state.clone(),
+    }
+}
+
+fn apply(executor: &Executor, state: &AtomGrid, mv: &ParallelMove) -> Result<AtomGrid, Error> {
+    let mut single = Schedule::new(state.height(), state.width());
+    single.push(mv.clone());
+    Ok(executor.run(state, &single)?.final_grid)
+}
+
+fn merge_moves(a: &ParallelMove, b: &ParallelMove) -> Option<ParallelMove> {
+    let mut rows = a.rows().to_vec();
+    rows.extend_from_slice(b.rows());
+    let mut cols = a.cols().to_vec();
+    cols.extend_from_slice(b.cols());
+    let (dr, dc) = a.delta();
+    ParallelMove::new(rows, cols, dr, dc).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Rect;
+    use crate::loading::seeded_rng;
+    use crate::scheduler::{QrmConfig, QrmScheduler, Rearranger};
+
+    #[test]
+    fn merges_disjoint_same_direction_moves() {
+        // Two west shifts in different rows with disjoint columns can
+        // fuse only when the cross product stays clean; here rows {0}
+        // x cols {1} and rows {1} x cols {3}: the union traps (0,3) and
+        // (1,1) — empty in this grid, so the merge is accepted.
+        let grid = AtomGrid::parse(".#...\n...#.").unwrap();
+        let mut s = Schedule::new(2, 5);
+        s.push(ParallelMove::new(vec![0], vec![1], 0, -1).unwrap());
+        s.push(ParallelMove::new(vec![1], vec![3], 0, -1).unwrap());
+        let report = coalesce(&grid, &s).unwrap();
+        assert_eq!(report.after, 1);
+        assert!(report.saving() > 0.49);
+        let out = Executor::new().run(&grid, &report.schedule).unwrap();
+        let orig = Executor::new().run(&grid, &s).unwrap();
+        assert_eq!(out.final_grid, orig.final_grid);
+    }
+
+    #[test]
+    fn refuses_merges_that_trap_bystanders() {
+        // The union cross product would trap the stationary atom at
+        // (0,3): moving it would diverge from the sequential result, so
+        // the merge must be rejected.
+        let grid = AtomGrid::parse(".#.#.\n...#.").unwrap();
+        let mut s = Schedule::new(2, 5);
+        s.push(ParallelMove::new(vec![0], vec![1], 0, -1).unwrap());
+        s.push(ParallelMove::new(vec![1], vec![3], 0, -1).unwrap());
+        let report = coalesce(&grid, &s).unwrap();
+        assert_eq!(report.after, 2, "unsafe merge must be rejected");
+        let out = Executor::new().run(&grid, &report.schedule).unwrap();
+        let orig = Executor::new().run(&grid, &s).unwrap();
+        assert_eq!(out.final_grid, orig.final_grid);
+    }
+
+    #[test]
+    fn different_directions_never_merge() {
+        let grid = AtomGrid::parse(".#.\n.#.").unwrap();
+        let mut s = Schedule::new(2, 3);
+        s.push(ParallelMove::new(vec![0], vec![1], 0, -1).unwrap());
+        s.push(ParallelMove::new(vec![1], vec![1], 0, 1).unwrap());
+        let report = coalesce(&grid, &s).unwrap();
+        assert_eq!(report.after, 2);
+    }
+
+    #[test]
+    fn qrm_schedules_shrink_and_stay_correct() {
+        let mut rng = seeded_rng(90);
+        let mut total_saving = 0.0;
+        let mut n = 0;
+        for _ in 0..5 {
+            let grid = AtomGrid::random(20, 20, 0.5, &mut rng);
+            let target = Rect::centered(20, 20, 12, 12).unwrap();
+            let plan = QrmScheduler::new(QrmConfig::default())
+                .plan(&grid, &target)
+                .unwrap();
+            if plan.schedule.is_empty() {
+                continue;
+            }
+            let report = coalesce(&grid, &plan.schedule).unwrap();
+            let out = Executor::new().run(&grid, &report.schedule).unwrap();
+            assert_eq!(out.final_grid, plan.predicted);
+            assert!(report.after <= report.before);
+            total_saving += report.saving();
+            n += 1;
+        }
+        assert!(n >= 3);
+        // coalescing should find at least some fusions on average
+        assert!(
+            total_saving / n as f64 > 0.01,
+            "mean saving {:.3} too small",
+            total_saving / n as f64
+        );
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let grid = AtomGrid::new(4, 4).unwrap();
+        let report = coalesce(&grid, &Schedule::new(4, 4)).unwrap();
+        assert_eq!(report.before, 0);
+        assert_eq!(report.after, 0);
+        assert_eq!(report.saving(), 0.0);
+    }
+}

@@ -1,0 +1,338 @@
+//! The "typical rearrangement procedure" of paper §III-A (Fig. 3).
+//!
+//! The reference algorithm QRM decomposes: working on the **whole** array,
+//! it fills target columns from the centre outward with horizontal prefix
+//! shifts ("move all atoms positioned to the left of each hole, shifting
+//! them one step to the right"), then fills target rows with vertical
+//! prefix shifts, iterating until the target is defect-free.
+//!
+//! This implementation is deliberately independent of the quadrant
+//! machinery: it serves as the §III-A reference, as a differential-testing
+//! oracle for QRM, and as an additional CPU comparison point.
+
+use crate::aod::AodBatcher;
+use crate::bitline;
+use crate::error::Error;
+use crate::executor::Executor;
+use crate::geometry::{Direction, Rect};
+use crate::grid::AtomGrid;
+use crate::moves::ParallelMove;
+use crate::schedule::Schedule;
+use crate::scheduler::{Plan, Rearranger};
+
+/// Configuration of the [`TypicalScheduler`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TypicalConfig {
+    /// Maximum horizontal+vertical iterations.
+    pub max_iterations: usize,
+}
+
+impl Default for TypicalConfig {
+    fn default() -> Self {
+        TypicalConfig { max_iterations: 4 }
+    }
+}
+
+/// The centre-outward full-array rearrangement scheduler.
+///
+/// Unlike [`QrmScheduler`](crate::scheduler::QrmScheduler) it accepts odd
+/// array sizes and arbitrarily placed targets.
+///
+/// ```
+/// use qrm_core::prelude::*;
+/// use qrm_core::typical::TypicalScheduler;
+///
+/// let mut rng = qrm_core::loading::seeded_rng(8);
+/// let grid = AtomGrid::random(15, 15, 0.6, &mut rng);
+/// let target = Rect::centered(15, 15, 8, 8)?;
+/// let plan = TypicalScheduler::default().plan(&grid, &target)?;
+/// let report = Executor::new().run(&grid, &plan.schedule)?;
+/// assert_eq!(report.final_grid, plan.predicted);
+/// # Ok::<(), qrm_core::Error>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TypicalScheduler {
+    config: TypicalConfig,
+}
+
+impl TypicalScheduler {
+    /// Creates a scheduler with the given configuration.
+    pub fn new(config: TypicalConfig) -> Self {
+        TypicalScheduler { config }
+    }
+}
+
+impl Rearranger for TypicalScheduler {
+    fn name(&self) -> &'static str {
+        "typical (centre-outward)"
+    }
+
+    fn plan(&self, grid: &AtomGrid, target: &Rect) -> Result<Plan, Error> {
+        if !target.fits_in(grid.height(), grid.width()) || target.area() == 0 {
+            return Err(Error::InvalidTarget {
+                reason: "target does not fit the array",
+            });
+        }
+        let mut state = Engine {
+            working: grid.clone(),
+            schedule: Schedule::new(grid.height(), grid.width()),
+            executor: Executor::new(),
+            batcher: AodBatcher::new(),
+        };
+
+        let mut iterations = 0;
+        for _ in 0..self.config.max_iterations {
+            if state.working.is_filled(target)? {
+                break;
+            }
+            iterations += 1;
+            let before = state.schedule.len();
+            state.horizontal_phase(target)?;
+            state.vertical_phase(target)?;
+            if state.schedule.len() == before {
+                break; // no progress possible
+            }
+        }
+
+        let filled = state.working.is_filled(target)?;
+        Ok(Plan {
+            schedule: state.schedule,
+            predicted: state.working,
+            filled,
+            iterations,
+        })
+    }
+}
+
+struct Engine {
+    working: AtomGrid,
+    schedule: Schedule,
+    executor: Executor,
+    batcher: AodBatcher,
+}
+
+impl Engine {
+    /// Fills target columns centre-outward with prefix shifts.
+    fn horizontal_phase(&mut self, target: &Rect) -> Result<(), Error> {
+        let mid = target.col + target.width / 2;
+        // West half: columns mid-1 down to target.col, atoms move east.
+        for c in (target.col..mid).rev() {
+            self.fill_column_from(c, Direction::East)?;
+        }
+        // East half: columns mid up to the east edge, atoms move west.
+        for c in mid..target.col_end() {
+            self.fill_column_from(c, Direction::West)?;
+        }
+        Ok(())
+    }
+
+    /// Fills target rows centre-outward with vertical prefix shifts,
+    /// restricted to the target's column range.
+    fn vertical_phase(&mut self, target: &Rect) -> Result<(), Error> {
+        let mid = target.row + target.height / 2;
+        for r in (target.row..mid).rev() {
+            self.fill_row_from(r, Direction::South, target)?;
+        }
+        for r in mid..target.row_end() {
+            self.fill_row_from(r, Direction::North, target)?;
+        }
+        Ok(())
+    }
+
+    /// Repeatedly shifts west (east) prefixes east (west) until column `c`
+    /// has no fillable hole left.
+    fn fill_column_from(&mut self, c: usize, dir: Direction) -> Result<(), Error> {
+        let (h, w) = self.working.dims();
+        loop {
+            let mut movers: Vec<(usize, Vec<u64>)> = Vec::new();
+            for r in 0..h {
+                if self.working.get_unchecked(r, c) {
+                    continue;
+                }
+                let occ = self.working.row_bits(r);
+                // Atoms on the feeding side of the hole.
+                let mask = match dir {
+                    Direction::East => bitline::range_mask(occ.len(), 0, c),
+                    Direction::West => bitline::range_mask(occ.len(), c + 1, w),
+                    _ => unreachable!("horizontal fill uses east/west"),
+                };
+                let movers_mask: Vec<u64> =
+                    mask.iter().zip(occ.iter()).map(|(m, o)| m & o).collect();
+                if bitline::count_ones(&movers_mask) > 0 {
+                    movers.push((r, movers_mask));
+                }
+            }
+            if movers.is_empty() {
+                return Ok(());
+            }
+            self.emit_horizontal(&movers, dir)?;
+        }
+    }
+
+    /// Repeatedly shifts north (south) prefixes south (north) until row
+    /// `r` has no fillable hole inside the target's column range.
+    fn fill_row_from(&mut self, r: usize, dir: Direction, target: &Rect) -> Result<(), Error> {
+        let h = self.working.dims().0;
+        loop {
+            let wt = self.working.transpose();
+            let mut movers: Vec<(usize, Vec<u64>)> = Vec::new();
+            for c in target.col..target.col_end() {
+                if self.working.get_unchecked(r, c) {
+                    continue;
+                }
+                let occ = wt.row_bits(c); // column c as a line over rows
+                let mask = match dir {
+                    Direction::South => bitline::range_mask(occ.len(), 0, r),
+                    Direction::North => bitline::range_mask(occ.len(), r + 1, h),
+                    _ => unreachable!("vertical fill uses north/south"),
+                };
+                let movers_mask: Vec<u64> =
+                    mask.iter().zip(occ.iter()).map(|(m, o)| m & o).collect();
+                if bitline::count_ones(&movers_mask) > 0 {
+                    movers.push((c, movers_mask));
+                }
+            }
+            if movers.is_empty() {
+                return Ok(());
+            }
+            self.emit_vertical(&movers, dir, &wt)?;
+        }
+    }
+
+    fn emit_horizontal(
+        &mut self,
+        movers: &[(usize, Vec<u64>)],
+        dir: Direction,
+    ) -> Result<(), Error> {
+        let occ: Vec<&[u64]> = (0..self.working.height())
+            .map(|l| self.working.row_bits(l))
+            .collect();
+        let (dr, dc) = dir.delta();
+        let batches = self.batcher.batch(&occ, movers);
+        let width = self.working.width();
+        for batch in batches {
+            let cols = batch.positions(width);
+            let mv = ParallelMove::new(batch.lines, cols, dr, dc)?;
+            self.apply(mv)?;
+        }
+        Ok(())
+    }
+
+    fn emit_vertical(
+        &mut self,
+        movers: &[(usize, Vec<u64>)],
+        dir: Direction,
+        wt: &AtomGrid,
+    ) -> Result<(), Error> {
+        let occ: Vec<&[u64]> = (0..wt.height()).map(|l| wt.row_bits(l)).collect();
+        let (dr, dc) = dir.delta();
+        let batches = self.batcher.batch(&occ, movers);
+        let height = wt.width();
+        for batch in batches {
+            let rows = batch.positions(height);
+            let mv = ParallelMove::new(rows, batch.lines, dr, dc)?;
+            self.apply(mv)?;
+        }
+        Ok(())
+    }
+
+    fn apply(&mut self, mv: ParallelMove) -> Result<(), Error> {
+        let mut single = Schedule::new(self.working.height(), self.working.width());
+        single.push(mv.clone());
+        let report = self.executor.run(&self.working, &single)?;
+        self.working = report.final_grid;
+        self.schedule.push(mv);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loading::seeded_rng;
+    use crate::scheduler::plan_and_execute;
+
+    #[test]
+    fn fig3_style_example_fills() {
+        // 8x8 lattice at ~50% fill with a 4x4 centre target — the paper's
+        // demonstration configuration.
+        let mut rng = seeded_rng(33);
+        let mut filled = 0;
+        let mut tried = 0;
+        for _ in 0..20 {
+            let grid = AtomGrid::random(8, 8, 0.5, &mut rng);
+            if grid.atom_count() < 20 {
+                continue;
+            }
+            tried += 1;
+            let target = Rect::centered(8, 8, 4, 4).unwrap();
+            let plan = TypicalScheduler::default().plan(&grid, &target).unwrap();
+            if plan.filled {
+                filled += 1;
+            }
+        }
+        assert!(tried >= 10);
+        assert!(filled * 10 >= tried * 8, "filled {filled}/{tried}");
+    }
+
+    #[test]
+    fn plan_matches_execution() {
+        let mut rng = seeded_rng(44);
+        let grid = AtomGrid::random(16, 16, 0.55, &mut rng);
+        let target = Rect::centered(16, 16, 8, 8).unwrap();
+        let planner = TypicalScheduler::default();
+        let (plan, report) = plan_and_execute(&planner, &grid, &target).unwrap();
+        assert_eq!(plan.predicted, report.final_grid);
+        assert_eq!(report.final_grid.atom_count(), grid.atom_count());
+    }
+
+    #[test]
+    fn handles_odd_arrays_and_offset_targets() {
+        let mut rng = seeded_rng(55);
+        let grid = AtomGrid::random(13, 11, 0.7, &mut rng);
+        let target = Rect::new(3, 2, 5, 5);
+        let plan = TypicalScheduler::default().plan(&grid, &target).unwrap();
+        let report = Executor::new().run(&grid, &plan.schedule).unwrap();
+        assert_eq!(plan.predicted, report.final_grid);
+    }
+
+    #[test]
+    fn rejects_bad_targets() {
+        let grid = AtomGrid::new(8, 8).unwrap();
+        assert!(TypicalScheduler::default()
+            .plan(&grid, &Rect::new(6, 6, 4, 4))
+            .is_err());
+    }
+
+    #[test]
+    fn moves_are_unit_step() {
+        let mut rng = seeded_rng(66);
+        let grid = AtomGrid::random(10, 10, 0.6, &mut rng);
+        let target = Rect::centered(10, 10, 6, 6).unwrap();
+        let plan = TypicalScheduler::default().plan(&grid, &target).unwrap();
+        for mv in &plan.schedule {
+            assert_eq!(mv.step(), 1);
+            assert!(mv.is_axis_aligned());
+        }
+    }
+
+    #[test]
+    fn agrees_with_qrm_on_fill_success() {
+        // Differential check: on easy instances both the typical
+        // procedure and QRM should assemble the target.
+        use crate::scheduler::{QrmConfig, QrmScheduler};
+        let mut rng = seeded_rng(77);
+        for _ in 0..5 {
+            let grid = AtomGrid::random(12, 12, 0.6, &mut rng);
+            if grid.atom_count() < 60 {
+                continue;
+            }
+            let target = Rect::centered(12, 12, 6, 6).unwrap();
+            let typical = TypicalScheduler::default().plan(&grid, &target).unwrap();
+            let qrm = QrmScheduler::new(QrmConfig::default())
+                .plan(&grid, &target)
+                .unwrap();
+            assert_eq!(typical.filled, qrm.filled);
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! The full QRM accelerator top (paper Fig. 5).
+//!
+//! Wires the [`LoadDataModule`](crate::ldm::LoadDataModule), four
+//! [`QuadrantProcessor`](crate::qpm::QuadrantProcessor)s running in
+//! parallel, and the [`OutputModule`](crate::ocm::OutputModule) into the
+//! complete dataflow design, producing both the functional plan and an
+//! exact cycle breakdown at the configured clock.
+//!
+//! The *analysis latency* — the quantity Fig. 7 reports — covers control
+//! hand-off, input DMA, the quadrant pipelines, and the combination
+//! drain. The movement-record write-back to DDR is reported separately
+//! (it overlaps the PS-side pulse generation in a real system).
+
+use qrm_core::error::Error;
+use qrm_core::geometry::Rect;
+use qrm_core::grid::AtomGrid;
+use qrm_core::kernel::{KernelOutcome, KernelStrategy};
+use qrm_core::quadrant::QuadrantMap;
+use qrm_core::scheduler::{Plan, Rearranger};
+
+use crate::clock::ClockDomain;
+use crate::ldm::{LdmConfig, LoadDataModule};
+use crate::ocm::{OcmConfig, OutputModule};
+use crate::qpm::{QpmConfig, QuadrantProcessor};
+
+/// Accelerator configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcceleratorConfig {
+    /// Programmable-logic clock (paper: 250 MHz).
+    pub clock: ClockDomain,
+    /// Static iteration count per quadrant (paper: 4).
+    pub iterations: usize,
+    /// Kernel strategy (`Greedy` is the paper datapath).
+    pub strategy: KernelStrategy,
+    /// Input-path configuration.
+    pub ldm: LdmConfig,
+    /// Output-path configuration.
+    pub ocm: OcmConfig,
+    /// PS-side kick-off and AXI control handshake, in PL cycles.
+    pub control_overhead_cycles: u64,
+}
+
+impl AcceleratorConfig {
+    /// Paper-faithful configuration: greedy kernel, 4 static iterations,
+    /// 250 MHz.
+    pub fn paper() -> Self {
+        AcceleratorConfig {
+            clock: ClockDomain::default(),
+            iterations: 4,
+            strategy: KernelStrategy::Greedy,
+            ldm: LdmConfig::default(),
+            ocm: OcmConfig::default(),
+            control_overhead_cycles: 16,
+        }
+    }
+
+    /// Extended configuration: balanced kernel (quota-planning datapath),
+    /// 10 static iterations — fills aggressive targets at the cost of
+    /// roughly 2.5x the compute latency.
+    pub fn balanced() -> Self {
+        AcceleratorConfig {
+            iterations: 10,
+            strategy: KernelStrategy::Balanced,
+            ..AcceleratorConfig::paper()
+        }
+    }
+
+    /// Replaces the static iteration count.
+    #[must_use]
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    /// Replaces the kernel strategy.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: KernelStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+}
+
+impl Default for AcceleratorConfig {
+    fn default() -> Self {
+        AcceleratorConfig::paper()
+    }
+}
+
+/// Cycle breakdown of one accelerator run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CycleBreakdown {
+    /// PS control hand-off.
+    pub control: u64,
+    /// Input DMA (DDR + AXI streaming).
+    pub input: u64,
+    /// Quadrant pipelines (max over the four parallel QPMs).
+    pub compute: u64,
+    /// Row Combination Unit drain tail.
+    pub combine: u64,
+    /// Movement-record + matrix write-back (off the analysis path).
+    pub writeback: u64,
+}
+
+impl CycleBreakdown {
+    /// Analysis-path cycles (what Fig. 7 measures).
+    pub fn analysis(&self) -> u64 {
+        self.control + self.input + self.compute + self.combine
+    }
+
+    /// End-to-end cycles including write-back.
+    pub fn total(&self) -> u64 {
+        self.analysis() + self.writeback
+    }
+}
+
+/// Result of one accelerator run.
+#[derive(Debug, Clone)]
+pub struct AcceleratorReport {
+    /// Functional plan (schedule, predicted grid, fill flag).
+    pub plan: Plan,
+    /// Exact cycle breakdown.
+    pub cycles: CycleBreakdown,
+    /// Analysis latency in microseconds at the configured clock.
+    pub time_us: f64,
+    /// End-to-end latency including write-back, in microseconds.
+    pub total_time_us: f64,
+    /// Per-quadrant compute cycles (NW, NE, SW, SE).
+    pub quadrant_cycles: [u64; 4],
+}
+
+/// The four-quadrant rearrangement accelerator.
+///
+/// Implements [`Rearranger`], so it can be compared head-to-head with the
+/// software planners; [`run`](QrmAccelerator::run) additionally returns
+/// the timing report.
+#[derive(Debug, Clone, Default)]
+pub struct QrmAccelerator {
+    config: AcceleratorConfig,
+}
+
+impl QrmAccelerator {
+    /// Creates an accelerator.
+    pub fn new(config: AcceleratorConfig) -> Self {
+        QrmAccelerator { config }
+    }
+
+    /// The accelerator's configuration.
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// Runs one complete rearrangement analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OddDimensions`] / [`Error::InvalidTarget`] for
+    /// arrays or targets QRM cannot decompose, and propagates merge
+    /// validation failures.
+    pub fn run(&self, grid: &AtomGrid, target: &Rect) -> Result<AcceleratorReport, Error> {
+        let map = QuadrantMap::new(grid.height(), grid.width())?;
+        let (th, tw) = map.quadrant_target(target)?;
+
+        let ldm = LoadDataModule::new(self.config.ldm);
+        let input = ldm.load(grid, &map)?;
+
+        let qpm = QuadrantProcessor::new(QpmConfig {
+            target_height: th,
+            target_width: tw,
+            iterations: self.config.iterations,
+            strategy: self.config.strategy,
+        });
+        let mut outcomes: Vec<KernelOutcome> = Vec::with_capacity(4);
+        let mut quadrant_cycles = [0u64; 4];
+        for (i, quadrant) in input.quadrants.iter().enumerate() {
+            let report = qpm.process(quadrant)?;
+            quadrant_cycles[i] = report.total_cycles;
+            outcomes.push(report.outcome);
+        }
+        let outcomes: [KernelOutcome; 4] = outcomes.try_into().expect("four quadrants");
+        let compute = quadrant_cycles.iter().copied().max().unwrap_or(0);
+
+        let ocm = OutputModule::new(self.config.ocm);
+        let combined = ocm.combine(grid, &map, &outcomes)?;
+
+        let cycles = CycleBreakdown {
+            control: self.config.control_overhead_cycles,
+            input: input.cycles,
+            compute,
+            combine: combined.combine_cycles,
+            writeback: combined.writeback_cycles,
+        };
+        let filled = combined.final_grid.is_filled(target)?;
+        Ok(AcceleratorReport {
+            plan: Plan {
+                schedule: combined.schedule,
+                predicted: combined.final_grid,
+                filled,
+                iterations: self.config.iterations,
+            },
+            time_us: self.config.clock.us(cycles.analysis()),
+            total_time_us: self.config.clock.us(cycles.total()),
+            cycles,
+            quadrant_cycles,
+        })
+    }
+}
+
+impl Rearranger for QrmAccelerator {
+    fn name(&self) -> &'static str {
+        match self.config.strategy {
+            KernelStrategy::Greedy => "QRM-FPGA (greedy)",
+            KernelStrategy::GreedyTargetOnly => "QRM-FPGA (greedy, target-only)",
+            KernelStrategy::Balanced => "QRM-FPGA (balanced)",
+        }
+    }
+
+    fn plan(&self, grid: &AtomGrid, target: &Rect) -> Result<Plan, Error> {
+        Ok(self.run(grid, target)?.plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrm_core::executor::Executor;
+    use qrm_core::loading::seeded_rng;
+
+    #[test]
+    fn headline_latency_regime() {
+        // Paper headline: 50x50 -> 30x30 analysed in ~1.0 us at 250 MHz.
+        let mut rng = seeded_rng(2024);
+        let grid = AtomGrid::random(50, 50, 0.5, &mut rng);
+        let target = Rect::centered(50, 50, 30, 30).unwrap();
+        let report = QrmAccelerator::new(AcceleratorConfig::paper())
+            .run(&grid, &target)
+            .unwrap();
+        assert!(
+            (0.5..2.0).contains(&report.time_us),
+            "analysis time {} us outside the paper's regime",
+            report.time_us
+        );
+        // ~(2*4+1)*25 compute cycles
+        assert_eq!(report.cycles.compute, 9 * 25);
+    }
+
+    #[test]
+    fn schedule_executes_and_matches_prediction() {
+        let mut rng = seeded_rng(77);
+        for cfg in [AcceleratorConfig::paper(), AcceleratorConfig::balanced()] {
+            let grid = AtomGrid::random(20, 20, 0.5, &mut rng);
+            let target = Rect::centered(20, 20, 12, 12).unwrap();
+            let report = QrmAccelerator::new(cfg).run(&grid, &target).unwrap();
+            let exec = Executor::new().run(&grid, &report.plan.schedule).unwrap();
+            assert_eq!(exec.final_grid, report.plan.predicted);
+        }
+    }
+
+    #[test]
+    fn latency_is_data_independent() {
+        // Same dims, different content: identical analysis cycles (the
+        // paper's "latency correlates solely with the initial size").
+        let target = Rect::centered(30, 30, 18, 18).unwrap();
+        let empty = AtomGrid::new(30, 30).unwrap();
+        let mut rng = seeded_rng(5);
+        let random = AtomGrid::random(30, 30, 0.5, &mut rng);
+        let accel = QrmAccelerator::new(AcceleratorConfig::paper());
+        let a = accel.run(&empty, &target).unwrap();
+        let b = accel.run(&random, &target).unwrap();
+        assert_eq!(a.cycles.analysis(), b.cycles.analysis());
+        // write-back differs (movement record count is data dependent)
+    }
+
+    #[test]
+    fn scaling_is_moderate() {
+        // Fig 7(a) FPGA curve: ~2.4x from size 10 to 90 (0.8 -> 1.9 us).
+        let accel = QrmAccelerator::new(AcceleratorConfig::paper());
+        let mut rng = seeded_rng(6);
+        let t10 = {
+            let g = AtomGrid::random(10, 10, 0.5, &mut rng);
+            accel
+                .run(&g, &Rect::centered(10, 10, 6, 6).unwrap())
+                .unwrap()
+                .time_us
+        };
+        let t90 = {
+            let g = AtomGrid::random(90, 90, 0.5, &mut rng);
+            accel
+                .run(&g, &Rect::centered(90, 90, 54, 54).unwrap())
+                .unwrap()
+                .time_us
+        };
+        let ratio = t90 / t10;
+        assert!(
+            (1.5..8.0).contains(&ratio),
+            "size-90/size-10 analysis ratio {ratio:.2} implausible"
+        );
+    }
+
+    #[test]
+    fn balanced_fills_headline_with_extended_config() {
+        let mut rng = seeded_rng(31337);
+        let mut filled = 0;
+        let mut tried = 0;
+        for _ in 0..6 {
+            let grid = AtomGrid::random(50, 50, 0.5, &mut rng);
+            if grid.atom_count() < 1000 {
+                continue;
+            }
+            tried += 1;
+            let target = Rect::centered(50, 50, 30, 30).unwrap();
+            let report = QrmAccelerator::new(AcceleratorConfig::balanced())
+                .run(&grid, &target)
+                .unwrap();
+            if report.plan.filled {
+                filled += 1;
+            }
+        }
+        assert!(tried >= 4);
+        assert!(filled * 10 >= tried * 8, "filled {filled}/{tried}");
+    }
+
+    #[test]
+    fn rearranger_trait_name() {
+        assert_eq!(
+            QrmAccelerator::new(AcceleratorConfig::paper()).name(),
+            "QRM-FPGA (greedy)"
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! Bounded FIFO with occupancy tracking.
+//!
+//! Models the stream FIFOs between the accelerator's dataflow stages
+//! (Fig. 5: "Stored in FIFO", "Written to FIFO"). Besides queue
+//! behaviour it records the high-water mark, which the resource model
+//! uses to size BRAM.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Error returned when pushing into a full [`Fifo`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FifoFullError;
+
+impl fmt::Display for FifoFullError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fifo is full")
+    }
+}
+
+impl std::error::Error for FifoFullError {}
+
+/// A bounded hardware-style FIFO.
+///
+/// ```
+/// use qrm_fpga::fifo::Fifo;
+/// let mut f = Fifo::new(2);
+/// f.push(1u32)?;
+/// f.push(2)?;
+/// assert!(f.push(3).is_err());
+/// assert_eq!(f.pop(), Some(1));
+/// assert_eq!(f.max_occupancy(), 2);
+/// # Ok::<(), qrm_fpga::fifo::FifoFullError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fifo<T> {
+    capacity: usize,
+    buf: VecDeque<T>,
+    max_occupancy: usize,
+    total_pushed: u64,
+}
+
+impl<T> Fifo<T> {
+    /// Creates a FIFO holding at most `capacity` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "fifo capacity must be positive");
+        Fifo {
+            capacity,
+            buf: VecDeque::with_capacity(capacity),
+            max_occupancy: 0,
+            total_pushed: 0,
+        }
+    }
+
+    /// Capacity in elements.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the FIFO is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Whether the FIFO is full.
+    pub fn is_full(&self) -> bool {
+        self.buf.len() == self.capacity
+    }
+
+    /// Pushes an element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FifoFullError`] when full (backpressure).
+    pub fn push(&mut self, value: T) -> Result<(), FifoFullError> {
+        if self.is_full() {
+            return Err(FifoFullError);
+        }
+        self.buf.push_back(value);
+        self.total_pushed += 1;
+        self.max_occupancy = self.max_occupancy.max(self.buf.len());
+        Ok(())
+    }
+
+    /// Pops the oldest element, if any.
+    pub fn pop(&mut self) -> Option<T> {
+        self.buf.pop_front()
+    }
+
+    /// Peeks at the oldest element without removing it.
+    pub fn peek(&self) -> Option<&T> {
+        self.buf.front()
+    }
+
+    /// High-water mark since construction.
+    pub fn max_occupancy(&self) -> usize {
+        self.max_occupancy
+    }
+
+    /// Total elements ever pushed.
+    pub fn total_pushed(&self) -> u64 {
+        self.total_pushed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_backpressure() {
+        let mut f = Fifo::new(3);
+        for i in 0..3 {
+            f.push(i).unwrap();
+        }
+        assert!(f.is_full());
+        assert_eq!(f.push(9), Err(FifoFullError));
+        assert_eq!(f.pop(), Some(0));
+        assert_eq!(f.peek(), Some(&1));
+        f.push(3).unwrap();
+        let drained: Vec<_> = std::iter::from_fn(|| f.pop()).collect();
+        assert_eq!(drained, vec![1, 2, 3]);
+        assert!(f.is_empty());
+        assert_eq!(f.max_occupancy(), 3);
+        assert_eq!(f.total_pushed(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _: Fifo<u8> = Fifo::new(0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Closed-form latency model of the accelerator.
+//!
+//! Derived directly from the dataflow structure (see [`crate::qpm`]):
+//! for a `W x W` array with quadrant side `Qw = W / 2` and `I` static
+//! iterations, the quadrant pipelines take `(2 I + 1) * Qw` cycles
+//! (each of the `2 I` passes issues `Qw` lines back-to-back, plus one
+//! final `Qw + Qw`-cycle drain that overlaps all but the last pass), the
+//! balanced strategy adds an `(Qh + Tw)`-cycle planning scan per
+//! iteration, and control/DMA/combination terms are size-dependent
+//! constants. The model is cross-checked cycle-exact against the
+//! simulator in this module's tests and powers the fast sweeps in
+//! `qrm-bench`.
+
+use qrm_core::kernel::KernelStrategy;
+
+use crate::accelerator::AcceleratorConfig;
+
+/// Closed-form latency predictor for square arrays.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyModel {
+    config: AcceleratorConfig,
+}
+
+impl LatencyModel {
+    /// Builds a model matching an accelerator configuration.
+    pub fn new(config: AcceleratorConfig) -> Self {
+        LatencyModel { config }
+    }
+
+    /// Predicted analysis cycles for a `size x size` array with a
+    /// centred even target of `target x target` sites.
+    ///
+    /// # Panics
+    ///
+    /// Panics for odd `size` (QRM requires even arrays).
+    pub fn analysis_cycles(&self, size: usize, target: usize) -> u64 {
+        assert!(size.is_multiple_of(2), "array size must be even");
+        let qw = (size / 2) as u64;
+        let tw = (target / 2) as u64;
+        let iters = self.config.iterations as u64;
+        let planning = match self.config.strategy {
+            KernelStrategy::Balanced => iters * (qw + tw),
+            _ => 0,
+        };
+        let compute = (2 * iters + 1) * qw + planning;
+        let input = self.config.ldm.ddr.read_latency_cycles
+            + self.config.ldm.axi.transfer_cycles(size * size);
+        self.config.control_overhead_cycles
+            + input
+            + compute
+            + self.config.ocm.combine_tail_cycles
+    }
+
+    /// Predicted analysis latency in microseconds.
+    pub fn analysis_us(&self, size: usize, target: usize) -> f64 {
+        self.config.clock.us(self.analysis_cycles(size, target))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accelerator::QrmAccelerator;
+    use qrm_core::geometry::Rect;
+    use qrm_core::grid::AtomGrid;
+    use qrm_core::loading::seeded_rng;
+
+    #[test]
+    fn matches_simulator_cycle_exact() {
+        let mut rng = seeded_rng(9);
+        for cfg in [AcceleratorConfig::paper(), AcceleratorConfig::balanced()] {
+            let model = LatencyModel::new(cfg);
+            let accel = QrmAccelerator::new(cfg);
+            for size in [10usize, 20, 30, 50] {
+                let target = (size * 3 / 5) & !1; // even ~60%
+                let grid = AtomGrid::random(size, size, 0.5, &mut rng);
+                let rect = Rect::centered(size, size, target, target).unwrap();
+                let report = accel.run(&grid, &rect).unwrap();
+                let predicted = model.analysis_cycles(size, target);
+                if cfg.strategy == KernelStrategy::Balanced {
+                    // Balanced planning cycles are charged per iteration in
+                    // both paths; still exact.
+                    assert_eq!(
+                        predicted,
+                        report.cycles.analysis(),
+                        "balanced size {size}"
+                    );
+                } else {
+                    assert_eq!(predicted, report.cycles.analysis(), "size {size}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_headline_prediction() {
+        let model = LatencyModel::new(AcceleratorConfig::paper());
+        let us = model.analysis_us(50, 30);
+        assert!((0.5..2.0).contains(&us), "headline {us:.2} us");
+    }
+
+    #[test]
+    fn growth_is_linear_in_size() {
+        let model = LatencyModel::new(AcceleratorConfig::paper());
+        let t = |s: usize| model.analysis_cycles(s, (s * 3 / 5) & !1);
+        let d1 = t(50) - t(30);
+        let d2 = t(70) - t(50);
+        // constant first differences up to DMA-beat granularity
+        assert!(d1.abs_diff(d2) <= 4, "d1 {d1} d2 {d2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn odd_size_panics() {
+        let _ = LatencyModel::new(AcceleratorConfig::paper()).analysis_cycles(9, 4);
+    }
+}

@@ -1,0 +1,264 @@
+//! FPGA resource-utilisation model (paper Fig. 8).
+//!
+//! A structural cost model of the accelerator on the paper's RFSoC
+//! device (Zynq UltraScale+ ZU49DR class: 425 280 LUTs, 850 560
+//! flip-flops, 1 080 BRAM36 blocks). Costs are per-module closed forms in
+//! the array size `W`:
+//!
+//! * each of the four QPM shift datapaths carries per-line registers,
+//!   hole-detect logic and command encoders that grow **linearly** with
+//!   the quadrant side (HLS maps the deep shift chains onto SRL LUT
+//!   primitives, keeping FF growth linear rather than quadratic);
+//! * the integration half (LDM stream fan-out, wide FIFOs, Row
+//!   Combination Unit, AXI plumbing) is the other ~half of the budget,
+//!   matching the paper's observation that "only about half of the
+//!   resources are occupied by the four QPM";
+//! * buffers sit in BRAM whose block count is governed by port width, not
+//!   array size, hence the flat BRAM curve of Fig. 8.
+//!
+//! Constants are calibrated to the paper's anchors: 6.31 % LUT and
+//! 6.19 % FF at `W = 90`, ~1 % at `W = 10`, BRAM ≈ 2.8 % throughout.
+
+/// An FPGA device budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Device {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Total 6-input LUTs.
+    pub luts: u64,
+    /// Total flip-flops.
+    pub ffs: u64,
+    /// Total BRAM36 blocks.
+    pub bram36: u64,
+}
+
+impl Device {
+    /// The paper's RFSoC-class device.
+    pub const ZU49DR: Device = Device {
+        name: "Zynq UltraScale+ RFSoC ZU49DR",
+        luts: 425_280,
+        ffs: 850_560,
+        bram36: 1_080,
+    };
+}
+
+/// Absolute and relative utilisation of one resource class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Usage {
+    /// Absolute count used.
+    pub used: u64,
+    /// Percentage of the device budget.
+    pub percent: f64,
+}
+
+/// Utilisation of a synthesised accelerator instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Utilization {
+    /// Array size the instance was generated for.
+    pub array_size: usize,
+    /// LUT usage.
+    pub lut: Usage,
+    /// Flip-flop usage.
+    pub ff: Usage,
+    /// BRAM36 usage.
+    pub bram: Usage,
+}
+
+/// Per-module cost breakdown (absolute counts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ModuleCosts {
+    /// One quadrant processing module.
+    pub qpm_lut: u64,
+    /// One quadrant processing module.
+    pub qpm_ff: u64,
+    /// Load data module + stream fan-out.
+    pub ldm_lut: u64,
+    /// Load data module + stream fan-out.
+    pub ldm_ff: u64,
+    /// Output concatenation + row combination.
+    pub ocm_lut: u64,
+    /// Output concatenation + row combination.
+    pub ocm_ff: u64,
+    /// AXI/control plumbing.
+    pub control_lut: u64,
+    /// AXI/control plumbing.
+    pub control_ff: u64,
+}
+
+/// Structural resource model.
+#[derive(Debug, Clone, Copy)]
+pub struct ResourceModel {
+    device: Device,
+}
+
+// Calibration constants (see module docs).
+const QPM_LUT_FIXED: u64 = 180; // control FSM + hole detect
+const QPM_LUT_PER_COL: u64 = 70; // shift chain (SRL) + mux per column
+const QPM_FF_FIXED: u64 = 160; // stage/control registers
+const QPM_FF_PER_COL: u64 = 143; // line, column and command registers
+const INTEGRATION_LUT_FIXED: u64 = 650; // LDM + OCM + AXI fixed logic
+const INTEGRATION_LUT_PER_W: u64 = 141; // wide datapath muxing per site column
+const INTEGRATION_FF_FIXED: u64 = 2348;
+const INTEGRATION_FF_PER_W: u64 = 266;
+const BRAM_INPUT: u64 = 8; // 1024-bit input stream buffer
+const BRAM_PER_QPM: u64 = 2; // column + command buffers
+const BRAM_OUTPUT: u64 = 8; // movement-record FIFO
+const BRAM_MISC: u64 = 6; // DMA descriptors, control
+
+impl ResourceModel {
+    /// A model on the paper's device.
+    pub fn new() -> Self {
+        ResourceModel {
+            device: Device::ZU49DR,
+        }
+    }
+
+    /// A model on a custom device budget.
+    pub fn on_device(device: Device) -> Self {
+        ResourceModel { device }
+    }
+
+    /// The device budget used.
+    pub fn device(&self) -> Device {
+        self.device
+    }
+
+    /// Per-module absolute costs for a `size x size` instance.
+    pub fn module_costs(&self, size: usize) -> ModuleCosts {
+        let qw = (size / 2).max(1) as u64;
+        let w = size as u64;
+        ModuleCosts {
+            qpm_lut: QPM_LUT_FIXED + QPM_LUT_PER_COL * qw,
+            qpm_ff: QPM_FF_FIXED + QPM_FF_PER_COL * qw,
+            ldm_lut: INTEGRATION_LUT_FIXED / 2 + INTEGRATION_LUT_PER_W * w / 2,
+            ldm_ff: INTEGRATION_FF_FIXED / 2 + INTEGRATION_FF_PER_W * w / 2,
+            ocm_lut: INTEGRATION_LUT_FIXED / 4 + INTEGRATION_LUT_PER_W * w / 2,
+            ocm_ff: INTEGRATION_FF_FIXED / 4 + INTEGRATION_FF_PER_W * w / 2,
+            control_lut: INTEGRATION_LUT_FIXED / 4,
+            control_ff: INTEGRATION_FF_FIXED / 4,
+        }
+    }
+
+    /// Total utilisation for a `size x size` instance.
+    ///
+    /// ```
+    /// use qrm_fpga::resources::ResourceModel;
+    /// let u = ResourceModel::new().utilization(90);
+    /// // Fig. 8 anchors: ~6.31% LUT, ~6.19% FF at 90x90.
+    /// assert!((u.lut.percent - 6.31).abs() < 0.35, "{}", u.lut.percent);
+    /// assert!((u.ff.percent - 6.19).abs() < 0.35, "{}", u.ff.percent);
+    /// ```
+    pub fn utilization(&self, size: usize) -> Utilization {
+        let m = self.module_costs(size);
+        let lut_used = 4 * m.qpm_lut + m.ldm_lut + m.ocm_lut + m.control_lut;
+        let ff_used = 4 * m.qpm_ff + m.ldm_ff + m.ocm_ff + m.control_ff;
+        let bram_used = BRAM_INPUT + 4 * BRAM_PER_QPM + BRAM_OUTPUT + BRAM_MISC;
+        Utilization {
+            array_size: size,
+            lut: self.usage(lut_used, self.device.luts),
+            ff: self.usage(ff_used, self.device.ffs),
+            bram: self.usage(bram_used, self.device.bram36),
+        }
+    }
+
+    fn usage(&self, used: u64, total: u64) -> Usage {
+        Usage {
+            used,
+            percent: used as f64 / total as f64 * 100.0,
+        }
+    }
+}
+
+impl Default for ResourceModel {
+    fn default() -> Self {
+        ResourceModel::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_anchor_at_90() {
+        let u = ResourceModel::new().utilization(90);
+        assert!((u.lut.percent - 6.31).abs() < 0.35, "lut {}", u.lut.percent);
+        assert!((u.ff.percent - 6.19).abs() < 0.35, "ff {}", u.ff.percent);
+    }
+
+    #[test]
+    fn lut_ff_grow_linearly() {
+        let model = ResourceModel::new();
+        let sizes = [10usize, 30, 50, 70, 90];
+        let luts: Vec<u64> = sizes.iter().map(|&s| model.utilization(s).lut.used).collect();
+        let ffs: Vec<u64> = sizes.iter().map(|&s| model.utilization(s).ff.used).collect();
+        // constant first differences
+        for w in luts.windows(3) {
+            assert_eq!(w[1] - w[0], w[2] - w[1]);
+        }
+        for w in ffs.windows(3) {
+            assert_eq!(w[1] - w[0], w[2] - w[1]);
+        }
+        // FF increases faster than LUT (paper: "FF increasing slightly
+        // faster than LUT") in absolute terms.
+        assert!(ffs[4] - ffs[0] > luts[4] - luts[0]);
+    }
+
+    #[test]
+    fn lut_and_ff_percent_curves_nearly_overlap() {
+        // Fig. 8 shows the LUT and FF percentage curves riding on top of
+        // each other across the whole sweep.
+        let model = ResourceModel::new();
+        for size in [10usize, 30, 50, 70, 90] {
+            let u = model.utilization(size);
+            assert!(
+                (u.lut.percent - u.ff.percent).abs() < 0.5,
+                "size {size}: lut {} vs ff {}",
+                u.lut.percent,
+                u.ff.percent
+            );
+        }
+    }
+
+    #[test]
+    fn bram_is_flat() {
+        let model = ResourceModel::new();
+        let b30 = model.utilization(30).bram;
+        let b90 = model.utilization(90).bram;
+        assert_eq!(b30.used, b90.used);
+        assert!((b30.percent - 2.8).abs() < 0.5, "bram {}", b30.percent);
+    }
+
+    #[test]
+    fn small_instance_is_about_one_percent() {
+        let u = ResourceModel::new().utilization(10);
+        assert!(u.lut.percent < 2.0, "lut {}", u.lut.percent);
+        assert!(u.ff.percent < 2.0, "ff {}", u.ff.percent);
+    }
+
+    #[test]
+    fn qpms_are_about_half_the_fabric_cost() {
+        // Paper: "only about half of the resources are occupied by the
+        // four QPM".
+        let model = ResourceModel::new();
+        for size in [30usize, 50, 90] {
+            let m = model.module_costs(size);
+            let u = model.utilization(size);
+            let qpm_lut = 4 * m.qpm_lut;
+            let frac = qpm_lut as f64 / u.lut.used as f64;
+            assert!((0.3..0.7).contains(&frac), "size {size}: frac {frac:.2}");
+        }
+    }
+
+    #[test]
+    fn custom_device() {
+        let tiny = Device {
+            name: "tiny",
+            luts: 1000,
+            ffs: 1000,
+            bram36: 10,
+        };
+        let u = ResourceModel::on_device(tiny).utilization(10);
+        assert!(u.lut.percent > 100.0); // does not fit, honestly reported
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based hardware/software equivalence for the shift unit.
+
+use proptest::prelude::*;
+use qrm_core::geometry::Axis;
+use qrm_core::grid::AtomGrid;
+use qrm_core::kernel::{plan_row_windows, run_pass, KernelStrategy};
+use qrm_fpga::shift_unit::{LineJob, ShiftUnit};
+use rand::SeedableRng;
+
+fn arb_quadrant() -> impl Strategy<Value = AtomGrid> {
+    (2usize..26, 0.1f64..0.9, any::<u64>()).prop_map(|(side, fill, seed)| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        AtomGrid::random(side, side, fill, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn shift_unit_is_bit_exact_with_software_pass(
+        quadrant in arb_quadrant(),
+        strategy_idx in 0usize..3,
+    ) {
+        let strategy = [
+            KernelStrategy::Greedy,
+            KernelStrategy::GreedyTargetOnly,
+            KernelStrategy::Balanced,
+        ][strategy_idx];
+        let side = quadrant.height();
+        let target = (side / 2).max(1);
+        let windows = plan_row_windows(&quadrant, strategy, target, target);
+
+        let mut sw = quadrant.clone();
+        let sw_pass = run_pass(&mut sw, Axis::Row, &windows, None);
+
+        let jobs: Vec<LineJob> = (0..side)
+            .map(|l| LineJob {
+                line: l,
+                bits: quadrant.row_bits(l).to_vec(),
+                window: windows.get(l).copied().unwrap_or((0, side)),
+                enabled: true,
+            })
+            .collect();
+        let trace = ShiftUnit::new(side).run(Axis::Row, &jobs);
+        prop_assert_eq!(trace.to_local_pass(), sw_pass);
+
+        let mut hw = AtomGrid::new(side, side).unwrap();
+        for (line, bits) in trace.out_lines() {
+            hw.set_row_bits(*line, bits);
+        }
+        prop_assert_eq!(hw, sw);
+        // the pipeline cycle count is static: lines + depth
+        prop_assert_eq!(trace.cycles(), (side + side) as u64);
+    }
+
+    #[test]
+    fn shift_unit_conserves_atoms(quadrant in arb_quadrant()) {
+        let side = quadrant.height();
+        let jobs: Vec<LineJob> = (0..side)
+            .map(|l| LineJob {
+                line: l,
+                bits: quadrant.row_bits(l).to_vec(),
+                window: (0, side),
+                enabled: true,
+            })
+            .collect();
+        let trace = ShiftUnit::new(side).run(Axis::Row, &jobs);
+        let total: usize = trace
+            .out_lines()
+            .iter()
+            .map(|(_, bits)| qrm_core::bitline::count_ones(bits))
+            .sum();
+        prop_assert_eq!(total, quadrant.atom_count());
+    }
+}

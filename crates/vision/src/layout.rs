@@ -1,0 +1,89 @@
+//! Trap-array to camera-pixel geometry.
+
+/// Maps trap indices to pixel coordinates on the camera sensor.
+///
+/// Traps form a regular grid with `pitch_px` pixels between neighbouring
+/// trap centres and `margin_px` padding around the array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrapLayout {
+    rows: usize,
+    cols: usize,
+    pitch_px: f64,
+    margin_px: f64,
+}
+
+impl TrapLayout {
+    /// Creates a layout for `rows x cols` traps.
+    ///
+    /// # Panics
+    ///
+    /// Panics for zero dimensions or non-positive pitch.
+    pub fn new(rows: usize, cols: usize, pitch_px: f64, margin_px: f64) -> Self {
+        assert!(rows > 0 && cols > 0, "trap grid must be non-empty");
+        assert!(pitch_px > 0.0, "pitch must be positive");
+        assert!(margin_px >= 0.0, "margin must be non-negative");
+        TrapLayout {
+            rows,
+            cols,
+            pitch_px,
+            margin_px,
+        }
+    }
+
+    /// Number of trap rows.
+    pub const fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of trap columns.
+    pub const fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Pixel pitch between trap centres.
+    pub const fn pitch_px(&self) -> f64 {
+        self.pitch_px
+    }
+
+    /// Pixel centre of trap `(row, col)` as `(y, x)`.
+    ///
+    /// ```
+    /// use qrm_vision::layout::TrapLayout;
+    /// let l = TrapLayout::new(4, 4, 10.0, 5.0);
+    /// assert_eq!(l.center(0, 0), (5.0, 5.0));
+    /// assert_eq!(l.center(1, 2), (15.0, 25.0));
+    /// ```
+    pub fn center(&self, row: usize, col: usize) -> (f64, f64) {
+        (
+            self.margin_px + row as f64 * self.pitch_px,
+            self.margin_px + col as f64 * self.pitch_px,
+        )
+    }
+
+    /// Sensor size in pixels as `(height, width)`.
+    pub fn image_dims(&self) -> (usize, usize) {
+        let h = (2.0 * self.margin_px + (self.rows - 1) as f64 * self.pitch_px).ceil() as usize + 1;
+        let w = (2.0 * self.margin_px + (self.cols - 1) as f64 * self.pitch_px).ceil() as usize + 1;
+        (h, w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn centers_and_dims() {
+        let l = TrapLayout::new(3, 5, 8.0, 4.0);
+        assert_eq!(l.center(0, 0), (4.0, 4.0));
+        assert_eq!(l.center(2, 4), (20.0, 36.0));
+        let (h, w) = l.image_dims();
+        assert!(h >= 25 && w >= 41);
+    }
+
+    #[test]
+    #[should_panic(expected = "pitch must be positive")]
+    fn zero_pitch_rejected() {
+        let _ = TrapLayout::new(2, 2, 0.0, 1.0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Head-to-head planner comparison on identical instances (paper
+//! Fig. 7(b) setting: 20x20 array): analysis time, schedule size,
+//! parallelism, fill success, and physical motion time.
+//!
+//! Run with: `cargo run --release --example algorithm_comparison`
+
+use std::time::Instant;
+
+use atom_rearrange::prelude::*;
+use qrm_baselines::hybrid::HybridScheduler;
+use qrm_baselines::mta1::mta1_executor;
+
+fn main() -> Result<(), qrm_core::Error> {
+    let size = 20;
+    let target = Rect::centered(size, size, 12, 12)?;
+    let instances: Vec<AtomGrid> = {
+        let mut rng = qrm_core::loading::seeded_rng(99);
+        let loader = LoadModel::new(0.5);
+        (0..10)
+            .map(|_| loader.load_at_least(size, size, 150, 64, &mut rng))
+            .collect::<Result<_, _>>()?
+    };
+
+    let qrm = QrmScheduler::new(QrmConfig::default());
+    let typical = TypicalScheduler::default();
+    let tetris = TetrisScheduler::default();
+    let psca = PscaScheduler::default();
+    let mta1 = Mta1Scheduler::default();
+    let hybrid = HybridScheduler::paper_qrm();
+    let planners: Vec<&dyn Rearranger> =
+        vec![&qrm, &typical, &tetris, &psca, &mta1, &hybrid];
+
+    println!(
+        "{:<26} {:>12} {:>8} {:>10} {:>8} {:>12}",
+        "planner", "analysis_us", "moves", "max_traps", "filled", "motion_us"
+    );
+    let motion = MotionModel::typical();
+    for planner in planners {
+        let mut total_us = 0.0;
+        let mut moves = 0usize;
+        let mut max_traps = 0usize;
+        let mut filled = 0usize;
+        let mut motion_us = 0.0;
+        for grid in &instances {
+            let t0 = Instant::now();
+            let plan = planner.plan(grid, &target)?;
+            total_us += t0.elapsed().as_secs_f64() * 1e6;
+            moves += plan.schedule.len();
+            max_traps = max_traps.max(plan.schedule.stats().max_traps);
+            filled += usize::from(plan.filled);
+            motion_us += plan.schedule.physical_duration_us(&motion);
+            // every schedule must execute cleanly under its contract
+            // MTA1 and the hybrid's repair stage fly over occupied traps.
+            let executor = if planner.name().starts_with("MTA1")
+                || planner.name().contains("repair")
+            {
+                mta1_executor()
+            } else {
+                Executor::new()
+            };
+            let report = executor.run(grid, &plan.schedule)?;
+            assert_eq!(report.final_grid, plan.predicted);
+        }
+        let n = instances.len() as f64;
+        println!(
+            "{:<26} {:>12.1} {:>8.1} {:>10} {:>7}/{} {:>12.0}",
+            planner.name(),
+            total_us / n,
+            moves as f64 / n,
+            max_traps,
+            filled,
+            instances.len(),
+            motion_us / n
+        );
+    }
+
+    // The FPGA accelerator's modelled analysis time for the same setting.
+    let accel = QrmAccelerator::new(AcceleratorConfig::paper());
+    let report = accel.run(&instances[0], &target)?;
+    println!(
+        "\nQRM-FPGA (cycle model):     {:>12.2} us analysis at 250 MHz ({} cycles)",
+        report.time_us,
+        report.cycles.analysis()
+    );
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Quickstart: load a 20x20 array at 50% fill, assemble a 12x12 target,
+//! and print the before/after occupancy plus schedule statistics.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use atom_rearrange::prelude::*;
+
+fn main() -> Result<(), qrm_core::Error> {
+    let mut rng = qrm_core::loading::seeded_rng(7);
+
+    // 1. Stochastic loading (paper §II-A: ~50% per-trap success).
+    let loader = LoadModel::new(0.5);
+    let grid = loader.load_at_least(20, 20, 160, 32, &mut rng)?;
+    println!("loaded {} atoms into a 20x20 array:\n{grid}\n", grid.atom_count());
+
+    // 2. Centred 12x12 target.
+    let target = Rect::centered(20, 20, 12, 12)?;
+
+    // 3. Plan with QRM (balanced kernel, the library default).
+    let scheduler = QrmScheduler::new(QrmConfig::default());
+    let plan = scheduler.plan(&grid, &target)?;
+    println!(
+        "{} planned {} parallel moves in {} iterations; stats: {}",
+        scheduler.name(),
+        plan.schedule.len(),
+        plan.iterations,
+        plan.schedule.stats()
+    );
+
+    // 4. Execute on the simulated trap array and verify.
+    let report = Executor::new().run(&grid, &plan.schedule)?;
+    assert_eq!(report.final_grid, plan.predicted);
+    println!(
+        "\nafter rearrangement ({} atom displacements, target filled = {}):\n{}",
+        report.atom_moves,
+        report.target_filled(&target)?,
+        report.final_grid
+    );
+
+    // 5. Physical cost under a typical tweezer motion model.
+    let motion = MotionModel::typical();
+    println!(
+        "\nestimated physical tweezer time: {:.0} us",
+        plan.schedule.physical_duration_us(&motion)
+    );
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Scaling study across array sizes (paper Fig. 7(a) + Fig. 8 shape):
+//! FPGA analysis latency, software planning time, and modelled resource
+//! utilisation from 10x10 to 90x90.
+//!
+//! Run with: `cargo run --release --example scaling_study`
+
+use std::time::Instant;
+
+use atom_rearrange::prelude::*;
+
+fn main() -> Result<(), qrm_core::Error> {
+    let mut rng = qrm_core::loading::seeded_rng(11);
+    let resources = ResourceModel::new();
+    let fpga = QrmAccelerator::new(AcceleratorConfig::paper());
+    let sw = QrmScheduler::new(QrmConfig::paper());
+
+    println!(
+        "{:>6} {:>8} {:>14} {:>14} {:>10} {:>8} {:>8} {:>8}",
+        "size", "target", "fpga_us", "cpu_us", "speedup", "lut%", "ff%", "bram%"
+    );
+    for size in [10usize, 30, 50, 70, 90] {
+        let target_side = (size * 3 / 5) & !1;
+        let target = Rect::centered(size, size, target_side, target_side)?;
+        let grid = AtomGrid::random(size, size, 0.5, &mut rng);
+
+        let fpga_report = fpga.run(&grid, &target)?;
+
+        // Median-of-several software planning time.
+        let reps = 20;
+        let mut times = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let plan = sw.plan(&grid, &target)?;
+            times.push(t0.elapsed().as_secs_f64() * 1e6);
+            std::hint::black_box(plan);
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let cpu_us = times[reps / 2];
+
+        let util = resources.utilization(size);
+        println!(
+            "{:>6} {:>8} {:>14.2} {:>14.1} {:>9.1}x {:>7.2}% {:>7.2}% {:>7.2}%",
+            size,
+            target_side,
+            fpga_report.time_us,
+            cpu_us,
+            cpu_us / fpga_report.time_us,
+            util.lut.percent,
+            util.ff.percent,
+            util.bram.percent
+        );
+    }
+    println!("\n(cpu_us is this machine's software planner; the paper's Fig. 7(a) CPU is an i7-1185G7)");
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! # atom-rearrange
+//!
+//! Rust reproduction of *"Design of an FPGA-Based Neutral Atom
+//! Rearrangement Accelerator for Quantum Computing"* (Guo et al., DATE
+//! 2025, arXiv:2411.12401): the **QRM** quadrant-based rearrangement
+//! scheduler, a cycle-accurate model of its FPGA accelerator, the
+//! published baselines it is compared against, and the imaging/control
+//! substrates that close the Fig. 1 loop.
+//!
+//! This crate is the umbrella facade: it re-exports the workspace crates
+//! and hosts the runnable examples and cross-crate integration tests.
+//!
+//! | Crate | Content |
+//! |-------|---------|
+//! | [`core`](qrm_core) | atom grids, AOD move model, QRM scheduler, executor |
+//! | [`fpga`](qrm_fpga) | cycle-accurate accelerator model, latency + resource models |
+//! | [`baselines`](qrm_baselines) | Tetris, PSCA, MTA1 reimplementations |
+//! | [`vision`](qrm_vision) | synthetic fluorescence imaging + atom detection |
+//! | [`control`](qrm_control) | AWG tone programs, system budgets, end-to-end pipeline |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use atom_rearrange::prelude::*;
+//!
+//! # fn main() -> Result<(), qrm_core::Error> {
+//! let mut rng = qrm_core::loading::seeded_rng(7);
+//! let grid = AtomGrid::random(50, 50, 0.5, &mut rng);
+//! let target = Rect::centered(50, 50, 30, 30)?;
+//!
+//! // Software QRM...
+//! let plan = QrmScheduler::new(QrmConfig::default()).plan(&grid, &target)?;
+//! // ...or the cycle-accurate FPGA accelerator model.
+//! let report = QrmAccelerator::new(AcceleratorConfig::balanced()).run(&grid, &target)?;
+//!
+//! let exec = Executor::new().run(&grid, &report.plan.schedule)?;
+//! assert_eq!(exec.final_grid, report.plan.predicted);
+//! println!("analysis in {:.2} us", report.time_us);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use qrm_baselines;
+pub use qrm_control;
+pub use qrm_core;
+pub use qrm_fpga;
+pub use qrm_vision;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use qrm_baselines::{Mta1Scheduler, PscaScheduler, TetrisScheduler};
+    pub use qrm_control::awg::{AodCalibration, ToneProgram};
+    pub use qrm_control::pipeline::{Pipeline, PipelineConfig, Planner};
+    pub use qrm_control::system::{Architecture, SystemModel};
+    pub use qrm_core::prelude::*;
+    pub use qrm_fpga::accelerator::{AcceleratorConfig, QrmAccelerator};
+    pub use qrm_fpga::latency::LatencyModel;
+    pub use qrm_fpga::resources::ResourceModel;
+    pub use qrm_vision::prelude::*;
+}

@@ -1,0 +1,157 @@
+//! Cross-crate integration: the full Fig. 1 loop and multi-size
+//! assembly runs.
+
+use atom_rearrange::prelude::*;
+
+#[test]
+fn image_detect_plan_execute_defect_free() {
+    let mut rng = qrm_core::loading::seeded_rng(101);
+    let truth = LoadModel::new(0.55)
+        .load_at_least(20, 20, 170, 64, &mut rng)
+        .unwrap();
+    let target = Rect::centered(20, 20, 12, 12).unwrap();
+
+    // Camera + detection.
+    let layout = TrapLayout::new(20, 20, 6.0, 4.0);
+    let frame = render(&truth, &layout, &ImagingConfig::default(), &mut rng);
+    let detection = Detector::default().detect(&frame, &layout).unwrap();
+    assert_eq!(detection.grid, truth, "high-SNR detection must be exact");
+
+    // Plan on detected occupancy, execute on the true one.
+    let plan = QrmScheduler::new(QrmConfig::default())
+        .plan(&detection.grid, &target)
+        .unwrap();
+    let report = Executor::new().run(&truth, &plan.schedule).unwrap();
+    assert_eq!(report.final_grid, plan.predicted);
+    assert!(report.target_filled(&target).unwrap());
+
+    // AWG compilation consumes every move.
+    let program = ToneProgram::compile(
+        &plan.schedule,
+        &AodCalibration::default(),
+        &MotionModel::typical(),
+    )
+    .unwrap();
+    assert_eq!(program.segments().len(), plan.schedule.len());
+    assert!(program.total_duration_us() > 0.0);
+}
+
+#[test]
+fn assembly_success_across_sizes() {
+    // The paper's size sweep: every even size from 10 to 90 with a ~60%
+    // centred target must assemble at 50% fill (given enough atoms).
+    let mut rng = qrm_core::loading::seeded_rng(102);
+    for size in [10usize, 30, 50, 70, 90] {
+        let side = (size * 3 / 5) & !1;
+        let target = Rect::centered(size, size, side, side).unwrap();
+        let need = target.area();
+        let grid = LoadModel::new(0.5)
+            .load_at_least(size, size, need + need / 8, 64, &mut rng)
+            .unwrap();
+        let plan = QrmScheduler::new(QrmConfig::default())
+            .plan(&grid, &target)
+            .unwrap();
+        let report = Executor::new().run(&grid, &plan.schedule).unwrap();
+        assert_eq!(report.final_grid, plan.predicted, "size {size}");
+        assert!(
+            plan.filled,
+            "size {size}: {} defects left",
+            plan.defects(&target).unwrap()
+        );
+        assert_eq!(
+            report.final_grid.atom_count(),
+            grid.atom_count(),
+            "size {size}: atoms not conserved"
+        );
+    }
+}
+
+#[test]
+fn pipeline_recovers_from_transport_loss() {
+    // High-SNR imaging, 1% per-move transport loss: the multi-round loop
+    // must repair the losses and assemble the target.
+    let mut rng = qrm_core::loading::seeded_rng(103);
+    let truth = LoadModel::new(0.55)
+        .load_at_least(20, 20, 180, 64, &mut rng)
+        .unwrap();
+    let target = Rect::centered(20, 20, 10, 10).unwrap();
+    let config = PipelineConfig {
+        loss_prob: 0.01,
+        max_rounds: 6,
+        ..PipelineConfig::default()
+    };
+    let report = Pipeline::new(config).run(&truth, &target, &mut rng).unwrap();
+    assert!(
+        report.filled,
+        "pipeline failed after {} rounds",
+        report.rounds.len()
+    );
+}
+
+#[test]
+fn pipeline_degrades_gracefully_at_low_snr() {
+    // Per-trap detection fidelity ~0.97 injects ~10 fresh classification
+    // errors per 400-trap frame — physically, assembly cannot converge at
+    // that imaging quality. The pipeline must neither crash nor lie: it
+    // keeps most of the target filled and reports honest per-round
+    // fidelities and collision ejections.
+    let mut rng = qrm_core::loading::seeded_rng(103);
+    let truth = LoadModel::new(0.55)
+        .load_at_least(20, 20, 180, 64, &mut rng)
+        .unwrap();
+    let target = Rect::centered(20, 20, 10, 10).unwrap();
+    let config = PipelineConfig {
+        imaging: ImagingConfig::low_snr(),
+        loss_prob: 0.01,
+        max_rounds: 6,
+        ..PipelineConfig::default()
+    };
+    let report = Pipeline::new(config).run(&truth, &target, &mut rng).unwrap();
+    assert_eq!(report.rounds.len(), 6, "no convergence expected");
+    for round in &report.rounds {
+        assert!(round.detection_fidelity > 0.9);
+    }
+    let filled_cells = report.final_state.count_in(&target).unwrap();
+    assert!(
+        filled_cells * 10 >= target.area() * 8,
+        "only {filled_cells}/{} target cells held",
+        target.area()
+    );
+}
+
+#[test]
+fn bitfield_io_matches_accelerator_contract() {
+    // The detection unit hands the accelerator a flat bitfield (paper
+    // §IV-A); the round trip through that encoding must be lossless.
+    let mut rng = qrm_core::loading::seeded_rng(104);
+    let grid = AtomGrid::random(50, 50, 0.5, &mut rng);
+    let bytes = grid.to_bitfield();
+    assert_eq!(bytes.len(), (50 * 50usize).div_ceil(8));
+    let back = AtomGrid::from_bitfield(50, 50, &bytes).unwrap();
+    assert_eq!(back, grid);
+
+    let target = Rect::centered(50, 50, 30, 30).unwrap();
+    let accel = QrmAccelerator::new(AcceleratorConfig::paper());
+    let a = accel.run(&grid, &target).unwrap();
+    let b = accel.run(&back, &target).unwrap();
+    assert_eq!(a.plan.schedule, b.plan.schedule);
+}
+
+#[test]
+fn infeasible_instance_reports_not_filled() {
+    // Far too few atoms: planners must not panic and must report the
+    // shortfall honestly.
+    let mut rng = qrm_core::loading::seeded_rng(105);
+    let grid = AtomGrid::random(20, 20, 0.15, &mut rng);
+    let target = Rect::centered(20, 20, 12, 12).unwrap();
+    assert!(matches!(
+        TargetSpec::Exact(target).feasible_on(&grid),
+        Err(qrm_core::Error::InsufficientAtoms { .. })
+    ));
+    let plan = QrmScheduler::new(QrmConfig::default())
+        .plan(&grid, &target)
+        .unwrap();
+    assert!(!plan.filled);
+    let report = Executor::new().run(&grid, &plan.schedule).unwrap();
+    assert_eq!(report.final_grid.atom_count(), grid.atom_count());
+}

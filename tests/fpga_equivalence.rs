@@ -1,0 +1,131 @@
+//! Hardware/software equivalence: the cycle-accurate FPGA model and the
+//! software kernel in static-iterations mode must be bit-exact, and the
+//! closed-form latency model must match the simulator.
+
+use atom_rearrange::prelude::*;
+use qrm_core::kernel::{KernelConfig, KernelStrategy, ShiftKernel};
+use qrm_core::quadrant::QuadrantMap;
+use qrm_fpga::qpm::{QpmConfig, QuadrantProcessor};
+
+#[test]
+fn qpm_outcome_equals_static_software_kernel() {
+    let mut rng = qrm_core::loading::seeded_rng(7001);
+    for strategy in [KernelStrategy::Greedy, KernelStrategy::Balanced] {
+        for iterations in [2usize, 4, 8] {
+            for _ in 0..4 {
+                let quadrant = AtomGrid::random(15, 15, 0.5, &mut rng);
+                let hw = QuadrantProcessor::new(QpmConfig {
+                    target_height: 9,
+                    target_width: 9,
+                    iterations,
+                    strategy,
+                })
+                .process(&quadrant)
+                .unwrap();
+                let sw = ShiftKernel::new(
+                    KernelConfig::new(9, 9)
+                        .with_strategy(strategy)
+                        .with_max_iterations(iterations)
+                        .with_static_iterations(true),
+                )
+                .run(&quadrant)
+                .unwrap();
+                assert_eq!(hw.outcome.passes, sw.passes, "{strategy:?} x{iterations}");
+                assert_eq!(hw.outcome.final_grid, sw.final_grid);
+                assert_eq!(hw.outcome.filled, sw.filled);
+            }
+        }
+    }
+}
+
+#[test]
+fn accelerator_schedule_equals_software_static_schedule() {
+    // Build the software plan with the same static pass schedule the
+    // hardware uses and compare the merged move streams move-by-move.
+    let mut rng = qrm_core::loading::seeded_rng(7002);
+    for _ in 0..3 {
+        let grid = AtomGrid::random(20, 20, 0.5, &mut rng);
+        let target = Rect::centered(20, 20, 12, 12).unwrap();
+
+        let accel = QrmAccelerator::new(AcceleratorConfig::paper());
+        let hw = accel.run(&grid, &target).unwrap();
+
+        // Software reference: identical kernel configuration.
+        let map = QuadrantMap::new(20, 20).unwrap();
+        let (th, tw) = map.quadrant_target(&target).unwrap();
+        let kernel = ShiftKernel::new(
+            KernelConfig::new(th, tw)
+                .with_strategy(KernelStrategy::Greedy)
+                .with_max_iterations(4)
+                .with_static_iterations(true),
+        );
+        let quads = map.split(&grid).unwrap();
+        let outcomes: Vec<_> = quads.iter().map(|q| kernel.run(q).unwrap()).collect();
+        let merged = qrm_core::merge::merge_outcomes(
+            &grid,
+            &map,
+            &outcomes.try_into().unwrap(),
+            &qrm_core::merge::MergeConfig::default(),
+        )
+        .unwrap();
+
+        assert_eq!(hw.plan.schedule, merged.schedule);
+        assert_eq!(hw.plan.predicted, merged.final_grid);
+    }
+}
+
+#[test]
+fn latency_model_matches_simulator_over_sweep() {
+    let mut rng = qrm_core::loading::seeded_rng(7003);
+    for cfg in [AcceleratorConfig::paper(), AcceleratorConfig::balanced()] {
+        let model = LatencyModel::new(cfg);
+        let accel = QrmAccelerator::new(cfg);
+        for size in [10usize, 30, 50, 70, 90] {
+            let side = (size * 3 / 5) & !1;
+            let grid = AtomGrid::random(size, size, 0.5, &mut rng);
+            let target = Rect::centered(size, size, side, side).unwrap();
+            let report = accel.run(&grid, &target).unwrap();
+            assert_eq!(
+                model.analysis_cycles(size, side),
+                report.cycles.analysis(),
+                "size {size}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fpga_latency_is_content_independent_but_writeback_is_not() {
+    let target = Rect::centered(40, 40, 24, 24).unwrap();
+    let accel = QrmAccelerator::new(AcceleratorConfig::paper());
+    let mut rng = qrm_core::loading::seeded_rng(7004);
+    let a = accel.run(&AtomGrid::new(40, 40).unwrap(), &target).unwrap();
+    let b = accel
+        .run(&AtomGrid::random(40, 40, 0.5, &mut rng), &target)
+        .unwrap();
+    assert_eq!(a.cycles.analysis(), b.cycles.analysis());
+    assert!(a.cycles.writeback <= b.cycles.writeback);
+    assert!(b.plan.schedule.len() > a.plan.schedule.len());
+}
+
+#[test]
+fn resource_model_tracks_paper_figure8() {
+    let model = ResourceModel::new();
+    let sizes = [10usize, 30, 50, 70, 90];
+    let mut last_lut = 0.0;
+    for &s in &sizes {
+        let u = model.utilization(s);
+        assert!(u.lut.percent > last_lut, "LUT% must grow");
+        last_lut = u.lut.percent;
+        assert!(u.lut.percent < 7.0 && u.ff.percent < 7.0, "size {s} too big");
+    }
+    // flat BRAM across 30..90
+    let b = model.utilization(30).bram.used;
+    for &s in &[50usize, 70, 90] {
+        assert_eq!(model.utilization(s).bram.used, b);
+    }
+    // paper anchors at 90
+    let u90 = model.utilization(90);
+    assert!((u90.lut.percent - 6.31).abs() < 0.35);
+    assert!((u90.ff.percent - 6.19).abs() < 0.35);
+}

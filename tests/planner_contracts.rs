@@ -1,0 +1,184 @@
+//! Contract tests every planner in the workspace must satisfy on shared
+//! instances: schedules execute exactly as predicted, atoms are
+//! conserved, and motion respects each planner's execution policy.
+
+use atom_rearrange::prelude::*;
+use qrm_baselines::mta1::mta1_executor;
+use qrm_core::executor::Executor as StrictExecutor;
+use qrm_core::typical::TypicalScheduler;
+
+fn instances(n: usize, size: usize, min_atoms: usize) -> Vec<AtomGrid> {
+    let mut rng = qrm_core::loading::seeded_rng(4242);
+    let loader = LoadModel::new(0.5);
+    (0..n)
+        .map(|_| loader.load_at_least(size, size, min_atoms, 64, &mut rng).unwrap())
+        .collect()
+}
+
+fn check_strict(planner: &dyn Rearranger, grids: &[AtomGrid], target: &Rect) {
+    for (i, grid) in grids.iter().enumerate() {
+        let plan = planner
+            .plan(grid, target)
+            .unwrap_or_else(|e| panic!("{} failed on instance {i}: {e}", planner.name()));
+        let report = StrictExecutor::new()
+            .run(grid, &plan.schedule)
+            .unwrap_or_else(|e| panic!("{} schedule invalid on {i}: {e}", planner.name()));
+        assert_eq!(
+            report.final_grid,
+            plan.predicted,
+            "{} prediction mismatch on {i}",
+            planner.name()
+        );
+        assert_eq!(
+            report.final_grid.atom_count(),
+            grid.atom_count(),
+            "{} lost atoms on {i}",
+            planner.name()
+        );
+        assert_eq!(
+            plan.filled,
+            report.target_filled(target).unwrap(),
+            "{} fill flag wrong on {i}",
+            planner.name()
+        );
+    }
+}
+
+#[test]
+fn qrm_balanced_contract() {
+    let grids = instances(8, 20, 160);
+    let target = Rect::centered(20, 20, 12, 12).unwrap();
+    check_strict(&QrmScheduler::new(QrmConfig::default()), &grids, &target);
+}
+
+#[test]
+fn qrm_greedy_contract() {
+    let grids = instances(8, 20, 160);
+    let target = Rect::centered(20, 20, 12, 12).unwrap();
+    check_strict(&QrmScheduler::new(QrmConfig::paper()), &grids, &target);
+}
+
+#[test]
+fn typical_contract() {
+    let grids = instances(6, 20, 160);
+    let target = Rect::centered(20, 20, 12, 12).unwrap();
+    check_strict(&TypicalScheduler::default(), &grids, &target);
+}
+
+#[test]
+fn tetris_contract() {
+    let grids = instances(6, 20, 160);
+    let target = Rect::centered(20, 20, 12, 12).unwrap();
+    check_strict(&TetrisScheduler::default(), &grids, &target);
+}
+
+#[test]
+fn psca_contract() {
+    let grids = instances(6, 20, 160);
+    let target = Rect::centered(20, 20, 12, 12).unwrap();
+    check_strict(&PscaScheduler::default(), &grids, &target);
+}
+
+#[test]
+fn fpga_accelerator_contract() {
+    let grids = instances(6, 20, 160);
+    let target = Rect::centered(20, 20, 12, 12).unwrap();
+    check_strict(
+        &QrmAccelerator::new(AcceleratorConfig::balanced()),
+        &grids,
+        &target,
+    );
+}
+
+#[test]
+fn mta1_contract_under_flyover_policy() {
+    // MTA1's documented execution contract uses endpoints-only paths.
+    let grids = instances(6, 20, 160);
+    let target = Rect::centered(20, 20, 12, 12).unwrap();
+    let planner = Mta1Scheduler::default();
+    for (i, grid) in grids.iter().enumerate() {
+        let plan = planner.plan(grid, &target).unwrap();
+        let report = mta1_executor().run(grid, &plan.schedule).unwrap();
+        assert_eq!(report.final_grid, plan.predicted, "instance {i}");
+        assert_eq!(report.final_grid.atom_count(), grid.atom_count());
+    }
+}
+
+#[test]
+fn all_aod_planners_emit_unit_steps() {
+    // AOD row/column shift planners produce unit-step axis-aligned moves
+    // (MTA1 is exempt: single-tweezer transport uses long legs).
+    let grids = instances(3, 16, 100);
+    let target = Rect::centered(16, 16, 10, 10).unwrap();
+    let qrm = QrmScheduler::new(QrmConfig::default());
+    let typical = TypicalScheduler::default();
+    let tetris = TetrisScheduler::default();
+    let psca = PscaScheduler::default();
+    let planners: Vec<&dyn Rearranger> = vec![&qrm, &typical, &tetris, &psca];
+    for planner in planners {
+        for grid in &grids {
+            let plan = planner.plan(grid, &target).unwrap();
+            for mv in &plan.schedule {
+                assert!(mv.is_axis_aligned(), "{}: {mv}", planner.name());
+                assert_eq!(mv.step(), 1, "{}: {mv}", planner.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn quadrant_starvation_is_a_qrm_limitation_not_a_tetris_one() {
+    // QRM's 4-way decomposition never moves atoms across quadrant
+    // boundaries; whole-array planners can. Build an instance where one
+    // quadrant is starved but the global supply is ample.
+    let mut grid = AtomGrid::new(12, 12).unwrap();
+    // NW quadrant (rows 0..6, cols 0..6) almost empty: 2 atoms.
+    grid.set_unchecked(0, 0, true);
+    grid.set_unchecked(5, 5, true);
+    // The other three quadrants dense.
+    for r in 0..12 {
+        for c in 0..12 {
+            if (r < 6 && c < 6) || (r + c) % 5 == 4 {
+                continue;
+            }
+            grid.set_unchecked(r, c, true);
+        }
+    }
+    let target = Rect::centered(12, 12, 8, 8).unwrap();
+    // target needs 64; NW quadrant owns 16 of them but has only 2 atoms.
+    let qrm = QrmScheduler::new(QrmConfig::default())
+        .plan(&grid, &target)
+        .unwrap();
+    assert!(!qrm.filled, "QRM cannot import atoms into a starved quadrant");
+    assert!(qrm.defects(&target).unwrap() >= 10);
+
+    // Whole-array planners can import atoms across the boundary and do
+    // strictly better here (Tetris fully, MTA1 fully).
+    let tetris = TetrisScheduler::default().plan(&grid, &target).unwrap();
+    let tetris_defects = target.area() - tetris.predicted.count_in(&target).unwrap();
+    assert!(
+        tetris_defects + 8 <= qrm.defects(&target).unwrap(),
+        "tetris {tetris_defects} vs qrm {}",
+        qrm.defects(&target).unwrap()
+    );
+    let mta1 = Mta1Scheduler::default().plan(&grid, &target).unwrap();
+    assert!(mta1.filled, "single-tweezer routing should fill");
+}
+
+#[test]
+fn fill_quality_ordering_is_sane() {
+    // On generously-supplied instances every planner should assemble
+    // most of the target; QRM-balanced should be (weakly) best.
+    let grids = instances(6, 16, 140);
+    let target = Rect::centered(16, 16, 8, 8).unwrap();
+    let qrm = QrmScheduler::new(QrmConfig::default());
+    let tetris = TetrisScheduler::default();
+    let mut qrm_filled = 0;
+    let mut tetris_filled = 0;
+    for grid in &grids {
+        qrm_filled += usize::from(qrm.plan(grid, &target).unwrap().filled);
+        tetris_filled += usize::from(tetris.plan(grid, &target).unwrap().filled);
+    }
+    assert!(qrm_filled >= 5, "qrm filled only {qrm_filled}/6");
+    assert!(tetris_filled >= 4, "tetris filled only {tetris_filled}/6");
+}
