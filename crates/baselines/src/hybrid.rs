@@ -178,9 +178,8 @@ mod tests {
         let mut rng = seeded_rng(61);
         let grid = AtomGrid::random(16, 16, 0.6, &mut rng);
         let target = Rect::centered(16, 16, 8, 8).unwrap();
-        let balanced = QrmScheduler::new(
-            QrmConfig::default().with_strategy(KernelStrategy::Balanced),
-        );
+        let balanced =
+            QrmScheduler::new(QrmConfig::default().with_strategy(KernelStrategy::Balanced));
         let qrm_plan = balanced.plan(&grid, &target).unwrap();
         if qrm_plan.filled {
             let hybrid = HybridScheduler::default().plan(&grid, &target).unwrap();

@@ -72,11 +72,7 @@ impl Mta1Scheduler {
 
     /// The nearest reservoir atom (outside `target`), scanning the whole
     /// lattice — the per-defect cost that dominates MTA1 analysis time.
-    fn nearest_reservoir(
-        working: &AtomGrid,
-        target: &Rect,
-        defect: Position,
-    ) -> Vec<Position> {
+    fn nearest_reservoir(working: &AtomGrid, target: &Rect, defect: Position) -> Vec<Position> {
         let mut candidates: Vec<Position> = working
             .occupied()
             .filter(|p| !target.contains(*p))
@@ -88,7 +84,11 @@ impl Mta1Scheduler {
     /// Plans the L-shaped trajectory from `atom` to `defect`: one
     /// horizontal and one vertical leg, choosing the leg order whose
     /// corner site is free (drop-off must land on an empty trap).
-    fn l_path(working: &AtomGrid, atom: Position, defect: Position) -> Option<[Option<ParallelMove>; 2]> {
+    fn l_path(
+        working: &AtomGrid,
+        atom: Position,
+        defect: Position,
+    ) -> Option<[Option<ParallelMove>; 2]> {
         let dr = defect.row as isize - atom.row as isize;
         let dc = defect.col as isize - atom.col as isize;
         if dr == 0 && dc == 0 {
@@ -101,15 +101,13 @@ impl Mta1Scheduler {
         // Row-first: corner at (atom.row, defect.col).
         if !working.get_unchecked(atom.row, defect.col) {
             let first = ParallelMove::single(atom, 0, dc).ok()?;
-            let second =
-                ParallelMove::single(Position::new(atom.row, defect.col), dr, 0).ok()?;
+            let second = ParallelMove::single(Position::new(atom.row, defect.col), dr, 0).ok()?;
             return Some([Some(first), Some(second)]);
         }
         // Column-first: corner at (defect.row, atom.col).
         if !working.get_unchecked(defect.row, atom.col) {
             let first = ParallelMove::single(atom, dr, 0).ok()?;
-            let second =
-                ParallelMove::single(Position::new(defect.row, atom.col), 0, dc).ok()?;
+            let second = ParallelMove::single(Position::new(defect.row, atom.col), 0, dc).ok()?;
             return Some([Some(first), Some(second)]);
         }
         None

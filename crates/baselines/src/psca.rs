@@ -141,8 +141,7 @@ impl PscaScheduler {
         toward_high.sort_by_key(|&(from, _)| std::cmp::Reverse(from));
         for group in [toward_high, toward_low] {
             for chunk in group.chunks(self.config.tweezers.max(1)) {
-                let plan: Vec<PlannedMove> =
-                    chunk.iter().map(|&(f, t)| to_move(f, t)).collect();
+                let plan: Vec<PlannedMove> = chunk.iter().map(|&(f, t)| to_move(f, t)).collect();
                 realize_plan(working, schedule, axis, &plan)?;
             }
         }

@@ -127,8 +127,7 @@ fn wave_movers(
                 vacated = None;
                 continue;
             };
-            let free =
-                !grid.get_unchecked(next.row, next.col) || Some(next) == vacated;
+            let free = !grid.get_unchecked(next.row, next.col) || Some(next) == vacated;
             if free {
                 movers.push(pos);
                 vacated = Some(pos);

@@ -2,7 +2,7 @@
 //!
 //! Usage: `cargo run --release -p qrm-bench --bin experiments -- [cmd]`
 //! where `cmd` is one of `fig7a`, `fig7b`, `fig8`, `headline`,
-//! `quality`, `ablations`, `system`, or `all` (default).
+//! `quality`, `ablations`, `engine`, `system`, or `all` (default).
 
 use qrm_bench::*;
 
@@ -27,16 +27,19 @@ fn main() {
     if all || cmd == "ablations" {
         print_ablations();
     }
+    if all || cmd == "engine" {
+        print_engine();
+    }
     if all || cmd == "system" {
         print_system();
     }
     if !all
         && !matches!(
             cmd.as_str(),
-            "fig7a" | "fig7b" | "fig8" | "headline" | "quality" | "ablations" | "system"
+            "fig7a" | "fig7b" | "fig8" | "headline" | "quality" | "ablations" | "engine" | "system"
         )
     {
-        eprintln!("unknown experiment {cmd:?}; use fig7a|fig7b|fig8|headline|quality|ablations|system|all");
+        eprintln!("unknown experiment {cmd:?}; use fig7a|fig7b|fig8|headline|quality|ablations|engine|system|all");
         std::process::exit(2);
     }
 }
@@ -45,7 +48,13 @@ fn print_fig7a() {
     println!("== Fig. 7(a): QRM execution time, CPU vs FPGA, sizes 10..90 ==");
     println!(
         "{:>6} {:>12} {:>14} {:>12} {:>10} | {:>14} {:>14}",
-        "size", "cpu_full_us", "cpu_kernel_us", "fpga_us", "speedup", "paper_fpga_us", "paper_speedup"
+        "size",
+        "cpu_full_us",
+        "cpu_kernel_us",
+        "fpga_us",
+        "speedup",
+        "paper_fpga_us",
+        "paper_speedup"
     );
     for row in fig7a(15) {
         println!(
@@ -62,7 +71,9 @@ fn print_fig7a() {
         );
     }
     println!("(cpu_kernel_us matches the paper's CPU measurement scope — the QRM shift-command");
-    println!(" analysis; cpu_full_us adds global AOD-legal merging/batching. Paper CPU: i7-1185G7.)\n");
+    println!(
+        " analysis; cpu_full_us adds global AOD-legal merging/batching. Paper CPU: i7-1185G7.)\n"
+    );
 }
 
 fn print_fig7b() {
@@ -91,10 +102,7 @@ fn print_fig7b() {
 
 fn print_fig8() {
     println!("== Fig. 8: FPGA resource utilisation vs array size ==");
-    println!(
-        "{:>6} {:>8} {:>8} {:>8}",
-        "size", "LUT%", "FF%", "BRAM%"
-    );
+    println!("{:>6} {:>8} {:>8} {:>8}", "size", "LUT%", "FF%", "BRAM%");
     for row in fig8() {
         println!(
             "{:>6} {:>7.2}% {:>7.2}% {:>7.2}%",
@@ -148,12 +156,24 @@ fn print_quality() {
 
 fn print_ablations() {
     println!("== E-x2: quadrant parallelism (modelled FPGA analysis latency) ==");
-    println!("{:>6} {:>14} {:>14} {:>8}", "size", "4_parallel_us", "1_serial_us", "gain");
+    println!(
+        "{:>6} {:>14} {:>14} {:>8}",
+        "size", "4_parallel_us", "1_serial_us", "gain"
+    );
     for (size, par, ser) in ablation_quadrants() {
-        println!("{:>6} {:>14.2} {:>14.2} {:>7.2}x", size, par, ser, ser / par);
+        println!(
+            "{:>6} {:>14.2} {:>14.2} {:>7.2}x",
+            size,
+            par,
+            ser,
+            ser / par
+        );
     }
     println!("\n== E-x3: cross-quadrant command merging (schedule length) ==");
-    println!("{:>6} {:>14} {:>14} {:>10}", "size", "merged_moves", "unmerged", "saving");
+    println!(
+        "{:>6} {:>14} {:>14} {:>10}",
+        "size", "merged_moves", "unmerged", "saving"
+    );
     for (size, merged, unmerged) in ablation_merge(5) {
         println!(
             "{:>6} {:>14.1} {:>14.1} {:>9.1}%",
@@ -164,6 +184,28 @@ fn print_ablations() {
         );
     }
     println!();
+}
+
+fn print_engine() {
+    println!("== E-x5: parallel planning engine, serial vs batched (100x100, 16 shots) ==");
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let counts: Vec<usize> = [1usize, 2, 4, cores]
+        .into_iter()
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let (serial_us, rows) = engine_scaling(100, 16, 5, &counts);
+    println!("  serial (mapped plan): {serial_us:>10.0} us/batch");
+    println!("{:>10} {:>14} {:>10}", "workers", "batch_us", "speedup");
+    for row in rows {
+        println!(
+            "{:>10} {:>14.0} {:>9.2}x",
+            row.workers, row.batch_us, row.speedup
+        );
+    }
+    println!(
+        "(host has {cores} core(s); speedup > 1 requires > 1 — the software analogue of the\n paper's four parallel QPMs. Plans are bit-identical to the serial path either way.)\n"
+    );
 }
 
 fn print_system() {

@@ -18,6 +18,8 @@ use std::time::Instant;
 
 use qrm_baselines::mta1::mta1_executor;
 use qrm_baselines::{Mta1Scheduler, PscaScheduler, TetrisScheduler};
+use qrm_control::system::{Architecture, SystemModel};
+use qrm_core::engine::PlanEngine;
 use qrm_core::executor::Executor;
 use qrm_core::geometry::Rect;
 use qrm_core::grid::AtomGrid;
@@ -28,7 +30,6 @@ use qrm_core::typical::TypicalScheduler;
 use qrm_fpga::accelerator::{AcceleratorConfig, QrmAccelerator};
 use qrm_fpga::latency::LatencyModel;
 use qrm_fpga::resources::ResourceModel;
-use qrm_control::system::{Architecture, SystemModel};
 
 /// The paper's standard workload: `size x size` array at 50 % fill with
 /// a centred target of ~60 % linear size (even), with enough atoms to be
@@ -383,11 +384,7 @@ pub fn ablation_quadrants() -> Vec<(usize, f64, f64)> {
             let serial_cycles =
                 parallel.control + parallel.input + serial_compute + parallel.combine;
             let clock = accel.config().clock;
-            (
-                size,
-                report.time_us,
-                clock.us(serial_cycles),
-            )
+            (size, report.time_us, clock.us(serial_cycles))
         })
         .collect()
 }
@@ -426,10 +423,62 @@ pub fn system_budgets(cpu_sched_us: f64, fpga_sched_us: f64) -> (f64, f64, Strin
     let model = SystemModel::typical().with_scheduling_us(cpu_sched_us, fpga_sched_us);
     let host = model.budget(Architecture::HostLoop, (300, 300), 150);
     let fpga = model.budget(Architecture::OnFpga, (300, 300), 150);
-    let text = format!(
-        "host-in-the-loop (Fig. 2a):\n{host}\n\nfully integrated (Fig. 2b):\n{fpga}\n"
-    );
+    let text =
+        format!("host-in-the-loop (Fig. 2a):\n{host}\n\nfully integrated (Fig. 2b):\n{fpga}\n");
     (host.total_us(), fpga.total_us(), text)
+}
+
+/// The engine-scaling workload: `shots` independent `size x size`
+/// planning problems (the batch a multi-shot experiment hands the
+/// planner at once).
+pub fn engine_workload(size: usize, shots: usize) -> Vec<(AtomGrid, Rect)> {
+    (0..shots)
+        .map(|i| paper_instance(size, 7000 + i as u64))
+        .collect()
+}
+
+/// One row of the engine-scaling study (E-x5).
+#[derive(Debug, Clone, Copy)]
+pub struct EngineRow {
+    /// Worker threads used by the parallel engine.
+    pub workers: usize,
+    /// Median wall time of the whole batch (µs).
+    pub batch_us: f64,
+    /// Speedup over the serial (mapped `plan`) baseline.
+    pub speedup: f64,
+}
+
+/// E-x5: serial vs parallel batched planning. Returns the serial
+/// baseline time (µs) and one row per worker count. On a single-core
+/// host the parallel rows measure pure engine overhead (speedup <= 1);
+/// on a multi-core host the batch scales with cores — the software
+/// analogue of the paper's four parallel QPMs.
+pub fn engine_scaling(
+    size: usize,
+    shots: usize,
+    reps: usize,
+    worker_counts: &[usize],
+) -> (f64, Vec<EngineRow>) {
+    let jobs = engine_workload(size, shots);
+    let serial = QrmScheduler::new(QrmConfig::default());
+    let serial_us = median_us(reps, || {
+        jobs.iter()
+            .map(|(g, t)| serial.plan(g, t).expect("plan"))
+            .collect::<Vec<_>>()
+    });
+    let rows = worker_counts
+        .iter()
+        .map(|&workers| {
+            let engine = PlanEngine::new(QrmConfig::default()).with_workers(workers);
+            let batch_us = median_us(reps, || engine.plan_batch(&jobs).expect("plan"));
+            EngineRow {
+                workers,
+                batch_us,
+                speedup: serial_us / batch_us,
+            }
+        })
+        .collect();
+    (serial_us, rows)
 }
 
 /// Consistency guard used by the latency-model sweep in the bin.
@@ -484,7 +533,10 @@ mod tests {
     fn ablations_have_expected_direction() {
         let quad = ablation_quadrants();
         for (size, parallel, serial) in quad {
-            assert!(serial > parallel, "size {size}: serial {serial} <= parallel {parallel}");
+            assert!(
+                serial > parallel,
+                "size {size}: serial {serial} <= parallel {parallel}"
+            );
         }
         let merge = ablation_merge(2);
         for (size, merged, unmerged) in merge {
@@ -495,5 +547,24 @@ mod tests {
     #[test]
     fn latency_model_consistent() {
         assert!(latency_model_check());
+    }
+
+    #[test]
+    fn engine_scaling_measures_and_stays_deterministic() {
+        let (serial_us, rows) = engine_scaling(20, 4, 3, &[1, 2]);
+        assert!(serial_us > 0.0);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].workers, 1);
+        assert!(rows.iter().all(|r| r.batch_us > 0.0 && r.speedup > 0.0));
+        // Whatever the timing, the parallel engine's plans must equal
+        // the serial planner's on the same workload.
+        let jobs = engine_workload(20, 4);
+        let serial = QrmScheduler::new(QrmConfig::default());
+        let expected: Vec<_> = jobs
+            .iter()
+            .map(|(g, t)| serial.plan(g, t).unwrap())
+            .collect();
+        let engine = PlanEngine::new(QrmConfig::default()).with_workers(2);
+        assert_eq!(engine.plan_batch(&jobs).unwrap(), expected);
     }
 }

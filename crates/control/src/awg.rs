@@ -214,8 +214,8 @@ mod tests {
         let mut s = Schedule::new(8, 8);
         s.push(mv(vec![0, 1], vec![3], 0, -1));
         s.push(mv(vec![4], vec![5, 6], 1, 0));
-        let p = ToneProgram::compile(&s, &AodCalibration::default(), &MotionModel::typical())
-            .unwrap();
+        let p =
+            ToneProgram::compile(&s, &AodCalibration::default(), &MotionModel::typical()).unwrap();
         assert_eq!(p.segments().len(), 2);
         assert!((p.total_duration_us() - 500.0).abs() < 1e-9);
     }
@@ -224,12 +224,9 @@ mod tests {
     fn rejects_out_of_array_moves() {
         let mut s = Schedule::new(4, 4);
         s.push(mv(vec![9], vec![0], 0, 1));
-        assert!(ToneProgram::compile(
-            &s,
-            &AodCalibration::default(),
-            &MotionModel::typical()
-        )
-        .is_err());
+        assert!(
+            ToneProgram::compile(&s, &AodCalibration::default(), &MotionModel::typical()).is_err()
+        );
     }
 
     #[test]

@@ -6,12 +6,14 @@
 //! the target. Real systems iterate — lost or missed atoms are repaired
 //! after re-imaging — so the driver supports multi-round operation.
 
+use rand::rngs::StdRng;
 use rand::Rng;
 
 use qrm_core::error::Error;
 use qrm_core::executor::{CollisionPolicy, Executor};
 use qrm_core::geometry::Rect;
 use qrm_core::grid::AtomGrid;
+use qrm_core::loading::seeded_rng;
 use qrm_core::schedule::MotionModel;
 use qrm_core::scheduler::{QrmConfig, QrmScheduler, Rearranger};
 use qrm_fpga::accelerator::{AcceleratorConfig, QrmAccelerator};
@@ -68,7 +70,7 @@ impl Default for PipelineConfig {
 }
 
 /// Report of one cycle round.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RoundReport {
     /// Detection fidelity against the true occupancy.
     pub detection_fidelity: f64,
@@ -85,7 +87,7 @@ pub struct RoundReport {
 }
 
 /// Report of a full multi-round run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PipelineReport {
     /// Per-round details.
     pub rounds: Vec<RoundReport>,
@@ -119,6 +121,68 @@ impl Pipeline {
         Pipeline { config }
     }
 
+    /// The configured planner as a trait object, so single-shot and
+    /// batched paths share one construction.
+    fn planner(&self) -> Box<dyn Rearranger> {
+        match &self.config.planner {
+            Planner::Software(cfg) => Box::new(QrmScheduler::new(cfg.clone())),
+            Planner::Fpga(cfg) => Box::new(QrmAccelerator::new(*cfg)),
+        }
+    }
+
+    /// The observation half of one round: synthesise a frame from the
+    /// true occupancy and detect atoms. Shared by [`run`](Self::run) and
+    /// [`run_batch`](Self::run_batch) so the two stay report-identical.
+    fn observe<R: Rng + ?Sized>(
+        &self,
+        state: &AtomGrid,
+        layout: &TrapLayout,
+        rng: &mut R,
+    ) -> Result<(DetectionReport, f64), Error> {
+        let frame = render(state, layout, &self.config.imaging, rng);
+        let detection = self.config.detector.detect(&frame, layout)?;
+        let fidelity = detection.fidelity(state)?;
+        Ok((detection, fidelity))
+    }
+
+    /// The actuation half of one round: compile the plan for the AWG
+    /// (validates the move encoding) and execute it on the true
+    /// occupancy with transport loss, advancing `state` and producing
+    /// the round report. Shared by [`run`](Self::run) and
+    /// [`run_batch`](Self::run_batch).
+    ///
+    /// Detection errors can make a planned move land on an atom the
+    /// detector missed; physically that light-assisted collision ejects
+    /// both atoms, and the control loop recovers by re-imaging — hence
+    /// the executor's eject collision policy.
+    fn execute_round<R: Rng + ?Sized>(
+        &self,
+        executor: &Executor,
+        state: &mut AtomGrid,
+        target: &Rect,
+        plan: &qrm_core::scheduler::Plan,
+        detection_fidelity: f64,
+        rng: &mut R,
+    ) -> Result<RoundReport, Error> {
+        let program = ToneProgram::compile(
+            &plan.schedule,
+            &AodCalibration::default(),
+            &self.config.motion,
+        )?;
+        let report = executor.run_with_loss(state, &plan.schedule, self.config.loss_prob, rng)?;
+        let atoms_lost = report.lost_atoms + report.ejected_atoms;
+        *state = report.final_grid;
+        let filled = state.is_filled(target)?;
+        Ok(RoundReport {
+            detection_fidelity,
+            moves: plan.schedule.len(),
+            atoms_lost,
+            motion_us: program.total_duration_us(),
+            state: state.clone(),
+            filled,
+        })
+    }
+
     /// Runs up to `max_rounds` image→detect→plan→move rounds on the true
     /// occupancy `truth`, stopping early once `target` is defect-free.
     ///
@@ -136,52 +200,26 @@ impl Pipeline {
         let mut rounds = Vec::new();
         let layout = TrapLayout::new(state.height(), state.width(), self.config.pitch_px, 4.0);
         let executor = Executor::new().with_collision_policy(CollisionPolicy::Eject);
+        let planner = self.planner();
 
         for _ in 0..self.config.max_rounds {
             if state.is_filled(target)? {
                 break;
             }
-            // Image + detect.
-            let frame = render(&state, &layout, &self.config.imaging, rng);
-            let detection = self.config.detector.detect(&frame, &layout)?;
-            let detection_fidelity = detection.fidelity(&state)?;
-
-            // Plan on the *detected* occupancy.
-            let plan = match &self.config.planner {
-                Planner::Software(cfg) => {
-                    QrmScheduler::new(cfg.clone()).plan(&detection.grid, target)?
-                }
-                Planner::Fpga(cfg) => QrmAccelerator::new(*cfg).plan(&detection.grid, target)?,
-            };
-
-            // Compile for the AWG (validates the move encoding) and
-            // execute on the true occupancy with transport loss.
-            // Detection errors can make a planned move land on an atom
-            // the detector missed; physically that light-assisted
-            // collision ejects both atoms, and the control loop recovers
-            // by re-imaging — hence the eject collision policy here.
-            let program = ToneProgram::compile(
-                &plan.schedule,
-                &AodCalibration::default(),
-                &self.config.motion,
-            )?;
-            let report = executor.run_with_loss(
-                &state,
-                &plan.schedule,
-                self.config.loss_prob,
+            // Image + detect, plan on the *detected* occupancy, execute
+            // on the true one.
+            let (detection, detection_fidelity) = self.observe(&state, &layout, rng)?;
+            let plan = planner.plan(&detection.grid, target)?;
+            let round = self.execute_round(
+                &executor,
+                &mut state,
+                target,
+                &plan,
+                detection_fidelity,
                 rng,
             )?;
-            let atoms_lost = report.lost_atoms + report.ejected_atoms;
-            state = report.final_grid;
-            let filled = state.is_filled(target)?;
-            rounds.push(RoundReport {
-                detection_fidelity,
-                moves: plan.schedule.len(),
-                atoms_lost,
-                motion_us: program.total_duration_us(),
-                state: state.clone(),
-                filled,
-            });
+            let filled = round.filled;
+            rounds.push(round);
             if filled {
                 break;
             }
@@ -193,6 +231,111 @@ impl Pipeline {
             final_state: state,
             filled,
         })
+    }
+
+    /// The RNG driving shot `index` of a batched run with `base_seed`.
+    ///
+    /// Exposed so callers can reproduce any single shot of
+    /// [`run_batch`](Self::run_batch) through [`run`](Self::run): the two
+    /// are report-identical for the same shot.
+    pub fn shot_rng(base_seed: u64, index: usize) -> StdRng {
+        seeded_rng(base_seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// Runs a batch of independent shots (one camera frame / trap array
+    /// each) against a common target, planning each round's surviving
+    /// shots **together** through the planner's batched entry point
+    /// ([`Rearranger::plan_batch`]) — for QRM and the FPGA model that is
+    /// the parallel task-graph engine, so a multi-shot workload keeps
+    /// every core busy.
+    ///
+    /// Rounds proceed in lockstep: every unfinished shot is imaged and
+    /// detected, the batch of detected occupancies is planned in one
+    /// call, then each shot executes its schedule (with transport loss)
+    /// on its own true occupancy. Each shot draws from its own
+    /// deterministic RNG ([`shot_rng`](Self::shot_rng)), so reports are
+    /// independent of batch composition and identical to running the
+    /// shot alone.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planner and executor failures.
+    pub fn run_batch(
+        &self,
+        truths: &[AtomGrid],
+        target: &Rect,
+        base_seed: u64,
+    ) -> Result<Vec<PipelineReport>, Error> {
+        struct ShotState {
+            state: AtomGrid,
+            rounds: Vec<RoundReport>,
+            rng: StdRng,
+            layout: TrapLayout,
+        }
+
+        let planner = self.planner();
+        let executor = Executor::new().with_collision_policy(CollisionPolicy::Eject);
+        let mut shots: Vec<ShotState> = truths
+            .iter()
+            .enumerate()
+            .map(|(i, truth)| ShotState {
+                // Grid dimensions never change across rounds, so the
+                // trap-to-pixel layout is per-shot, not per-round.
+                layout: TrapLayout::new(truth.height(), truth.width(), self.config.pitch_px, 4.0),
+                state: truth.clone(),
+                rounds: Vec::new(),
+                rng: Self::shot_rng(base_seed, i),
+            })
+            .collect();
+
+        for _ in 0..self.config.max_rounds {
+            // Image + detect every unfinished shot.
+            let mut active: Vec<usize> = Vec::new();
+            let mut jobs: Vec<(AtomGrid, Rect)> = Vec::new();
+            let mut fidelities: Vec<f64> = Vec::new();
+            for (i, shot) in shots.iter_mut().enumerate() {
+                if shot.state.is_filled(target)? {
+                    continue;
+                }
+                let (detection, fidelity) =
+                    self.observe(&shot.state, &shot.layout, &mut shot.rng)?;
+                fidelities.push(fidelity);
+                jobs.push((detection.grid, *target));
+                active.push(i);
+            }
+            if active.is_empty() {
+                break;
+            }
+
+            // One batched planning call covers the whole round.
+            let plans = planner.plan_batch(&jobs)?;
+
+            // Execute per shot.
+            for ((&i, plan), detection_fidelity) in active.iter().zip(&plans).zip(fidelities) {
+                let shot = &mut shots[i];
+                let round = self.execute_round(
+                    &executor,
+                    &mut shot.state,
+                    target,
+                    plan,
+                    detection_fidelity,
+                    &mut shot.rng,
+                )?;
+                shot.rounds.push(round);
+            }
+        }
+
+        shots
+            .into_iter()
+            .map(|shot| {
+                let filled = shot.state.is_filled(target)?;
+                Ok(PipelineReport {
+                    rounds: shot.rounds,
+                    final_state: shot.state,
+                    filled,
+                })
+            })
+            .collect()
     }
 }
 
@@ -237,7 +380,9 @@ mod tests {
             max_rounds: 5,
             ..PipelineConfig::default()
         };
-        let report = Pipeline::new(config).run(&truth, &target, &mut rng).unwrap();
+        let report = Pipeline::new(config)
+            .run(&truth, &target, &mut rng)
+            .unwrap();
         // with 2% per-move loss some atoms vanish...
         assert!(report.total_lost() > 0);
         // ...and the pipeline still assembles the target by retrying
@@ -253,7 +398,9 @@ mod tests {
             planner: Planner::Fpga(AcceleratorConfig::balanced()),
             ..PipelineConfig::default()
         };
-        let report = Pipeline::new(config).run(&truth, &target, &mut rng).unwrap();
+        let report = Pipeline::new(config)
+            .run(&truth, &target, &mut rng)
+            .unwrap();
         assert!(!report.rounds.is_empty());
         assert!(report.rounds[0].detection_fidelity > 0.99);
     }
@@ -270,6 +417,53 @@ mod tests {
         assert!(report.filled);
         assert!(report.rounds.is_empty());
         assert_eq!(report.total_motion_us(), 0.0);
+    }
+
+    #[test]
+    fn run_batch_matches_single_shot_runs() {
+        // Batched rounds must be observationally identical per shot to
+        // running each shot alone with its derived RNG — for both the
+        // software and FPGA planners.
+        let mut rng = seeded_rng(50);
+        let truths: Vec<AtomGrid> = (0..3)
+            .map(|_| AtomGrid::random(16, 16, 0.6, &mut rng))
+            .collect();
+        let target = Rect::centered(16, 16, 8, 8).unwrap();
+        for config in [
+            PipelineConfig {
+                loss_prob: 0.02,
+                max_rounds: 4,
+                ..PipelineConfig::default()
+            },
+            PipelineConfig {
+                planner: Planner::Fpga(AcceleratorConfig::balanced()),
+                ..PipelineConfig::default()
+            },
+        ] {
+            let pipeline = Pipeline::new(config);
+            let batched = pipeline.run_batch(&truths, &target, 777).unwrap();
+            assert_eq!(batched.len(), truths.len());
+            for (i, truth) in truths.iter().enumerate() {
+                let mut shot_rng = Pipeline::shot_rng(777, i);
+                let single = pipeline.run(truth, &target, &mut shot_rng).unwrap();
+                assert_eq!(single, batched[i], "shot {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_batch_handles_empty_and_prefilled() {
+        let pipeline = Pipeline::default();
+        let target = Rect::centered(8, 8, 2, 2).unwrap();
+        assert!(pipeline.run_batch(&[], &target, 1).unwrap().is_empty());
+
+        let mut full = AtomGrid::new(8, 8).unwrap();
+        for p in target.positions() {
+            full.set_unchecked(p.row, p.col, true);
+        }
+        let reports = pipeline.run_batch(&[full], &target, 1).unwrap();
+        assert!(reports[0].filled);
+        assert!(reports[0].rounds.is_empty());
     }
 
     #[test]

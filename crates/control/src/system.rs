@@ -142,7 +142,12 @@ impl SystemModel {
 
     /// Builds the loop budget for an `h x w`-pixel frame and a schedule
     /// of `moves` parallel moves.
-    pub fn budget(&self, arch: Architecture, frame_px: (usize, usize), moves: usize) -> LatencyBudget {
+    pub fn budget(
+        &self,
+        arch: Architecture,
+        frame_px: (usize, usize),
+        moves: usize,
+    ) -> LatencyBudget {
         let frame_bytes = frame_px.0 * frame_px.1 * self.bytes_per_px;
         // ~14 bytes per encoded move record (selection masks + header).
         let move_bytes = moves * 14;

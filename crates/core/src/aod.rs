@@ -116,11 +116,7 @@ impl AodBatcher {
         // Fast path: a single batch works whenever no line holds a
         // stationary atom under the union of all mover columns — by far
         // the common case for compaction waves.
-        let words = movers
-            .iter()
-            .map(|(_, m)| m.len())
-            .max()
-            .unwrap_or(0);
+        let words = movers.iter().map(|(_, m)| m.len()).max().unwrap_or(0);
         let mut union = vec![0u64; words];
         let mut nonempty = 0usize;
         for (_, mask) in movers {
@@ -162,9 +158,7 @@ impl AodBatcher {
                 continue;
             }
             debug_assert!(
-                mask.iter()
-                    .zip(occ[*line].iter())
-                    .all(|(m, o)| m & !o == 0),
+                mask.iter().zip(occ[*line].iter()).all(|(m, o)| m & !o == 0),
                 "mover bits must be occupied"
             );
             let mut placed = false;

@@ -122,10 +122,8 @@ pub fn decode(bytes: &[u8]) -> Result<Schedule, Error> {
         let dir = decode_dir(bits.take(2)?);
         let step = bits.take(6)? as isize;
         let (ur, uc) = dir.delta();
-        let mv = ParallelMove::new(rows, cols, ur * step, uc * step).map_err(|e| {
-            Error::Parse {
-                reason: format!("record {i} is degenerate: {e}"),
-            }
+        let mv = ParallelMove::new(rows, cols, ur * step, uc * step).map_err(|e| Error::Parse {
+            reason: format!("record {i} is degenerate: {e}"),
         })?;
         schedule.push(mv);
     }
@@ -262,7 +260,7 @@ mod tests {
     fn decode_rejects_garbage() {
         assert!(decode(&[]).is_err());
         assert!(decode(&[0xFF; 8]).is_err()); // bad magic
-        // valid header claiming one move but truncated body
+                                              // valid header claiming one move but truncated body
         let mut s = Schedule::new(8, 8);
         s.push(ParallelMove::new(vec![1], vec![1], 0, 1).unwrap());
         let bytes = encode(&s).unwrap();
@@ -290,7 +288,14 @@ mod tests {
     #[test]
     fn step_and_direction_space_covered() {
         let mut s = Schedule::new(70, 70);
-        for (dr, dc) in [(-1isize, 0isize), (1, 0), (0, 1), (0, -1), (-63, 0), (0, 63)] {
+        for (dr, dc) in [
+            (-1isize, 0isize),
+            (1, 0),
+            (0, 1),
+            (0, -1),
+            (-63, 0),
+            (0, 63),
+        ] {
             s.push(ParallelMove::new(vec![65], vec![64], dr, dc).unwrap());
         }
         let back = decode(&encode(&s).unwrap()).unwrap();

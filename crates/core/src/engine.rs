@@ -1,0 +1,782 @@
+//! The parallel planning engine: a work-queue task graph over quadrant
+//! kernels.
+//!
+//! The paper's FPGA gets its speedup from the fact that QRM's four
+//! quadrants are *independent*: the accelerator plans them concurrently
+//! and merges afterwards. This module gives the software stack the same
+//! shape. Every plan decomposes into a small dependency graph
+//!
+//! ```text
+//!             shot 0                          shot 1   ...  shot N-1
+//!   ┌────┐┌────┐┌────┐┌────┐        ┌────┐┌────┐┌────┐┌────┐
+//!   │ NW ││ NE ││ SW ││ SE │  ...   │ NW ││ NE ││ SW ││ SE │   quadrant
+//!   │kern││kern││kern││kern│        │kern││kern││kern││kern│   tasks (one
+//!   └──┬─┘└──┬─┘└──┬─┘└──┬─┘        └──┬─┘└──┬─┘└──┬─┘└──┬─┘   step per
+//!      │     │     │     │             │     │     │     │     kernel
+//!      └──┬──┴──┬──┴─────┘             └──┬──┴──┬──┴─────┘     iteration)
+//!         ▼     │                         ▼     │
+//!      ┌───────┐│                      ┌───────┐│
+//!      │ merge │◄─ 4 outcomes          │ merge │◄─
+//!      └───┬───┘                       └───┬───┘
+//!          ▼                               ▼
+//!      ┌────────┐                      ┌────────┐
+//!      │validate│ -> Plan              │validate│ -> Plan
+//!      └────────┘                      └────────┘
+//! ```
+//!
+//! and the tasks of **all shots in a batch share one work queue**, so a
+//! pool of workers (spawned via `rayon::scope`) keeps every core busy
+//! across the whole batch: quadrant kernels are re-enqueued after each
+//! iteration (round-robin fairness across shots), a shot's merge task
+//! becomes ready when its fourth quadrant completes, and its validate
+//! task finalises the [`Plan`].
+//!
+//! ## Determinism
+//!
+//! Parallel execution is **bit-identical** to serial planning: quadrant
+//! kernels are pure functions of their canonical quadrant grid, results
+//! land in slots indexed by `(shot, quadrant)`, and each merge consumes
+//! its four outcomes in [`QuadrantId::ALL`](crate::geometry::QuadrantId)
+//! order — thread interleaving can change *when* a task runs, never
+//! *what* it computes. The integration suite asserts schedule, predicted
+//! grid, and iteration counts match the serial path exactly.
+//!
+//! ## Sharing with the FPGA model
+//!
+//! [`decompose`] is the single source of the quadrant decomposition
+//! (map, per-quadrant target extent, canonical quadrant grids). The
+//! cycle-accurate accelerator in `qrm-fpga` consumes the same
+//! [`QuadrantWork`] and drives the same task graph through
+//! [`run_task_graph`] with its quadrant-processor model as the per-task
+//! body, so hardware and software cannot drift apart structurally.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::error::Error;
+use crate::geometry::Rect;
+use crate::grid::AtomGrid;
+use crate::kernel::{KernelConfig, KernelOutcome, KernelState, ShiftKernel};
+use crate::merge::{merge_outcomes, MergeConfig, MergeOutput};
+use crate::quadrant::QuadrantMap;
+use crate::scheduler::{Plan, QrmConfig};
+
+/// The quadrant decomposition of one planning problem — shared between
+/// the software engine and the FPGA model so both operate on one
+/// structure.
+#[derive(Debug, Clone)]
+pub struct QuadrantWork {
+    /// Coordinate mapping between the global array and its quadrants.
+    pub map: QuadrantMap,
+    /// Per-quadrant canonical target height.
+    pub target_height: usize,
+    /// Per-quadrant canonical target width.
+    pub target_width: usize,
+    /// The four canonical quadrant grids, in
+    /// [`QuadrantId::ALL`](crate::geometry::QuadrantId::ALL) order,
+    /// behind `Arc` so worker tasks can hold them without copying.
+    pub quadrants: [Arc<AtomGrid>; 4],
+}
+
+/// Splits `grid` into the canonical quadrant decomposition for a centred
+/// `target`.
+///
+/// # Errors
+///
+/// Returns [`Error::OddDimensions`] / [`Error::InvalidTarget`] for
+/// arrays and targets QRM cannot decompose.
+pub fn decompose(grid: &AtomGrid, target: &Rect) -> Result<QuadrantWork, Error> {
+    let map = QuadrantMap::new(grid.height(), grid.width())?;
+    let (target_height, target_width) = map.quadrant_target(target)?;
+    let quadrants = map.split(grid)?.map(Arc::new);
+    Ok(QuadrantWork {
+        map,
+        target_height,
+        target_width,
+        quadrants,
+    })
+}
+
+/// One decomposed shot of a batch: the borrowed inputs plus their
+/// quadrant decomposition. Produced by [`decompose_batch`] and consumed
+/// by every batched planner (software engine and FPGA model alike).
+#[derive(Debug)]
+pub struct BatchShot<'a> {
+    /// The shot's occupancy grid.
+    pub grid: &'a AtomGrid,
+    /// The shot's target rectangle.
+    pub target: &'a Rect,
+    /// The shot's quadrant decomposition.
+    pub work: QuadrantWork,
+}
+
+/// Decomposes every `(grid, target)` job of a batch.
+///
+/// # Errors
+///
+/// Returns the first decomposition error in input order.
+pub fn decompose_batch(jobs: &[(AtomGrid, Rect)]) -> Result<Vec<BatchShot<'_>>, Error> {
+    jobs.iter()
+        .map(|(grid, target)| {
+            Ok(BatchShot {
+                grid,
+                target,
+                work: decompose(grid, target)?,
+            })
+        })
+        .collect()
+}
+
+/// Builds the per-quadrant kernel configuration a [`QrmConfig`] implies
+/// for one decomposition. The single definition used by the serial
+/// planner and the batched engine — the `plan_batch == mapped plan`
+/// guarantee depends on the two paths configuring kernels identically.
+pub fn kernel_config_for(config: &QrmConfig, work: &QuadrantWork) -> KernelConfig {
+    KernelConfig::new(work.target_height, work.target_width)
+        .with_strategy(config.strategy)
+        .with_max_iterations(config.max_iterations)
+}
+
+/// The merge half of plan assembly: cross-quadrant merge plus
+/// iteration aggregation (the body of the engine's `Merge` task).
+///
+/// # Errors
+///
+/// Propagates merge validation failures.
+pub fn merge_shot(
+    grid: &AtomGrid,
+    map: &QuadrantMap,
+    outcomes: &[KernelOutcome; 4],
+    merge_cfg: &MergeConfig,
+) -> Result<(MergeOutput, usize), Error> {
+    let iterations = outcomes.iter().map(|o| o.iterations).max().unwrap_or(0);
+    Ok((merge_outcomes(grid, map, outcomes, merge_cfg)?, iterations))
+}
+
+/// The validate half of plan assembly: fill check plus [`Plan`]
+/// construction (the body of the engine's `Validate` task).
+///
+/// # Errors
+///
+/// Propagates fill-check failures (out-of-bounds targets).
+pub fn validate_shot(target: &Rect, merged: MergeOutput, iterations: usize) -> Result<Plan, Error> {
+    let filled = merged.final_grid.is_filled(target)?;
+    Ok(Plan {
+        schedule: merged.schedule,
+        predicted: merged.final_grid,
+        filled,
+        iterations,
+    })
+}
+
+/// Assembles a [`Plan`] from four quadrant outcomes —
+/// [`merge_shot`] followed by [`validate_shot`]. The single definition
+/// shared by the serial planner
+/// ([`QrmScheduler::plan`](crate::scheduler::QrmScheduler)) and the
+/// batched engine, so the two cannot drift apart.
+///
+/// # Errors
+///
+/// Propagates merge validation failures.
+pub fn assemble_plan(
+    grid: &AtomGrid,
+    target: &Rect,
+    map: &QuadrantMap,
+    outcomes: &[KernelOutcome; 4],
+    merge_cfg: &MergeConfig,
+) -> Result<Plan, Error> {
+    let (merged, iterations) = merge_shot(grid, map, outcomes, merge_cfg)?;
+    validate_shot(target, merged, iterations)
+}
+
+/// Result of one [`QuadrantTask::step`] call.
+#[derive(Debug)]
+pub enum Step<T> {
+    /// The task has more iterations to run; re-enqueue it.
+    Continue,
+    /// The task completed and produced its output.
+    Done(T),
+}
+
+/// A resumable unit of per-quadrant work. The engine calls
+/// [`step`](Self::step) repeatedly, re-enqueueing the task between calls
+/// so long-running kernels interleave fairly with other shots' work.
+pub trait QuadrantTask: Send {
+    /// The quadrant-level result (e.g. a
+    /// [`KernelOutcome`](crate::kernel::KernelOutcome)).
+    type Out: Send;
+
+    /// Runs one increment of work.
+    ///
+    /// # Errors
+    ///
+    /// A task error aborts the whole batch with that error.
+    fn step(&mut self) -> Result<Step<Self::Out>, Error>;
+}
+
+/// One entry in the engine's work queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanTask {
+    /// One iteration of quadrant `quadrant` of shot `shot`.
+    Quadrant {
+        /// Batch index of the shot.
+        shot: usize,
+        /// Quadrant index in `QuadrantId::ALL` order.
+        quadrant: usize,
+    },
+    /// Merge the four quadrant outcomes of shot `shot` into a global
+    /// schedule. Ready once all four quadrant tasks completed.
+    Merge {
+        /// Batch index of the shot.
+        shot: usize,
+    },
+    /// Validate the merged schedule of shot `shot` and finalise its
+    /// result. Ready once the merge task completed.
+    Validate {
+        /// Batch index of the shot.
+        shot: usize,
+    },
+}
+
+/// Work queue shared by the engine's workers: a deque of ready tasks
+/// plus the count of terminal completions still outstanding, so workers
+/// know to wait (a running task may push successors) rather than exit.
+struct TaskQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+struct QueueState {
+    tasks: VecDeque<PlanTask>,
+    /// Terminal completions outstanding: per shot, four quadrant
+    /// completions plus merge plus validate.
+    outstanding: usize,
+    /// Set on first error; drains the queue.
+    aborted: bool,
+}
+
+impl TaskQueue {
+    fn new(tasks: VecDeque<PlanTask>, outstanding: usize) -> Self {
+        TaskQueue {
+            state: Mutex::new(QueueState {
+                tasks,
+                outstanding,
+                aborted: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Blocks until a task is ready, all work is done, or the batch
+    /// aborted.
+    fn pop(&self) -> Option<PlanTask> {
+        let mut state = self.state.lock().expect("engine queue poisoned");
+        loop {
+            if state.aborted || state.outstanding == 0 {
+                return None;
+            }
+            if let Some(task) = state.tasks.pop_front() {
+                return Some(task);
+            }
+            state = self.ready.wait(state).expect("engine queue poisoned");
+        }
+    }
+
+    fn push(&self, task: PlanTask) {
+        let mut state = self.state.lock().expect("engine queue poisoned");
+        state.tasks.push_back(task);
+        drop(state);
+        self.ready.notify_one();
+    }
+
+    /// Records a terminal completion (quadrant done / merge / validate).
+    fn complete_one(&self) {
+        let mut state = self.state.lock().expect("engine queue poisoned");
+        state.outstanding -= 1;
+        let finished = state.outstanding == 0;
+        drop(state);
+        if finished {
+            self.ready.notify_all();
+        }
+    }
+
+    fn abort(&self) {
+        let mut state = self.state.lock().expect("engine queue poisoned");
+        state.aborted = true;
+        drop(state);
+        self.ready.notify_all();
+    }
+}
+
+/// Per-shot mutable slots. Every slot is owned by exactly one in-flight
+/// task at a time (the dependency graph guarantees it), so the mutexes
+/// are uncontended handovers, not synchronisation hot spots.
+struct ShotSlots<T: QuadrantTask, M> {
+    tasks: [Mutex<Option<T>>; 4],
+    outcomes: [Mutex<Option<T::Out>>; 4],
+    quadrants_left: AtomicUsize,
+    merged: Mutex<Option<M>>,
+}
+
+/// Executes a batch of quadrant task graphs on `workers` threads and
+/// returns the per-shot results in input order.
+///
+/// `tasks` holds the four [`QuadrantTask`]s of every shot. When a shot's
+/// four tasks complete, `merge` fuses their outputs; `validate` then
+/// finalises the merge product into the shot's result. Both callbacks
+/// run as queue tasks themselves, so merges of early shots overlap
+/// quadrant work of later shots.
+///
+/// With `workers <= 1` the graph is executed inline in deterministic
+/// order with zero thread overhead — the result is bit-identical either
+/// way (see the module docs).
+///
+/// # Errors
+///
+/// A task/merge/validate error aborts the batch. Among the errors
+/// observed before the abort takes effect, the one with the **lowest
+/// shot index** is returned; with `workers <= 1` that is exactly the
+/// first error in input order, while parallel workers may have already
+/// passed an earlier shot that would have failed.
+pub fn run_task_graph<T, M, O, FM, FV>(
+    tasks: Vec<[T; 4]>,
+    workers: usize,
+    merge: FM,
+    validate: FV,
+) -> Result<Vec<O>, Error>
+where
+    T: QuadrantTask,
+    M: Send,
+    O: Send,
+    FM: Fn(usize, [T::Out; 4]) -> Result<M, Error> + Sync,
+    FV: Fn(usize, M) -> Result<O, Error> + Sync,
+{
+    let shots = tasks.len();
+    if workers <= 1 || shots == 0 {
+        return tasks
+            .into_iter()
+            .enumerate()
+            .map(|(shot, quadrant_tasks)| {
+                let mut outs = Vec::with_capacity(4);
+                for mut task in quadrant_tasks {
+                    outs.push(loop {
+                        match task.step()? {
+                            Step::Continue => {}
+                            Step::Done(out) => break out,
+                        }
+                    });
+                }
+                let outs: [T::Out; 4] = outs.try_into().unwrap_or_else(|_| unreachable!());
+                validate(shot, merge(shot, outs)?)
+            })
+            .collect();
+    }
+
+    let slots: Vec<ShotSlots<T, M>> = tasks
+        .into_iter()
+        .map(|quadrant_tasks| {
+            let [a, b, c, d] = quadrant_tasks;
+            ShotSlots {
+                tasks: [
+                    Mutex::new(Some(a)),
+                    Mutex::new(Some(b)),
+                    Mutex::new(Some(c)),
+                    Mutex::new(Some(d)),
+                ],
+                outcomes: [
+                    Mutex::new(None),
+                    Mutex::new(None),
+                    Mutex::new(None),
+                    Mutex::new(None),
+                ],
+                quadrants_left: AtomicUsize::new(4),
+                merged: Mutex::new(None),
+            }
+        })
+        .collect();
+    let results: Vec<Mutex<Option<O>>> = (0..shots).map(|_| Mutex::new(None)).collect();
+    let first_error: Mutex<Option<(usize, Error)>> = Mutex::new(None);
+
+    // Seed the queue with every quadrant task, interleaved shot-major so
+    // early merges unblock as soon as possible.
+    let initial: VecDeque<PlanTask> = (0..shots)
+        .flat_map(|shot| (0..4).map(move |quadrant| PlanTask::Quadrant { shot, quadrant }))
+        .collect();
+    let queue = TaskQueue::new(initial, shots * 6);
+
+    let run_one = |task: PlanTask| -> Result<(), (usize, Error)> {
+        match task {
+            PlanTask::Quadrant { shot, quadrant } => {
+                let slot = &slots[shot];
+                let mut quadrant_task = slot.tasks[quadrant]
+                    .lock()
+                    .expect("engine task slot poisoned")
+                    .take()
+                    .expect("quadrant task scheduled twice");
+                match quadrant_task.step().map_err(|e| (shot, e))? {
+                    Step::Continue => {
+                        *slot.tasks[quadrant]
+                            .lock()
+                            .expect("engine task slot poisoned") = Some(quadrant_task);
+                        queue.push(PlanTask::Quadrant { shot, quadrant });
+                    }
+                    Step::Done(out) => {
+                        *slot.outcomes[quadrant]
+                            .lock()
+                            .expect("engine outcome slot poisoned") = Some(out);
+                        if slot.quadrants_left.fetch_sub(1, Ordering::AcqRel) == 1 {
+                            queue.push(PlanTask::Merge { shot });
+                        }
+                        queue.complete_one();
+                    }
+                }
+            }
+            PlanTask::Merge { shot } => {
+                let slot = &slots[shot];
+                let outs: [T::Out; 4] = slot.outcomes.each_ref().map(|cell| {
+                    cell.lock()
+                        .expect("engine outcome slot poisoned")
+                        .take()
+                        .expect("merge scheduled before its quadrants")
+                });
+                let merged = merge(shot, outs).map_err(|e| (shot, e))?;
+                *slot.merged.lock().expect("engine merge slot poisoned") = Some(merged);
+                queue.push(PlanTask::Validate { shot });
+                queue.complete_one();
+            }
+            PlanTask::Validate { shot } => {
+                let merged = slots[shot]
+                    .merged
+                    .lock()
+                    .expect("engine merge slot poisoned")
+                    .take()
+                    .expect("validate scheduled before its merge");
+                let result = validate(shot, merged).map_err(|e| (shot, e))?;
+                *results[shot].lock().expect("engine result slot poisoned") = Some(result);
+                queue.complete_one();
+            }
+        }
+        Ok(())
+    };
+
+    /// Aborts the queue when a worker exits for any reason — including a
+    /// panic unwinding out of a task (e.g. a debug assertion in merge
+    /// code). Without this, surviving workers would wait forever on the
+    /// condvar and the panic would never propagate out of the thread
+    /// scope. On a normal exit all work is already done (or the queue is
+    /// already aborted), so the extra abort is a no-op.
+    struct AbortOnExit<'a>(&'a TaskQueue);
+    impl Drop for AbortOnExit<'_> {
+        fn drop(&mut self) {
+            self.0.abort();
+        }
+    }
+
+    rayon::scope(|scope| {
+        for _ in 0..workers.min(shots * 4) {
+            scope.spawn(|_| {
+                let _guard = AbortOnExit(&queue);
+                while let Some(task) = queue.pop() {
+                    if let Err((shot, err)) = run_one(task) {
+                        let mut first = first_error.lock().expect("engine error slot poisoned");
+                        if first.as_ref().is_none_or(|(held, _)| shot < *held) {
+                            *first = Some((shot, err));
+                        }
+                        drop(first);
+                        return;
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some((_, err)) = first_error
+        .into_inner()
+        .expect("engine error slot poisoned")
+    {
+        return Err(err);
+    }
+    Ok(results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("engine result slot poisoned")
+                .expect("every shot produced a result")
+        })
+        .collect())
+}
+
+/// The engine's worker-count policy: `configured == 0` means "one
+/// worker per available core", and any count is capped by the number of
+/// quadrant tasks in the batch. Exposed so every batched consumer of
+/// [`run_task_graph`] (the software engine, the FPGA model) resolves
+/// workers identically.
+pub fn resolve_workers(configured: usize, shots: usize) -> usize {
+    let max_useful = shots.saturating_mul(4).max(1);
+    if configured == 0 {
+        rayon::current_num_threads().min(max_useful)
+    } else {
+        configured.min(max_useful)
+    }
+}
+
+/// The batched QRM planning engine.
+///
+/// Wraps a [`QrmConfig`] and a worker count; [`plan_batch`](Self::plan_batch)
+/// plans many `(grid, target)` shots through one shared task graph.
+///
+/// ```
+/// use qrm_core::engine::PlanEngine;
+/// use qrm_core::prelude::*;
+///
+/// let mut rng = qrm_core::loading::seeded_rng(3);
+/// let jobs: Vec<(AtomGrid, Rect)> = (0..4)
+///     .map(|_| {
+///         let grid = AtomGrid::random(20, 20, 0.5, &mut rng);
+///         let target = Rect::centered(20, 20, 12, 12).unwrap();
+///         (grid, target)
+///     })
+///     .collect();
+///
+/// let engine = PlanEngine::new(QrmConfig::default()).with_workers(2);
+/// let plans = engine.plan_batch(&jobs)?;
+/// assert_eq!(plans.len(), 4);
+///
+/// // Bit-identical to the serial path:
+/// let serial = QrmScheduler::new(QrmConfig::default());
+/// for ((grid, target), plan) in jobs.iter().zip(&plans) {
+///     assert_eq!(serial.plan(grid, target)?, *plan);
+/// }
+/// # Ok::<(), qrm_core::Error>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PlanEngine {
+    config: QrmConfig,
+    workers: usize,
+}
+
+/// A [`QuadrantTask`] running the software shift kernel one iteration
+/// per step.
+struct KernelTask {
+    kernel: ShiftKernel,
+    state: Option<KernelState>,
+}
+
+impl QuadrantTask for KernelTask {
+    type Out = KernelOutcome;
+
+    fn step(&mut self) -> Result<Step<KernelOutcome>, Error> {
+        let mut state = self.state.take().expect("kernel task stepped after done");
+        if self.kernel.step(&mut state)? {
+            Ok(Step::Done(self.kernel.finish(state)?))
+        } else {
+            self.state = Some(state);
+            Ok(Step::Continue)
+        }
+    }
+}
+
+impl PlanEngine {
+    /// Creates an engine planning with the given QRM configuration and
+    /// automatic worker count (one per core, capped by batch size).
+    pub fn new(config: QrmConfig) -> Self {
+        PlanEngine { config, workers: 0 }
+    }
+
+    /// Overrides the worker count (`0` restores the automatic policy).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// The engine's QRM configuration.
+    pub fn config(&self) -> &QrmConfig {
+        &self.config
+    }
+
+    /// Builds the kernel configuration for one decomposed shot.
+    fn kernel_config(&self, work: &QuadrantWork) -> KernelConfig {
+        kernel_config_for(&self.config, work)
+    }
+
+    /// Plans every `(grid, target)` shot, executing the shared task
+    /// graph on the configured workers. Results are in input order and
+    /// bit-identical to calling
+    /// [`QrmScheduler::plan`](crate::scheduler::QrmScheduler) per shot.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first decomposition error in input order, or the
+    /// first planning error the task graph hits.
+    pub fn plan_batch(&self, jobs: &[(AtomGrid, Rect)]) -> Result<Vec<Plan>, Error> {
+        let shots = decompose_batch(jobs)?;
+
+        let tasks: Vec<[KernelTask; 4]> = shots
+            .iter()
+            .map(|shot| {
+                let kernel = ShiftKernel::new(self.kernel_config(&shot.work));
+                let mk = |quadrant: &Arc<AtomGrid>| -> Result<KernelTask, Error> {
+                    Ok(KernelTask {
+                        state: Some(kernel.start(quadrant)?),
+                        kernel: kernel.clone(),
+                    })
+                };
+                Ok([
+                    mk(&shot.work.quadrants[0])?,
+                    mk(&shot.work.quadrants[1])?,
+                    mk(&shot.work.quadrants[2])?,
+                    mk(&shot.work.quadrants[3])?,
+                ])
+            })
+            .collect::<Result<_, Error>>()?;
+
+        let merge_cfg = MergeConfig {
+            merge_quadrants: self.config.merge_quadrants,
+        };
+        let workers = resolve_workers(self.workers, shots.len());
+
+        run_task_graph(
+            tasks,
+            workers,
+            |shot_idx, outcomes: [KernelOutcome; 4]| {
+                let shot = &shots[shot_idx];
+                merge_shot(shot.grid, &shot.work.map, &outcomes, &merge_cfg)
+            },
+            |shot_idx, (merged, iterations)| {
+                validate_shot(shots[shot_idx].target, merged, iterations)
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loading::seeded_rng;
+    use crate::scheduler::{QrmScheduler, Rearranger};
+
+    fn jobs(n: usize, size: usize, seed: u64) -> Vec<(AtomGrid, Rect)> {
+        let mut rng = seeded_rng(seed);
+        let side = (size * 3 / 5) & !1;
+        (0..n)
+            .map(|_| {
+                (
+                    AtomGrid::random(size, size, 0.5, &mut rng),
+                    Rect::centered(size, size, side, side).unwrap(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn decompose_matches_scheduler_inputs() {
+        let batch = jobs(1, 20, 1);
+        let (grid, target) = &batch[0];
+        let work = decompose(grid, target).unwrap();
+        assert_eq!(work.map.quadrant_height(), 10);
+        assert_eq!((work.target_height, work.target_width), (6, 6));
+        let total: usize = work.quadrants.iter().map(|q| q.atom_count()).sum();
+        assert_eq!(total, grid.atom_count());
+    }
+
+    #[test]
+    fn parallel_batch_is_bit_identical_to_serial() {
+        let batch = jobs(6, 20, 7);
+        let serial = QrmScheduler::default();
+        let expected: Vec<Plan> = batch
+            .iter()
+            .map(|(g, t)| serial.plan(g, t).unwrap())
+            .collect();
+        for workers in [1, 2, 3, 8] {
+            let engine = PlanEngine::new(QrmConfig::default()).with_workers(workers);
+            let got = engine.plan_batch(&batch).unwrap();
+            assert_eq!(got, expected, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let engine = PlanEngine::new(QrmConfig::default());
+        assert!(engine.plan_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn panicking_task_propagates_instead_of_hanging() {
+        // A panic unwinding out of a task (e.g. a debug assertion in
+        // merge code) must abort the queue so surviving workers exit and
+        // the panic reaches the caller — not deadlock the worker pool.
+        struct Bomb {
+            fuse: bool,
+        }
+        impl QuadrantTask for Bomb {
+            type Out = ();
+            fn step(&mut self) -> Result<Step<()>, Error> {
+                if self.fuse {
+                    panic!("task exploded");
+                }
+                Ok(Step::Done(()))
+            }
+        }
+        let tasks = vec![
+            [
+                Bomb { fuse: false },
+                Bomb { fuse: true },
+                Bomb { fuse: false },
+                Bomb { fuse: false },
+            ],
+            [
+                Bomb { fuse: false },
+                Bomb { fuse: false },
+                Bomb { fuse: false },
+                Bomb { fuse: false },
+            ],
+        ];
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_task_graph(tasks, 4, |_, _| Ok(()), |_, ()| Ok(()))
+        }));
+        assert!(result.is_err(), "panic must propagate to the caller");
+    }
+
+    #[test]
+    fn decomposition_errors_surface_in_input_order() {
+        let mut batch = jobs(2, 20, 9);
+        batch.insert(1, (AtomGrid::new(9, 9).unwrap(), Rect::new(2, 2, 4, 4)));
+        let err = PlanEngine::new(QrmConfig::default())
+            .with_workers(4)
+            .plan_batch(&batch)
+            .unwrap_err();
+        assert!(matches!(err, Error::OddDimensions { .. }));
+    }
+
+    #[test]
+    fn kernel_task_steps_match_run() {
+        let batch = jobs(1, 30, 11);
+        let (grid, target) = &batch[0];
+        let work = decompose(grid, target).unwrap();
+        let kernel = ShiftKernel::new(
+            KernelConfig::new(work.target_height, work.target_width)
+                .with_strategy(QrmConfig::default().strategy)
+                .with_max_iterations(QrmConfig::default().max_iterations),
+        );
+        for quadrant in &work.quadrants {
+            let direct = kernel.run(quadrant).unwrap();
+            let mut task = KernelTask {
+                state: Some(kernel.start(quadrant).unwrap()),
+                kernel: kernel.clone(),
+            };
+            let mut steps = 0;
+            let stepped = loop {
+                match task.step().unwrap() {
+                    Step::Continue => steps += 1,
+                    Step::Done(out) => break out,
+                }
+            };
+            assert_eq!(stepped, direct);
+            // One task step per kernel iteration, plus at most one extra
+            // step for the terminal fill-check.
+            assert!(steps <= direct.iterations, "steps {steps}");
+        }
+    }
+}

@@ -229,8 +229,7 @@ impl Executor {
             grid.set_unchecked(p.row, p.col, false);
         }
         for (&from, &to) in trapped.iter().zip(&dests) {
-            if grid.get_unchecked(to.row, to.col)
-                && self.collision_policy == CollisionPolicy::Fail
+            if grid.get_unchecked(to.row, to.col) && self.collision_policy == CollisionPolicy::Fail
             {
                 // restore before failing so callers can inspect the grid
                 self.restore(grid, &trapped);

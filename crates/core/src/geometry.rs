@@ -369,10 +369,7 @@ mod tests {
     fn position_offset_saturates_to_none() {
         assert_eq!(Position::new(0, 5).offset(-1, 0), None);
         assert_eq!(Position::new(5, 0).offset(0, -1), None);
-        assert_eq!(
-            Position::new(2, 2).offset(3, -2),
-            Some(Position::new(5, 0))
-        );
+        assert_eq!(Position::new(2, 2).offset(3, -2), Some(Position::new(5, 0)));
     }
 
     #[test]

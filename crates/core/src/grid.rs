@@ -538,14 +538,8 @@ mod tests {
 
     #[test]
     fn parse_rejects_ragged_and_unknown() {
-        assert!(matches!(
-            AtomGrid::parse("##\n#"),
-            Err(Error::Parse { .. })
-        ));
-        assert!(matches!(
-            AtomGrid::parse("#x"),
-            Err(Error::Parse { .. })
-        ));
+        assert!(matches!(AtomGrid::parse("##\n#"), Err(Error::Parse { .. })));
+        assert!(matches!(AtomGrid::parse("#x"), Err(Error::Parse { .. })));
         assert_eq!(AtomGrid::parse(""), Err(Error::EmptyGrid));
     }
 
@@ -590,9 +584,7 @@ mod tests {
         assert_eq!(g.count_in(&r).unwrap(), 3);
         assert!(!g.is_filled(&r).unwrap());
         assert_eq!(g.defects_in(&r).unwrap(), vec![Position::new(1, 0)]);
-        assert!(g
-            .count_in(&Rect::new(0, 0, 4, 4))
-            .is_err());
+        assert!(g.count_in(&Rect::new(0, 0, 4, 4)).is_err());
     }
 
     #[test]

@@ -185,6 +185,30 @@ impl KernelOutcome {
     }
 }
 
+/// In-flight state of an incremental kernel run (see
+/// [`ShiftKernel::start`] / [`ShiftKernel::step`] /
+/// [`ShiftKernel::finish`]). The parallel planning engine holds one per
+/// quadrant and schedules iterations as individual work-queue tasks.
+#[derive(Debug, Clone)]
+pub struct KernelState {
+    grid: AtomGrid,
+    passes: Vec<LocalPass>,
+    iterations: usize,
+    done: bool,
+}
+
+impl KernelState {
+    /// Iterations performed so far.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Whether the run has reached a terminal state.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
 /// The per-quadrant scheduler.
 ///
 /// ```
@@ -222,11 +246,29 @@ impl ShiftKernel {
 
     /// Runs the kernel on a canonical quadrant grid.
     ///
+    /// Equivalent to [`start`](Self::start), [`step`](Self::step) until
+    /// exhausted, then [`finish`](Self::finish) — the decomposition the
+    /// parallel planning engine ([`crate::engine`]) schedules one
+    /// iteration at a time.
+    ///
     /// # Errors
     ///
     /// Returns [`Error::InvalidTarget`] when the target extent exceeds the
     /// quadrant.
     pub fn run(&self, quadrant: &AtomGrid) -> Result<KernelOutcome, Error> {
+        let mut state = self.start(quadrant)?;
+        while !self.step(&mut state)? {}
+        self.finish(state)
+    }
+
+    /// Validates the quadrant against the configured target and prepares
+    /// an incremental kernel run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidTarget`] when the target extent exceeds the
+    /// quadrant or is zero.
+    pub fn start(&self, quadrant: &AtomGrid) -> Result<KernelState, Error> {
         let (qh, qw) = quadrant.dims();
         let (th, tw) = (self.config.target_height, self.config.target_width);
         if th > qh || tw > qw {
@@ -239,54 +281,78 @@ impl ShiftKernel {
                 reason: "target has zero extent",
             });
         }
-        let target = Rect::new(0, 0, th, tw);
-        let mut grid = quadrant.clone();
-        let mut passes = Vec::new();
-        let mut iterations = 0;
+        Ok(KernelState {
+            grid: quadrant.clone(),
+            passes: Vec::new(),
+            iterations: 0,
+            done: self.config.max_iterations == 0,
+        })
+    }
 
-        for _ in 0..self.config.max_iterations {
-            if !self.config.static_iterations && grid.is_filled(&target)? {
-                break;
-            }
-            iterations += 1;
-            let row_limits = self.row_limits(&grid, qw, th, tw);
-            let row_pass = run_pass(
-                &mut grid,
-                Axis::Row,
-                &row_limits,
-                self.config.row_enable.as_deref(),
-            );
-            let col_limits = self.col_limits(qh, qw, th);
-            let col_pass = run_pass(
-                &mut grid,
-                Axis::Col,
-                &col_limits,
-                self.config.col_enable.as_deref(),
-            );
-            let progressed = row_pass.shift_count() + col_pass.shift_count() > 0;
-            passes.push(row_pass);
-            passes.push(col_pass);
-            if !progressed && !self.config.static_iterations {
-                break;
-            }
+    /// Advances an incremental run by **one iteration** (one row pass
+    /// plus one column pass), honouring the same early-exit rules as
+    /// [`run`](Self::run). Returns `true` once the run is complete (no
+    /// further `step` will change the state).
+    ///
+    /// # Errors
+    ///
+    /// Propagates fill-check failures (impossible for states produced by
+    /// [`start`](Self::start)).
+    pub fn step(&self, state: &mut KernelState) -> Result<bool, Error> {
+        if state.done {
+            return Ok(true);
         }
+        let target = Rect::new(0, 0, self.config.target_height, self.config.target_width);
+        if !self.config.static_iterations && state.grid.is_filled(&target)? {
+            state.done = true;
+            return Ok(true);
+        }
+        let (qh, qw) = state.grid.dims();
+        let (th, tw) = (self.config.target_height, self.config.target_width);
+        state.iterations += 1;
+        let row_limits = self.row_limits(&state.grid, qw, th, tw);
+        let row_pass = run_pass(
+            &mut state.grid,
+            Axis::Row,
+            &row_limits,
+            self.config.row_enable.as_deref(),
+        );
+        let col_limits = self.col_limits(qh, qw, th);
+        let col_pass = run_pass(
+            &mut state.grid,
+            Axis::Col,
+            &col_limits,
+            self.config.col_enable.as_deref(),
+        );
+        let progressed = row_pass.shift_count() + col_pass.shift_count() > 0;
+        state.passes.push(row_pass);
+        state.passes.push(col_pass);
+        if (!progressed && !self.config.static_iterations)
+            || state.iterations >= self.config.max_iterations
+        {
+            state.done = true;
+        }
+        Ok(state.done)
+    }
 
-        let filled = grid.is_filled(&target)?;
+    /// Consumes an incremental run and produces the outcome.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fill-check failures (impossible for states produced by
+    /// [`start`](Self::start)).
+    pub fn finish(&self, state: KernelState) -> Result<KernelOutcome, Error> {
+        let target = Rect::new(0, 0, self.config.target_height, self.config.target_width);
+        let filled = state.grid.is_filled(&target)?;
         Ok(KernelOutcome {
-            passes,
-            final_grid: grid,
-            iterations,
+            passes: state.passes,
+            final_grid: state.grid,
+            iterations: state.iterations,
             filled,
         })
     }
 
-    fn row_limits(
-        &self,
-        grid: &AtomGrid,
-        qw: usize,
-        th: usize,
-        tw: usize,
-    ) -> Vec<(usize, usize)> {
+    fn row_limits(&self, grid: &AtomGrid, qw: usize, th: usize, tw: usize) -> Vec<(usize, usize)> {
         let _ = qw;
         plan_row_windows(grid, self.config.strategy, th, tw)
     }
@@ -479,9 +545,7 @@ pub fn run_pass(
             if k < floor || k >= limit.min(linelen) {
                 continue;
             }
-            if !bitline::get(bits, k)
-                && bitline::highest_one(bits).is_some_and(|top| top > k)
-            {
+            if !bitline::get(bits, k) && bitline::highest_one(bits).is_some_and(|top| top > k) {
                 bitline::suffix_shift(bits, k, linelen);
                 wave.shifts.push(LocalShift { line, hole: k });
             }
@@ -663,9 +727,8 @@ mod tests {
         // Monotonicity: total (row+col) weight never increases.
         let mut rng = seeded_rng(31);
         let g = AtomGrid::random(10, 10, 0.5, &mut rng);
-        let weight = |g: &AtomGrid| -> usize {
-            g.occupied().map(|p: Position| p.row + p.col).sum()
-        };
+        let weight =
+            |g: &AtomGrid| -> usize { g.occupied().map(|p: Position| p.row + p.col).sum() };
         let out = run(&g, 6, 6, KernelStrategy::Balanced);
         assert!(weight(&out.final_grid) <= weight(&g));
     }

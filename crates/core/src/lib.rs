@@ -55,6 +55,7 @@
 //! | [`kernel`] | canonical per-quadrant shift kernel, greedy and balanced strategies (paper §IV-C, Fig. 6) |
 //! | [`bitline`] | bit-vector line primitives shared with the FPGA model |
 //! | [`codec`] | bit-packed movement-record stream (accelerator output contract) |
+//! | [`engine`] | parallel planning engine: batched task graph over quadrant kernels |
 //! | [`merge`] | cross-quadrant command merging (paper §IV-C) |
 //! | [`optimize`] | simulation-validated schedule coalescing (fewer AWG commands) |
 //! | [`scheduler`] | [`QrmScheduler`](scheduler::QrmScheduler): the top-level QRM planner |
@@ -75,6 +76,7 @@
 pub mod aod;
 pub mod bitline;
 pub mod codec;
+pub mod engine;
 pub mod error;
 pub mod executor;
 pub mod geometry;
@@ -95,6 +97,7 @@ pub use crate::error::Error;
 /// Commonly used items, for glob import in examples and downstream crates.
 pub mod prelude {
     pub use crate::aod::AodBatcher;
+    pub use crate::engine::PlanEngine;
     pub use crate::error::Error;
     pub use crate::executor::{ExecutionReport, Executor};
     pub use crate::geometry::{Axis, Direction, Position, QuadrantId, Rect};

@@ -197,9 +197,8 @@ mod tests {
 
     #[test]
     fn radial_falloff_reduces_edge_density() {
-        let model = LoadModel::new(0.9).with_profile(FillProfile::RadialFalloff {
-            edge_factor: 0.1,
-        });
+        let model =
+            LoadModel::new(0.9).with_profile(FillProfile::RadialFalloff { edge_factor: 0.1 });
         let mut rng = seeded_rng(5);
         // Average over draws: centre cell should fill far more often than corner.
         let (mut centre, mut corner) = (0, 0);
@@ -217,9 +216,7 @@ mod tests {
         let mut rng = seeded_rng(11);
         let g = model.load_at_least(10, 10, 30, 20, &mut rng).unwrap();
         assert!(g.atom_count() >= 30);
-        let err = model
-            .load_at_least(4, 4, 17, 3, &mut rng)
-            .unwrap_err();
+        let err = model.load_at_least(4, 4, 17, 3, &mut rng).unwrap_err();
         assert!(matches!(err, Error::InsufficientAtoms { required: 17, .. }));
     }
 

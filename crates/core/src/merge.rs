@@ -67,14 +67,8 @@ pub fn merge_outcomes(
     let mut schedule = Schedule::new(grid.height(), grid.width());
     let batcher = AodBatcher::new();
     // Precomputed suffix-range masks per hole position (hot path).
-    let h_masks = SuffixMasks::build(
-        map.quadrant_width(),
-        bitline::words_for(grid.width()),
-    );
-    let v_masks = SuffixMasks::build(
-        map.quadrant_height(),
-        bitline::words_for(grid.height()),
-    );
+    let h_masks = SuffixMasks::build(map.quadrant_width(), bitline::words_for(grid.width()));
+    let v_masks = SuffixMasks::build(map.quadrant_height(), bitline::words_for(grid.height()));
 
     let npasses = outcomes.iter().map(|o| o.passes.len()).max().unwrap_or(0);
     for p in 0..npasses {
@@ -113,7 +107,15 @@ pub fn merge_outcomes(
                 } else {
                     for q in members {
                         let movers = collect_movers(
-                            &working, &working_t, map, outcomes, &[q], p, w, axis, &h_masks,
+                            &working,
+                            &working_t,
+                            map,
+                            outcomes,
+                            &[q],
+                            p,
+                            w,
+                            axis,
+                            &h_masks,
                             &v_masks,
                         );
                         emit_batches(
@@ -189,12 +191,20 @@ fn collect_movers(
                 Axis::Row => (
                     map.global_row(q, shift.line),
                     working.row_bits(map.global_row(q, shift.line)),
-                    if q.is_west() { &h_masks.low } else { &h_masks.high },
+                    if q.is_west() {
+                        &h_masks.low
+                    } else {
+                        &h_masks.high
+                    },
                 ),
                 Axis::Col => (
                     map.global_col(q, shift.line),
                     working_t.row_bits(map.global_col(q, shift.line)),
-                    if q.is_north() { &v_masks.low } else { &v_masks.high },
+                    if q.is_north() {
+                        &v_masks.low
+                    } else {
+                        &v_masks.high
+                    },
                 ),
             };
             let range = &table[shift.hole];
@@ -234,7 +244,9 @@ fn emit_batches(
         Axis::Row => &*working,
         Axis::Col => &*working_t,
     };
-    let occ: Vec<&[u64]> = (0..occ_grid.height()).map(|l| occ_grid.row_bits(l)).collect();
+    let occ: Vec<&[u64]> = (0..occ_grid.height())
+        .map(|l| occ_grid.row_bits(l))
+        .collect();
     let width = occ_grid.width();
     let (dr, dc) = direction.delta();
     // Position delta along the pass axis: east/south increase indices.
@@ -254,7 +266,14 @@ fn emit_batches(
             Axis::Col => (positions, batch.lines.clone()),
         };
         let mv = ParallelMove::new(rows, cols, dr, dc)?;
-        apply_batch(working, working_t, axis, sign, &batch.lines, &batch.union_mask);
+        apply_batch(
+            working,
+            working_t,
+            axis,
+            sign,
+            &batch.lines,
+            &batch.union_mask,
+        );
         schedule.push(mv);
     }
     Ok(())
@@ -282,7 +301,11 @@ fn apply_batch(
         } else {
             bitline::shift_down_one(&movers)
         };
-        let stay: Vec<u64> = bits.iter().zip(movers.iter()).map(|(b, m)| b & !m).collect();
+        let stay: Vec<u64> = bits
+            .iter()
+            .zip(movers.iter())
+            .map(|(b, m)| b & !m)
+            .collect();
         debug_assert!(
             stay.iter().zip(shifted.iter()).all(|(s, m)| s & m == 0),
             "merge emitted a colliding move"
@@ -292,7 +315,11 @@ fn apply_batch(
             bitline::count_ones(&shifted),
             "merge pushed an atom out of bounds"
         );
-        let new_bits: Vec<u64> = stay.iter().zip(shifted.iter()).map(|(s, m)| s | m).collect();
+        let new_bits: Vec<u64> = stay
+            .iter()
+            .zip(shifted.iter())
+            .map(|(s, m)| s | m)
+            .collect();
         primary.set_row_bits(line, &new_bits);
         // Mirror each moved atom on the orthogonal representation: all
         // clears before all sets, so chains of adjacent movers do not
@@ -325,11 +352,9 @@ mod tests {
         let grid = AtomGrid::random(size, size, 0.5, &mut rng);
         let map = QuadrantMap::new(size, size).unwrap();
         let quads = map.split(&grid).unwrap();
-        let kernel = ShiftKernel::new(
-            KernelConfig::new(target / 2, target / 2).with_strategy(strategy),
-        );
-        let outcomes: Vec<KernelOutcome> =
-            quads.iter().map(|q| kernel.run(q).unwrap()).collect();
+        let kernel =
+            ShiftKernel::new(KernelConfig::new(target / 2, target / 2).with_strategy(strategy));
+        let outcomes: Vec<KernelOutcome> = quads.iter().map(|q| kernel.run(q).unwrap()).collect();
         let outcomes: [KernelOutcome; 4] = outcomes.try_into().unwrap();
         let out = merge_outcomes(&grid, &map, &outcomes, config).unwrap();
         (grid, out)
@@ -338,8 +363,13 @@ mod tests {
     #[test]
     fn merged_schedule_executes_cleanly() {
         for seed in [1, 2, 3, 4, 5] {
-            let (grid, out) =
-                merge_random(20, 12, KernelStrategy::Balanced, seed, &MergeConfig::default());
+            let (grid, out) = merge_random(
+                20,
+                12,
+                KernelStrategy::Balanced,
+                seed,
+                &MergeConfig::default(),
+            );
             let rep = Executor::new().run(&grid, &out.schedule).unwrap();
             assert_eq!(rep.final_grid, out.final_grid, "seed {seed}");
             assert_eq!(rep.final_grid.atom_count(), grid.atom_count());
@@ -353,16 +383,12 @@ mod tests {
         let grid = AtomGrid::random(size, size, 0.5, &mut rng);
         let map = QuadrantMap::new(size, size).unwrap();
         let quads = map.split(&grid).unwrap();
-        let kernel = ShiftKernel::new(
-            KernelConfig::new(5, 5).with_strategy(KernelStrategy::Greedy),
-        );
-        let outcomes: Vec<KernelOutcome> =
-            quads.iter().map(|q| kernel.run(q).unwrap()).collect();
+        let kernel =
+            ShiftKernel::new(KernelConfig::new(5, 5).with_strategy(KernelStrategy::Greedy));
+        let outcomes: Vec<KernelOutcome> = quads.iter().map(|q| kernel.run(q).unwrap()).collect();
         let finals: Vec<AtomGrid> = outcomes.iter().map(|o| o.final_grid.clone()).collect();
         let outcomes: [KernelOutcome; 4] = outcomes.try_into().unwrap();
-        let expected = map
-            .restore(&finals.try_into().unwrap())
-            .unwrap();
+        let expected = map.restore(&finals.try_into().unwrap()).unwrap();
         let out = merge_outcomes(&grid, &map, &outcomes, &MergeConfig::default()).unwrap();
         assert_eq!(out.final_grid, expected);
     }
@@ -413,10 +439,18 @@ mod tests {
             match mv.direction().unwrap() {
                 Direction::East => {
                     // all selected columns strictly west of centre
-                    assert!(mv.cols().iter().all(|&c| c < 8), "east move cols {:?}", mv.cols());
+                    assert!(
+                        mv.cols().iter().all(|&c| c < 8),
+                        "east move cols {:?}",
+                        mv.cols()
+                    );
                 }
                 Direction::West => {
-                    assert!(mv.cols().iter().all(|&c| c >= 8), "west move cols {:?}", mv.cols());
+                    assert!(
+                        mv.cols().iter().all(|&c| c >= 8),
+                        "west move cols {:?}",
+                        mv.cols()
+                    );
                 }
                 Direction::South => {
                     assert!(mv.rows().iter().all(|&r| r < 8));

@@ -149,9 +149,9 @@ impl ParallelMove {
 
     /// Iterates over all generated trap sites (row-major).
     pub fn trap_sites(&self) -> impl Iterator<Item = Position> + '_ {
-        self.rows.iter().flat_map(move |&r| {
-            self.cols.iter().map(move |&c| Position::new(r, c))
-        })
+        self.rows
+            .iter()
+            .flat_map(move |&r| self.cols.iter().map(move |&c| Position::new(r, c)))
     }
 }
 

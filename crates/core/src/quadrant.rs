@@ -339,10 +339,7 @@ mod tests {
     fn split_dimension_mismatch() {
         let m = QuadrantMap::new(8, 8).unwrap();
         let g = AtomGrid::new(6, 8).unwrap();
-        assert!(matches!(
-            m.split(&g),
-            Err(Error::DimensionMismatch { .. })
-        ));
+        assert!(matches!(m.split(&g), Err(Error::DimensionMismatch { .. })));
     }
 
     #[test]

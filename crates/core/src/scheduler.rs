@@ -2,17 +2,18 @@
 
 use std::fmt;
 
+use crate::engine::{decompose, PlanEngine};
 use crate::error::Error;
 use crate::executor::Executor;
 use crate::geometry::Rect;
 use crate::grid::AtomGrid;
-use crate::kernel::{KernelConfig, KernelOutcome, KernelStrategy, ShiftKernel};
-use crate::merge::{merge_outcomes, MergeConfig};
+use crate::kernel::{KernelOutcome, KernelStrategy, ShiftKernel};
+use crate::merge::MergeConfig;
 use crate::quadrant::QuadrantMap;
 use crate::schedule::Schedule;
 
 /// A computed rearrangement plan.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Plan {
     /// The executable move schedule.
     pub schedule: Schedule,
@@ -54,6 +55,29 @@ pub trait Rearranger {
     /// Implementations return [`Error::InvalidTarget`] for targets they
     /// cannot address and propagate internal consistency failures.
     fn plan(&self, grid: &AtomGrid, target: &Rect) -> Result<Plan, Error>;
+
+    /// Plans a batch of independent shots, returning plans in input
+    /// order.
+    ///
+    /// The default implementation maps [`plan`](Self::plan) serially, so
+    /// every planner conforms without changes; planners with a parallel
+    /// core (QRM, the FPGA model) override it to push the whole batch
+    /// through the shared task-graph engine ([`crate::engine`]).
+    /// On success, overrides must be observationally equal to the
+    /// default — the workspace property suite asserts `plan_batch`
+    /// equals mapped `plan` for every planner.
+    ///
+    /// # Errors
+    ///
+    /// The default returns the first per-shot error in input order;
+    /// parallel overrides return an error from the lowest-indexed shot
+    /// observed to fail, which can be a later shot than the serial path
+    /// would report (see [`crate::engine::run_task_graph`]).
+    fn plan_batch(&self, jobs: &[(AtomGrid, Rect)]) -> Result<Vec<Plan>, Error> {
+        jobs.iter()
+            .map(|(grid, target)| self.plan(grid, target))
+            .collect()
+    }
 }
 
 /// Configuration of the [`QrmScheduler`].
@@ -157,17 +181,13 @@ impl QrmScheduler {
         grid: &AtomGrid,
         target: &Rect,
     ) -> Result<(QuadrantMap, [KernelOutcome; 4]), Error> {
-        let map = QuadrantMap::new(grid.height(), grid.width())?;
-        let (th, tw) = map.quadrant_target(target)?;
-        let mut cfg = KernelConfig::new(th, tw).with_strategy(self.config.strategy);
-        cfg.max_iterations = self.config.max_iterations;
-        let kernel = ShiftKernel::new(cfg);
-        let quads = map.split(grid)?;
+        let work = decompose(grid, target)?;
+        let kernel = ShiftKernel::new(crate::engine::kernel_config_for(&self.config, &work));
         let mut outcomes = Vec::with_capacity(4);
-        for q in &quads {
+        for q in &work.quadrants {
             outcomes.push(kernel.run(q)?);
         }
-        Ok((map, outcomes.try_into().expect("four outcomes")))
+        Ok((work.map, outcomes.try_into().expect("four outcomes")))
     }
 }
 
@@ -182,18 +202,19 @@ impl Rearranger for QrmScheduler {
 
     fn plan(&self, grid: &AtomGrid, target: &Rect) -> Result<Plan, Error> {
         let (map, outcomes) = self.quadrant_outcomes(grid, target)?;
-        let iterations = outcomes.iter().map(|o| o.iterations).max().unwrap_or(0);
         let merge_cfg = MergeConfig {
             merge_quadrants: self.config.merge_quadrants,
         };
-        let merged = merge_outcomes(grid, &map, &outcomes, &merge_cfg)?;
-        let filled = merged.final_grid.is_filled(target)?;
-        Ok(Plan {
-            schedule: merged.schedule,
-            predicted: merged.final_grid,
-            filled,
-            iterations,
-        })
+        crate::engine::assemble_plan(grid, target, &map, &outcomes, &merge_cfg)
+    }
+
+    /// Batched planning through the parallel task-graph engine
+    /// ([`crate::engine`]): quadrant kernels of **all** shots share one
+    /// work queue, keeping every core busy across the batch. Plans are
+    /// bit-identical to mapping [`plan`](Self::plan) (the engine's
+    /// determinism guarantee).
+    fn plan_batch(&self, jobs: &[(AtomGrid, Rect)]) -> Result<Vec<Plan>, Error> {
+        PlanEngine::new(self.config.clone()).plan_batch(jobs)
     }
 }
 

@@ -159,8 +159,12 @@ mod tests {
     fn exact_validation() {
         let ok = TargetSpec::Exact(Rect::new(1, 1, 2, 2)).resolve(4, 4);
         assert!(ok.is_ok());
-        assert!(TargetSpec::Exact(Rect::new(3, 3, 2, 2)).resolve(4, 4).is_err());
-        assert!(TargetSpec::Exact(Rect::new(0, 0, 0, 2)).resolve(4, 4).is_err());
+        assert!(TargetSpec::Exact(Rect::new(3, 3, 2, 2))
+            .resolve(4, 4)
+            .is_err());
+        assert!(TargetSpec::Exact(Rect::new(0, 0, 0, 2))
+            .resolve(4, 4)
+            .is_err());
     }
 
     #[test]

@@ -11,17 +11,21 @@
 //! drain. The movement-record write-back to DDR is reported separately
 //! (it overlaps the PS-side pulse generation in a real system).
 
+use std::sync::Arc;
+
+use qrm_core::engine::{
+    decompose, decompose_batch, resolve_workers, run_task_graph, QuadrantTask, QuadrantWork, Step,
+};
 use qrm_core::error::Error;
 use qrm_core::geometry::Rect;
 use qrm_core::grid::AtomGrid;
 use qrm_core::kernel::{KernelOutcome, KernelStrategy};
-use qrm_core::quadrant::QuadrantMap;
 use qrm_core::scheduler::{Plan, Rearranger};
 
 use crate::clock::ClockDomain;
 use crate::ldm::{LdmConfig, LoadDataModule};
 use crate::ocm::{OcmConfig, OutputModule};
-use crate::qpm::{QpmConfig, QuadrantProcessor};
+use crate::qpm::{QpmConfig, QpmReport, QuadrantProcessor};
 
 /// Accelerator configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -114,7 +118,7 @@ impl CycleBreakdown {
 }
 
 /// Result of one accelerator run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AcceleratorReport {
     /// Functional plan (schedule, predicted grid, fill flag).
     pub plan: Plan,
@@ -149,42 +153,49 @@ impl QrmAccelerator {
         &self.config
     }
 
-    /// Runs one complete rearrangement analysis.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`Error::OddDimensions`] / [`Error::InvalidTarget`] for
-    /// arrays or targets QRM cannot decompose, and propagates merge
-    /// validation failures.
-    pub fn run(&self, grid: &AtomGrid, target: &Rect) -> Result<AcceleratorReport, Error> {
-        let map = QuadrantMap::new(grid.height(), grid.width())?;
-        let (th, tw) = map.quadrant_target(target)?;
-
-        let ldm = LoadDataModule::new(self.config.ldm);
-        let input = ldm.load(grid, &map)?;
-
-        let qpm = QuadrantProcessor::new(QpmConfig {
-            target_height: th,
-            target_width: tw,
+    /// The quadrant-processor model configured for one decomposition.
+    fn qpm_for(&self, work: &QuadrantWork) -> QuadrantProcessor {
+        QuadrantProcessor::new(QpmConfig {
+            target_height: work.target_height,
+            target_width: work.target_width,
             iterations: self.config.iterations,
             strategy: self.config.strategy,
-        });
+        })
+    }
+
+    /// The merge stage: Row Combination Unit over the four quadrant
+    /// reports, returning the OCM result and the per-quadrant cycles.
+    fn combine(
+        &self,
+        grid: &AtomGrid,
+        work: &QuadrantWork,
+        reports: [QpmReport; 4],
+    ) -> Result<(crate::ocm::OcmReport, [u64; 4]), Error> {
         let mut outcomes: Vec<KernelOutcome> = Vec::with_capacity(4);
         let mut quadrant_cycles = [0u64; 4];
-        for (i, quadrant) in input.quadrants.iter().enumerate() {
-            let report = qpm.process(quadrant)?;
+        for (i, report) in reports.into_iter().enumerate() {
             quadrant_cycles[i] = report.total_cycles;
             outcomes.push(report.outcome);
         }
         let outcomes: [KernelOutcome; 4] = outcomes.try_into().expect("four quadrants");
-        let compute = quadrant_cycles.iter().copied().max().unwrap_or(0);
-
         let ocm = OutputModule::new(self.config.ocm);
-        let combined = ocm.combine(grid, &map, &outcomes)?;
+        Ok((ocm.combine(grid, &work.map, &outcomes)?, quadrant_cycles))
+    }
 
+    /// The validate stage: fill check plus cycle/latency book-keeping.
+    fn finalize(
+        &self,
+        grid: &AtomGrid,
+        target: &Rect,
+        combined: crate::ocm::OcmReport,
+        quadrant_cycles: [u64; 4],
+    ) -> Result<AcceleratorReport, Error> {
+        let compute = quadrant_cycles.iter().copied().max().unwrap_or(0);
+        let (input_cycles, _bits) =
+            LoadDataModule::new(self.config.ldm).stream_timing(grid.height(), grid.width());
         let cycles = CycleBreakdown {
             control: self.config.control_overhead_cycles,
-            input: input.cycles,
+            input: input_cycles,
             compute,
             combine: combined.combine_cycles,
             writeback: combined.writeback_cycles,
@@ -203,6 +214,105 @@ impl QrmAccelerator {
             quadrant_cycles,
         })
     }
+
+    /// Runs one complete rearrangement analysis.
+    ///
+    /// The decomposition comes from [`qrm_core::engine::decompose`] — the
+    /// same structure the software planning engine consumes, so the
+    /// cycle-accurate model and the software path cannot drift apart.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OddDimensions`] / [`Error::InvalidTarget`] for
+    /// arrays or targets QRM cannot decompose, and propagates merge
+    /// validation failures.
+    pub fn run(&self, grid: &AtomGrid, target: &Rect) -> Result<AcceleratorReport, Error> {
+        let work = decompose(grid, target)?;
+        let qpm = self.qpm_for(&work);
+        let mut reports: Vec<QpmReport> = Vec::with_capacity(4);
+        for quadrant in &work.quadrants {
+            reports.push(qpm.process(quadrant)?);
+        }
+        let reports: [QpmReport; 4] = reports.try_into().expect("four quadrants");
+        let (combined, quadrant_cycles) = self.combine(grid, &work, reports)?;
+        self.finalize(grid, target, combined, quadrant_cycles)
+    }
+
+    /// Runs a batch of analyses with the automatic worker count —
+    /// shorthand for [`run_batch_with_workers`](Self::run_batch_with_workers)
+    /// with `workers == 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first decomposition error in input order, or the
+    /// first processing error the task graph hits.
+    pub fn run_batch(&self, jobs: &[(AtomGrid, Rect)]) -> Result<Vec<AcceleratorReport>, Error> {
+        self.run_batch_with_workers(jobs, 0)
+    }
+
+    /// Runs a batch of analyses through the shared task-graph engine
+    /// ([`qrm_core::engine::run_task_graph`]): the quadrant-processor
+    /// simulations of all shots share one work queue, mirroring how
+    /// [`PlanEngine`](qrm_core::engine::PlanEngine) batches the software
+    /// kernels. `workers` follows the engine's policy ([`resolve_workers`]:
+    /// `0` = one per core; any count is capped by the batch's task
+    /// count), so the FPGA-model batch can be throttled exactly like the
+    /// software path. Reports are in input order and identical to
+    /// calling [`run`](Self::run) per shot (modelled cycle counts
+    /// included — simulated time is unaffected by host-side
+    /// parallelism).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first decomposition error in input order, or the
+    /// first processing error the task graph hits.
+    pub fn run_batch_with_workers(
+        &self,
+        jobs: &[(AtomGrid, Rect)],
+        workers: usize,
+    ) -> Result<Vec<AcceleratorReport>, Error> {
+        /// Whole-quadrant simulation as a single-step task (the QPM
+        /// pipeline has static timing, so there is no iteration-level
+        /// resumption point worth modelling).
+        struct QpmTask {
+            qpm: QuadrantProcessor,
+            quadrant: Arc<AtomGrid>,
+        }
+
+        impl QuadrantTask for QpmTask {
+            type Out = QpmReport;
+            fn step(&mut self) -> Result<Step<QpmReport>, Error> {
+                Ok(Step::Done(self.qpm.process(&self.quadrant)?))
+            }
+        }
+
+        let shots = decompose_batch(jobs)?;
+
+        let tasks: Vec<[QpmTask; 4]> = shots
+            .iter()
+            .map(|shot| {
+                let qpm = self.qpm_for(&shot.work);
+                shot.work.quadrants.each_ref().map(|quadrant| QpmTask {
+                    qpm: qpm.clone(),
+                    quadrant: Arc::clone(quadrant),
+                })
+            })
+            .collect();
+
+        let workers = resolve_workers(workers, shots.len());
+        run_task_graph(
+            tasks,
+            workers,
+            |shot_idx, reports: [QpmReport; 4]| {
+                let shot = &shots[shot_idx];
+                self.combine(shot.grid, &shot.work, reports)
+            },
+            |shot_idx, (combined, quadrant_cycles)| {
+                let shot = &shots[shot_idx];
+                self.finalize(shot.grid, shot.target, combined, quadrant_cycles)
+            },
+        )
+    }
 }
 
 impl Rearranger for QrmAccelerator {
@@ -216,6 +326,16 @@ impl Rearranger for QrmAccelerator {
 
     fn plan(&self, grid: &AtomGrid, target: &Rect) -> Result<Plan, Error> {
         Ok(self.run(grid, target)?.plan)
+    }
+
+    /// Batched planning through [`run_batch`](QrmAccelerator::run_batch)
+    /// — the same task graph the software engine uses.
+    fn plan_batch(&self, jobs: &[(AtomGrid, Rect)]) -> Result<Vec<Plan>, Error> {
+        Ok(self
+            .run_batch(jobs)?
+            .into_iter()
+            .map(|report| report.plan)
+            .collect())
     }
 }
 
@@ -325,5 +445,31 @@ mod tests {
             QrmAccelerator::new(AcceleratorConfig::paper()).name(),
             "QRM-FPGA (greedy)"
         );
+    }
+
+    #[test]
+    fn run_batch_is_identical_to_mapped_run() {
+        let mut rng = seeded_rng(99);
+        let jobs: Vec<(AtomGrid, Rect)> = (0..5)
+            .map(|_| {
+                (
+                    AtomGrid::random(20, 20, 0.5, &mut rng),
+                    Rect::centered(20, 20, 12, 12).unwrap(),
+                )
+            })
+            .collect();
+        for cfg in [AcceleratorConfig::paper(), AcceleratorConfig::balanced()] {
+            let accel = QrmAccelerator::new(cfg);
+            let batched = accel.run_batch(&jobs).unwrap();
+            assert_eq!(batched.len(), jobs.len());
+            for ((grid, target), report) in jobs.iter().zip(&batched) {
+                let single = accel.run(grid, target).unwrap();
+                assert_eq!(single, *report);
+            }
+            for workers in [1usize, 3, 64] {
+                let throttled = accel.run_batch_with_workers(&jobs, workers).unwrap();
+                assert_eq!(throttled, batched, "workers = {workers}");
+            }
+        }
     }
 }

@@ -26,9 +26,7 @@ impl ClockDomain {
     /// Panics for non-positive or non-finite frequencies.
     pub fn from_mhz(mhz: f64) -> Self {
         assert!(mhz.is_finite() && mhz > 0.0, "invalid frequency {mhz} MHz");
-        ClockDomain {
-            freq_hz: mhz * 1e6,
-        }
+        ClockDomain { freq_hz: mhz * 1e6 }
     }
 
     /// Frequency in Hz.

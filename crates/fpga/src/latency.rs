@@ -45,10 +45,7 @@ impl LatencyModel {
         let compute = (2 * iters + 1) * qw + planning;
         let input = self.config.ldm.ddr.read_latency_cycles
             + self.config.ldm.axi.transfer_cycles(size * size);
-        self.config.control_overhead_cycles
-            + input
-            + compute
-            + self.config.ocm.combine_tail_cycles
+        self.config.control_overhead_cycles + input + compute + self.config.ocm.combine_tail_cycles
     }
 
     /// Predicted analysis latency in microseconds.
@@ -80,11 +77,7 @@ mod tests {
                 if cfg.strategy == KernelStrategy::Balanced {
                     // Balanced planning cycles are charged per iteration in
                     // both paths; still exact.
-                    assert_eq!(
-                        predicted,
-                        report.cycles.analysis(),
-                        "balanced size {size}"
-                    );
+                    assert_eq!(predicted, report.cycles.analysis(), "balanced size {size}");
                 } else {
                     assert_eq!(predicted, report.cycles.analysis(), "size {size}");
                 }

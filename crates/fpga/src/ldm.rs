@@ -62,6 +62,17 @@ impl LoadDataModule {
         LoadDataModule { config }
     }
 
+    /// Input-path cycles and payload bits for streaming a
+    /// `height x width` bitfield, without performing the split — used
+    /// when the quadrant decomposition is already shared via
+    /// [`qrm_core::engine::decompose`] (the flips are free wiring, so
+    /// the timing depends only on the frame size).
+    pub fn stream_timing(&self, height: usize, width: usize) -> (u64, usize) {
+        let bits = height * width;
+        let cycles = self.config.ddr.read_latency_cycles + self.config.axi.transfer_cycles(bits);
+        (cycles, bits)
+    }
+
     /// Streams `grid` in and splits it into canonical quadrants.
     ///
     /// # Errors
@@ -69,9 +80,7 @@ impl LoadDataModule {
     /// Returns [`Error::DimensionMismatch`] when `grid` does not match
     /// `map`.
     pub fn load(&self, grid: &AtomGrid, map: &QuadrantMap) -> Result<LdmReport, Error> {
-        let bits = grid.area();
-        let cycles =
-            self.config.ddr.read_latency_cycles + self.config.axi.transfer_cycles(bits);
+        let (cycles, bits) = self.stream_timing(grid.height(), grid.width());
         let quadrants = map.split(grid)?;
         Ok(LdmReport {
             quadrants,

@@ -100,15 +100,12 @@ impl OutputModule {
                 merge_quadrants: self.config.merge_quadrants,
             },
         )?;
-        let record_bits = merged.schedule.len()
-            * Self::record_bits_per_move(grid.width(), grid.height());
+        let record_bits =
+            merged.schedule.len() * Self::record_bits_per_move(grid.width(), grid.height());
         // Write-back payload: the canonical record stream (header +
         // records, see `qrm_core::codec`) plus the final matrix.
-        let stream_bits = qrm_core::codec::encoded_bits(
-            grid.height(),
-            grid.width(),
-            merged.schedule.len(),
-        );
+        let stream_bits =
+            qrm_core::codec::encoded_bits(grid.height(), grid.width(), merged.schedule.len());
         debug_assert_eq!(stream_bits, 80 + record_bits);
         let matrix_bits = grid.area();
         let writeback_cycles = self.config.ddr.write_latency_cycles
@@ -153,10 +150,7 @@ mod tests {
             .unwrap();
         let exec = Executor::new().run(&grid, &report.schedule).unwrap();
         assert_eq!(exec.final_grid, report.final_grid);
-        assert_eq!(
-            report.record_bits,
-            report.schedule.len() * (20 + 20 + 8)
-        );
+        assert_eq!(report.record_bits, report.schedule.len() * (20 + 20 + 8));
         assert!(report.writeback_cycles > 0);
         assert_eq!(report.combine_cycles, 16);
     }

@@ -17,9 +17,7 @@
 use qrm_core::error::Error;
 use qrm_core::geometry::{Axis, Rect};
 use qrm_core::grid::AtomGrid;
-use qrm_core::kernel::{
-    plan_col_windows, plan_row_windows, KernelOutcome, KernelStrategy,
-};
+use qrm_core::kernel::{plan_col_windows, plan_row_windows, KernelOutcome, KernelStrategy};
 
 use crate::shift_unit::{LineJob, ShiftUnit};
 

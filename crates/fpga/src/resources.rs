@@ -190,8 +190,14 @@ mod tests {
     fn lut_ff_grow_linearly() {
         let model = ResourceModel::new();
         let sizes = [10usize, 30, 50, 70, 90];
-        let luts: Vec<u64> = sizes.iter().map(|&s| model.utilization(s).lut.used).collect();
-        let ffs: Vec<u64> = sizes.iter().map(|&s| model.utilization(s).ff.used).collect();
+        let luts: Vec<u64> = sizes
+            .iter()
+            .map(|&s| model.utilization(s).lut.used)
+            .collect();
+        let ffs: Vec<u64> = sizes
+            .iter()
+            .map(|&s| model.utilization(s).ff.used)
+            .collect();
         // constant first differences
         for w in luts.windows(3) {
             assert_eq!(w[1] - w[0], w[2] - w[1]);

@@ -179,10 +179,7 @@ mod tests {
         let (y1, x1) = layout.center(0, 1);
         let bright = img.at(y0 as usize, x0 as usize);
         let dark = img.at(y1 as usize, x1 as usize);
-        assert!(
-            bright > dark + 10.0,
-            "occupied {bright} vs empty {dark}"
-        );
+        assert!(bright > dark + 10.0, "occupied {bright} vs empty {dark}");
     }
 
     #[test]

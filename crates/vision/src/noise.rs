@@ -65,8 +65,7 @@ mod tests {
     fn poisson_small_mean_statistics() {
         let mut rng = seeded_rng(2);
         let n = 20_000;
-        let mean: f64 =
-            (0..n).map(|_| poisson(3.0, &mut rng) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| poisson(3.0, &mut rng) as f64).sum::<f64>() / n as f64;
         assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
     }
 

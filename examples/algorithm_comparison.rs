@@ -27,8 +27,7 @@ fn main() -> Result<(), qrm_core::Error> {
     let psca = PscaScheduler::default();
     let mta1 = Mta1Scheduler::default();
     let hybrid = HybridScheduler::paper_qrm();
-    let planners: Vec<&dyn Rearranger> =
-        vec![&qrm, &typical, &tetris, &psca, &mta1, &hybrid];
+    let planners: Vec<&dyn Rearranger> = vec![&qrm, &typical, &tetris, &psca, &mta1, &hybrid];
 
     println!(
         "{:<26} {:>12} {:>8} {:>10} {:>8} {:>12}",
@@ -51,13 +50,12 @@ fn main() -> Result<(), qrm_core::Error> {
             motion_us += plan.schedule.physical_duration_us(&motion);
             // every schedule must execute cleanly under its contract
             // MTA1 and the hybrid's repair stage fly over occupied traps.
-            let executor = if planner.name().starts_with("MTA1")
-                || planner.name().contains("repair")
-            {
-                mta1_executor()
-            } else {
-                Executor::new()
-            };
+            let executor =
+                if planner.name().starts_with("MTA1") || planner.name().contains("repair") {
+                    mta1_executor()
+                } else {
+                    Executor::new()
+                };
             let report = executor.run(grid, &plan.schedule)?;
             assert_eq!(report.final_grid, plan.predicted);
         }

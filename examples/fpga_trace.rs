@@ -32,7 +32,9 @@ fn main() -> Result<(), qrm_core::Error> {
             enabled: true,
         })
         .collect();
-    let trace = ShiftUnit::new(nw.width()).with_trace(true).run(Axis::Row, &jobs);
+    let trace = ShiftUnit::new(nw.width())
+        .with_trace(true)
+        .run(Axis::Row, &jobs);
     println!(
         "row pass: {} lines x {} stages = {} cycles, {} shift commands",
         jobs.len(),
@@ -67,7 +69,10 @@ fn main() -> Result<(), qrm_core::Error> {
     println!("\naccelerator cycle breakdown (16x16 array):");
     println!("  control   {:>5}", c.control);
     println!("  input DMA {:>5}", c.input);
-    println!("  compute   {:>5}  (per quadrant: {:?})", c.compute, run.quadrant_cycles);
+    println!(
+        "  compute   {:>5}  (per quadrant: {:?})",
+        c.compute, run.quadrant_cycles
+    );
     println!("  combine   {:>5}", c.combine);
     println!("  writeback {:>5}  (off the analysis path)", c.writeback);
     println!(

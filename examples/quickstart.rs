@@ -11,7 +11,10 @@ fn main() -> Result<(), qrm_core::Error> {
     // 1. Stochastic loading (paper §II-A: ~50% per-trap success).
     let loader = LoadModel::new(0.5);
     let grid = loader.load_at_least(20, 20, 160, 32, &mut rng)?;
-    println!("loaded {} atoms into a 20x20 array:\n{grid}\n", grid.atom_count());
+    println!(
+        "loaded {} atoms into a 20x20 array:\n{grid}\n",
+        grid.atom_count()
+    );
 
     // 2. Centred 12x12 target.
     let target = Rect::centered(20, 20, 12, 12)?;

@@ -50,6 +50,8 @@ fn main() -> Result<(), qrm_core::Error> {
             util.bram.percent
         );
     }
-    println!("\n(cpu_us is this machine's software planner; the paper's Fig. 7(a) CPU is an i7-1185G7)");
+    println!(
+        "\n(cpu_us is this machine's software planner; the paper's Fig. 7(a) CPU is an i7-1185G7)"
+    );
     Ok(())
 }

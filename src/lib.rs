@@ -12,7 +12,7 @@
 //!
 //! | Crate | Content |
 //! |-------|---------|
-//! | [`core`](qrm_core) | atom grids, AOD move model, QRM scheduler, executor |
+//! | [`core`](qrm_core) | atom grids, AOD move model, QRM scheduler, parallel planning engine, executor |
 //! | [`fpga`](qrm_fpga) | cycle-accurate accelerator model, latency + resource models |
 //! | [`baselines`](qrm_baselines) | Tetris, PSCA, MTA1 reimplementations |
 //! | [`vision`](qrm_vision) | synthetic fluorescence imaging + atom detection |
@@ -36,6 +36,44 @@
 //! let exec = Executor::new().run(&grid, &report.plan.schedule)?;
 //! assert_eq!(exec.final_grid, report.plan.predicted);
 //! println!("analysis in {:.2} us", report.time_us);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Batched planning
+//!
+//! Multi-shot workloads go through
+//! [`Rearranger::plan_batch`](qrm_core::scheduler::Rearranger::plan_batch)
+//! — every planner supports it, and QRM (software and FPGA model alike)
+//! routes the batch through the parallel task-graph engine in
+//! [`qrm_core::engine`], planning all shots' quadrants on a shared work
+//! queue. Results are bit-identical to per-shot
+//! [`Rearranger::plan`](qrm_core::scheduler::Rearranger::plan) calls.
+//!
+//! ```
+//! use atom_rearrange::prelude::*;
+//!
+//! # fn main() -> Result<(), qrm_core::Error> {
+//! let mut rng = qrm_core::loading::seeded_rng(7);
+//! let target = Rect::centered(20, 20, 12, 12)?;
+//! let jobs: Vec<(AtomGrid, Rect)> = (0..8)
+//!     .map(|_| (AtomGrid::random(20, 20, 0.5, &mut rng), target))
+//!     .collect();
+//!
+//! // Trait-level batching (parallel for QRM, serial default elsewhere)...
+//! let plans = QrmScheduler::new(QrmConfig::default()).plan_batch(&jobs)?;
+//! assert_eq!(plans.len(), 8);
+//!
+//! // ...or the engine directly, with an explicit worker count.
+//! let plans2 = PlanEngine::new(QrmConfig::default()).with_workers(4).plan_batch(&jobs)?;
+//! assert_eq!(plans, plans2);
+//!
+//! // The end-to-end pipeline batches whole rounds the same way.
+//! let truths: Vec<AtomGrid> = (0..4)
+//!     .map(|_| AtomGrid::random(20, 20, 0.55, &mut rng))
+//!     .collect();
+//! let reports = Pipeline::default().run_batch(&truths, &target, 42)?;
+//! assert_eq!(reports.len(), 4);
 //! # Ok(())
 //! # }
 //! ```

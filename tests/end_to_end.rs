@@ -45,9 +45,33 @@ fn assembly_success_across_sizes() {
         let side = (size * 3 / 5) & !1;
         let target = Rect::centered(size, size, side, side).unwrap();
         let need = target.area();
-        let grid = LoadModel::new(0.5)
-            .load_at_least(size, size, need + need / 8, 64, &mut rng)
-            .unwrap();
+        // QRM never moves atoms across quadrant boundaries, so "enough
+        // atoms" means enough in EVERY quadrant (with a supply margin),
+        // not just globally — redraw until the instance is feasible.
+        // Small quadrants need a larger relative margin because the
+        // balanced kernel's parking heuristic is not a complete
+        // transportation solver (see tests/properties.rs); at paper
+        // scale a ~12% margin is comfortably sufficient.
+        let map = qrm_core::quadrant::QuadrantMap::new(size, size).unwrap();
+        let quadrant_need = need / 4;
+        let (num, den) = if map.quadrant_height() * map.quadrant_width() <= 100 {
+            (3, 2) // 50% margin for small quadrants
+        } else {
+            (9, 8) // ~12% margin at paper scale
+        };
+        let grid = (0..256)
+            .find_map(|_| {
+                let g = LoadModel::new(0.5)
+                    .load_at_least(size, size, need + need / 8, 64, &mut rng)
+                    .unwrap();
+                let supplied = map
+                    .split(&g)
+                    .unwrap()
+                    .iter()
+                    .all(|q| q.atom_count() * den >= quadrant_need * num);
+                supplied.then_some(g)
+            })
+            .expect("a per-quadrant-feasible instance within 256 draws");
         let plan = QrmScheduler::new(QrmConfig::default())
             .plan(&grid, &target)
             .unwrap();
@@ -80,7 +104,9 @@ fn pipeline_recovers_from_transport_loss() {
         max_rounds: 6,
         ..PipelineConfig::default()
     };
-    let report = Pipeline::new(config).run(&truth, &target, &mut rng).unwrap();
+    let report = Pipeline::new(config)
+        .run(&truth, &target, &mut rng)
+        .unwrap();
     assert!(
         report.filled,
         "pipeline failed after {} rounds",
@@ -106,7 +132,9 @@ fn pipeline_degrades_gracefully_at_low_snr() {
         max_rounds: 6,
         ..PipelineConfig::default()
     };
-    let report = Pipeline::new(config).run(&truth, &target, &mut rng).unwrap();
+    let report = Pipeline::new(config)
+        .run(&truth, &target, &mut rng)
+        .unwrap();
     assert_eq!(report.rounds.len(), 6, "no convergence expected");
     for round in &report.rounds {
         assert!(round.detection_fidelity > 0.9);

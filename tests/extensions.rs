@@ -93,14 +93,14 @@ fn radial_falloff_loading_still_assembles() {
     // favourable case for a centred target; QRM must handle the
     // non-uniform distribution.
     let mut rng = qrm_core::loading::seeded_rng(703);
-    let model = LoadModel::new(0.6).with_profile(FillProfile::RadialFalloff {
-        edge_factor: 0.5,
-    });
+    let model = LoadModel::new(0.6).with_profile(FillProfile::RadialFalloff { edge_factor: 0.5 });
     let mut filled = 0;
     for _ in 0..5 {
         let grid = model.load(30, 30, &mut rng).unwrap();
         let target = Rect::centered(30, 30, 16, 16).unwrap();
-        if grid.count_in(&Rect::centered(30, 30, 30, 30).unwrap()).unwrap()
+        if grid
+            .count_in(&Rect::centered(30, 30, 30, 30).unwrap())
+            .unwrap()
             < target.area() + 40
         {
             continue;

@@ -117,7 +117,10 @@ fn resource_model_tracks_paper_figure8() {
         let u = model.utilization(s);
         assert!(u.lut.percent > last_lut, "LUT% must grow");
         last_lut = u.lut.percent;
-        assert!(u.lut.percent < 7.0 && u.ff.percent < 7.0, "size {s} too big");
+        assert!(
+            u.lut.percent < 7.0 && u.ff.percent < 7.0,
+            "size {s} too big"
+        );
     }
     // flat BRAM across 30..90
     let b = model.utilization(30).bram.used;

@@ -11,7 +11,11 @@ fn instances(n: usize, size: usize, min_atoms: usize) -> Vec<AtomGrid> {
     let mut rng = qrm_core::loading::seeded_rng(4242);
     let loader = LoadModel::new(0.5);
     (0..n)
-        .map(|_| loader.load_at_least(size, size, min_atoms, 64, &mut rng).unwrap())
+        .map(|_| {
+            loader
+                .load_at_least(size, size, min_atoms, 64, &mut rng)
+                .unwrap()
+        })
         .collect()
 }
 
@@ -149,7 +153,10 @@ fn quadrant_starvation_is_a_qrm_limitation_not_a_tetris_one() {
     let qrm = QrmScheduler::new(QrmConfig::default())
         .plan(&grid, &target)
         .unwrap();
-    assert!(!qrm.filled, "QRM cannot import atoms into a starved quadrant");
+    assert!(
+        !qrm.filled,
+        "QRM cannot import atoms into a starved quadrant"
+    );
     assert!(qrm.defects(&target).unwrap() >= 10);
 
     // Whole-array planners can import atoms across the boundary and do
