@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_merge-49caf692ae29b637.d: crates/bench/benches/ablation_merge.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_merge-49caf692ae29b637.rmeta: crates/bench/benches/ablation_merge.rs Cargo.toml
+
+crates/bench/benches/ablation_merge.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

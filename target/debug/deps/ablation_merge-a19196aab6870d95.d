@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_merge-a19196aab6870d95.d: crates/bench/benches/ablation_merge.rs
+
+/root/repo/target/debug/deps/ablation_merge-a19196aab6870d95: crates/bench/benches/ablation_merge.rs
+
+crates/bench/benches/ablation_merge.rs:

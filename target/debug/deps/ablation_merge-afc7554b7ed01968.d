@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_merge-afc7554b7ed01968.d: crates/bench/benches/ablation_merge.rs
+
+/root/repo/target/debug/deps/libablation_merge-afc7554b7ed01968.rmeta: crates/bench/benches/ablation_merge.rs
+
+crates/bench/benches/ablation_merge.rs:

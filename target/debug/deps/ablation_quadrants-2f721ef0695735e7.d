@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_quadrants-2f721ef0695735e7.d: crates/bench/benches/ablation_quadrants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_quadrants-2f721ef0695735e7.rmeta: crates/bench/benches/ablation_quadrants.rs Cargo.toml
+
+crates/bench/benches/ablation_quadrants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_quadrants-7c7d8b05c35c7f2e.d: crates/bench/benches/ablation_quadrants.rs
+
+/root/repo/target/debug/deps/ablation_quadrants-7c7d8b05c35c7f2e: crates/bench/benches/ablation_quadrants.rs
+
+crates/bench/benches/ablation_quadrants.rs:

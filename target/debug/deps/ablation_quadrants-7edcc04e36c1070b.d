@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_quadrants-7edcc04e36c1070b.d: crates/bench/benches/ablation_quadrants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_quadrants-7edcc04e36c1070b.rmeta: crates/bench/benches/ablation_quadrants.rs Cargo.toml
+
+crates/bench/benches/ablation_quadrants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

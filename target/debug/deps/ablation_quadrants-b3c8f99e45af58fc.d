@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_quadrants-b3c8f99e45af58fc.d: crates/bench/benches/ablation_quadrants.rs
+
+/root/repo/target/debug/deps/libablation_quadrants-b3c8f99e45af58fc.rmeta: crates/bench/benches/ablation_quadrants.rs
+
+crates/bench/benches/ablation_quadrants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/atom_rearrange-02bea997b82c4cb7.d: src/lib.rs
+
+/root/repo/target/debug/deps/atom_rearrange-02bea997b82c4cb7: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/atom_rearrange-036c50d2119b0649.d: src/lib.rs
+
+/root/repo/target/debug/deps/libatom_rearrange-036c50d2119b0649.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libatom_rearrange-036c50d2119b0649.rmeta: src/lib.rs
+
+src/lib.rs:

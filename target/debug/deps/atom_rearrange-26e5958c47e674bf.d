@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/atom_rearrange-26e5958c47e674bf.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libatom_rearrange-26e5958c47e674bf.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/atom_rearrange-8edddc41a423293a.d: src/lib.rs
+
+/root/repo/target/debug/deps/atom_rearrange-8edddc41a423293a: src/lib.rs
+
+src/lib.rs:

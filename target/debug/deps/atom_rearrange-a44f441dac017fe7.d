@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/atom_rearrange-a44f441dac017fe7.d: src/lib.rs
+
+/root/repo/target/debug/deps/libatom_rearrange-a44f441dac017fe7.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/atom_rearrange-c25a07655a2add14.d: src/lib.rs
+
+/root/repo/target/debug/deps/libatom_rearrange-c25a07655a2add14.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/atom_rearrange-cc6fa840ede1a1b6.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libatom_rearrange-cc6fa840ede1a1b6.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

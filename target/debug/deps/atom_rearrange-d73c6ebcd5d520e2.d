@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/atom_rearrange-d73c6ebcd5d520e2.d: src/lib.rs
+
+/root/repo/target/debug/deps/libatom_rearrange-d73c6ebcd5d520e2.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libatom_rearrange-d73c6ebcd5d520e2.rmeta: src/lib.rs
+
+src/lib.rs:

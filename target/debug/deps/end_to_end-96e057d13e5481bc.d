@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-96e057d13e5481bc.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-96e057d13e5481bc: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-ab4e1b05b9fc6c92.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-ab4e1b05b9fc6c92: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine-ad2e107035c75ce3.d: crates/bench/benches/engine.rs
+
+/root/repo/target/debug/deps/engine-ad2e107035c75ce3: crates/bench/benches/engine.rs
+
+crates/bench/benches/engine.rs:

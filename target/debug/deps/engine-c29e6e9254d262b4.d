@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine-c29e6e9254d262b4.d: crates/bench/benches/engine.rs
+
+/root/repo/target/debug/deps/libengine-c29e6e9254d262b4.rmeta: crates/bench/benches/engine.rs
+
+crates/bench/benches/engine.rs:

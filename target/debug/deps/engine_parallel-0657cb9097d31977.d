@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_parallel-0657cb9097d31977.d: tests/engine_parallel.rs
+
+/root/repo/target/debug/deps/engine_parallel-0657cb9097d31977: tests/engine_parallel.rs
+
+tests/engine_parallel.rs:

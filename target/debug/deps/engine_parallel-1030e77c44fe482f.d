@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_parallel-1030e77c44fe482f.d: tests/engine_parallel.rs
+
+/root/repo/target/debug/deps/engine_parallel-1030e77c44fe482f: tests/engine_parallel.rs
+
+tests/engine_parallel.rs:

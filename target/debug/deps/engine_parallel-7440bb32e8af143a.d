@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_parallel-7440bb32e8af143a.d: tests/engine_parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_parallel-7440bb32e8af143a.rmeta: tests/engine_parallel.rs Cargo.toml
+
+tests/engine_parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

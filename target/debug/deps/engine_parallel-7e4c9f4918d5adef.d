@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_parallel-7e4c9f4918d5adef.d: tests/engine_parallel.rs
+
+/root/repo/target/debug/deps/libengine_parallel-7e4c9f4918d5adef.rmeta: tests/engine_parallel.rs
+
+tests/engine_parallel.rs:

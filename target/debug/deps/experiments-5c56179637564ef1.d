@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-5c56179637564ef1.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/libexperiments-5c56179637564ef1.rmeta: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-6205a7f5d0eebccb.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-6205a7f5d0eebccb: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-9fb236c52508abcc.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/libexperiments-9fb236c52508abcc.rmeta: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

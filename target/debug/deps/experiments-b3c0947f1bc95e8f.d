@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-b3c0947f1bc95e8f.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-b3c0947f1bc95e8f: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-bdffc076debf0236.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-bdffc076debf0236: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

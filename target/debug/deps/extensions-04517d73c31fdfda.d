@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-04517d73c31fdfda.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/libextensions-04517d73c31fdfda.rmeta: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-0a9f60d9c9422785.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-0a9f60d9c9422785: tests/extensions.rs
+
+tests/extensions.rs:

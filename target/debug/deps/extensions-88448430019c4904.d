@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-88448430019c4904.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-88448430019c4904: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-92503a0d9c60aea3.d: tests/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-92503a0d9c60aea3.rmeta: tests/extensions.rs Cargo.toml
+
+tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

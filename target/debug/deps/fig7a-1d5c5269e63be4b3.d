@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7a-1d5c5269e63be4b3.d: crates/bench/benches/fig7a.rs
+
+/root/repo/target/debug/deps/libfig7a-1d5c5269e63be4b3.rmeta: crates/bench/benches/fig7a.rs
+
+crates/bench/benches/fig7a.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7a-220f2457ce873ae4.d: crates/bench/benches/fig7a.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7a-220f2457ce873ae4.rmeta: crates/bench/benches/fig7a.rs Cargo.toml
+
+crates/bench/benches/fig7a.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

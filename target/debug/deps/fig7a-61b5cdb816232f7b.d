@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7a-61b5cdb816232f7b.d: crates/bench/benches/fig7a.rs
+
+/root/repo/target/debug/deps/fig7a-61b5cdb816232f7b: crates/bench/benches/fig7a.rs
+
+crates/bench/benches/fig7a.rs:

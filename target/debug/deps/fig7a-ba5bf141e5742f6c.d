@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7a-ba5bf141e5742f6c.d: crates/bench/benches/fig7a.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7a-ba5bf141e5742f6c.rmeta: crates/bench/benches/fig7a.rs Cargo.toml
+
+crates/bench/benches/fig7a.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7b-5f7bda0b15f62b29.d: crates/bench/benches/fig7b.rs
+
+/root/repo/target/debug/deps/libfig7b-5f7bda0b15f62b29.rmeta: crates/bench/benches/fig7b.rs
+
+crates/bench/benches/fig7b.rs:

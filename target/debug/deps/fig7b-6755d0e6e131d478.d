@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7b-6755d0e6e131d478.d: crates/bench/benches/fig7b.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7b-6755d0e6e131d478.rmeta: crates/bench/benches/fig7b.rs Cargo.toml
+
+crates/bench/benches/fig7b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7b-c8a0e178f3aae6e1.d: crates/bench/benches/fig7b.rs
+
+/root/repo/target/debug/deps/fig7b-c8a0e178f3aae6e1: crates/bench/benches/fig7b.rs
+
+crates/bench/benches/fig7b.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fpga_equivalence-3bb498e7437d6dc6.d: tests/fpga_equivalence.rs
+
+/root/repo/target/debug/deps/libfpga_equivalence-3bb498e7437d6dc6.rmeta: tests/fpga_equivalence.rs
+
+tests/fpga_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fpga_equivalence-9394eaeaa4a1a5a6.d: tests/fpga_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfpga_equivalence-9394eaeaa4a1a5a6.rmeta: tests/fpga_equivalence.rs Cargo.toml
+
+tests/fpga_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

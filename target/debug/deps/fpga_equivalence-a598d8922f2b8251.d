@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fpga_equivalence-a598d8922f2b8251.d: tests/fpga_equivalence.rs
+
+/root/repo/target/debug/deps/fpga_equivalence-a598d8922f2b8251: tests/fpga_equivalence.rs
+
+tests/fpga_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fpga_equivalence-d751744eb478b18a.d: tests/fpga_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfpga_equivalence-d751744eb478b18a.rmeta: tests/fpga_equivalence.rs Cargo.toml
+
+tests/fpga_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

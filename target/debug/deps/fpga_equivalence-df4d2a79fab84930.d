@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fpga_equivalence-df4d2a79fab84930.d: tests/fpga_equivalence.rs
+
+/root/repo/target/debug/deps/fpga_equivalence-df4d2a79fab84930: tests/fpga_equivalence.rs
+
+tests/fpga_equivalence.rs:

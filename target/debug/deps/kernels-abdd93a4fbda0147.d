@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels-abdd93a4fbda0147.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/debug/deps/kernels-abdd93a4fbda0147: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:

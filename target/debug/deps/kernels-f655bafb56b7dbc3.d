@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels-f655bafb56b7dbc3.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/debug/deps/libkernels-f655bafb56b7dbc3.rmeta: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:

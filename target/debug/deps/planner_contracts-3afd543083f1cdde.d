@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/planner_contracts-3afd543083f1cdde.d: tests/planner_contracts.rs
+
+/root/repo/target/debug/deps/planner_contracts-3afd543083f1cdde: tests/planner_contracts.rs
+
+tests/planner_contracts.rs:

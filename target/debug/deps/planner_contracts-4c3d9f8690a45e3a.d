@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/planner_contracts-4c3d9f8690a45e3a.d: tests/planner_contracts.rs
+
+/root/repo/target/debug/deps/libplanner_contracts-4c3d9f8690a45e3a.rmeta: tests/planner_contracts.rs
+
+tests/planner_contracts.rs:

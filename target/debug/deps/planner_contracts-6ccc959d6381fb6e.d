@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/planner_contracts-6ccc959d6381fb6e.d: tests/planner_contracts.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplanner_contracts-6ccc959d6381fb6e.rmeta: tests/planner_contracts.rs Cargo.toml
+
+tests/planner_contracts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

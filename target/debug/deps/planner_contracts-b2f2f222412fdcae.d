@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/planner_contracts-b2f2f222412fdcae.d: tests/planner_contracts.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplanner_contracts-b2f2f222412fdcae.rmeta: tests/planner_contracts.rs Cargo.toml
+
+tests/planner_contracts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/planner_contracts-b6f515556fe58e22.d: tests/planner_contracts.rs
+
+/root/repo/target/debug/deps/planner_contracts-b6f515556fe58e22: tests/planner_contracts.rs
+
+tests/planner_contracts.rs:

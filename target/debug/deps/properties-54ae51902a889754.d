@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-54ae51902a889754.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-54ae51902a889754: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-5b58988ea86a3471.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-5b58988ea86a3471: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-a08f78f9c474b7db.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-a08f78f9c474b7db.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d6ea288a4a601dfe.d: tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-d6ea288a4a601dfe.rmeta: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-6020d515ee1fd1f9.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-6020d515ee1fd1f9.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-d7bca69926ca0312.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-d7bca69926ca0312.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-469ed787a649ca05.d: crates/baselines/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-469ed787a649ca05.rmeta: crates/baselines/tests/proptests.rs
+
+crates/baselines/tests/proptests.rs:

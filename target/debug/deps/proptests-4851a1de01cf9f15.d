@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-4851a1de01cf9f15.d: crates/fpga/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-4851a1de01cf9f15.rmeta: crates/fpga/tests/proptests.rs Cargo.toml
+
+crates/fpga/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

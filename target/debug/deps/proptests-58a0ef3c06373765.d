@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-58a0ef3c06373765.d: crates/fpga/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-58a0ef3c06373765: crates/fpga/tests/proptests.rs
+
+crates/fpga/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-5ef72220f1998c5e.d: crates/fpga/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-5ef72220f1998c5e.rmeta: crates/fpga/tests/proptests.rs
+
+crates/fpga/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-7d886222f40d95d9.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-7d886222f40d95d9.rmeta: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

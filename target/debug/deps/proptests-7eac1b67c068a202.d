@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-7eac1b67c068a202.d: crates/baselines/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-7eac1b67c068a202: crates/baselines/tests/proptests.rs
+
+crates/baselines/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-99324fdfb7b3845a.d: crates/fpga/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-99324fdfb7b3845a.rmeta: crates/fpga/tests/proptests.rs Cargo.toml
+
+crates/fpga/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-c7efa71290df0aff.d: crates/fpga/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-c7efa71290df0aff: crates/fpga/tests/proptests.rs
+
+crates/fpga/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-cfb1487f1172f736.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-cfb1487f1172f736: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

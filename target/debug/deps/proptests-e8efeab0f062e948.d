@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-e8efeab0f062e948.d: crates/baselines/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-e8efeab0f062e948.rmeta: crates/baselines/tests/proptests.rs Cargo.toml
+
+crates/baselines/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

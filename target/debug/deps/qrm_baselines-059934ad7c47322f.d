@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/qrm_baselines-059934ad7c47322f.d: crates/baselines/src/lib.rs crates/baselines/src/hybrid.rs crates/baselines/src/mta1.rs crates/baselines/src/psca.rs crates/baselines/src/stepper.rs crates/baselines/src/tetris.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqrm_baselines-059934ad7c47322f.rmeta: crates/baselines/src/lib.rs crates/baselines/src/hybrid.rs crates/baselines/src/mta1.rs crates/baselines/src/psca.rs crates/baselines/src/stepper.rs crates/baselines/src/tetris.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/hybrid.rs:
+crates/baselines/src/mta1.rs:
+crates/baselines/src/psca.rs:
+crates/baselines/src/stepper.rs:
+crates/baselines/src/tetris.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

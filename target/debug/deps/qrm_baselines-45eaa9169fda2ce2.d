@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/qrm_baselines-45eaa9169fda2ce2.d: crates/baselines/src/lib.rs crates/baselines/src/hybrid.rs crates/baselines/src/mta1.rs crates/baselines/src/psca.rs crates/baselines/src/stepper.rs crates/baselines/src/tetris.rs
+
+/root/repo/target/debug/deps/libqrm_baselines-45eaa9169fda2ce2.rlib: crates/baselines/src/lib.rs crates/baselines/src/hybrid.rs crates/baselines/src/mta1.rs crates/baselines/src/psca.rs crates/baselines/src/stepper.rs crates/baselines/src/tetris.rs
+
+/root/repo/target/debug/deps/libqrm_baselines-45eaa9169fda2ce2.rmeta: crates/baselines/src/lib.rs crates/baselines/src/hybrid.rs crates/baselines/src/mta1.rs crates/baselines/src/psca.rs crates/baselines/src/stepper.rs crates/baselines/src/tetris.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/hybrid.rs:
+crates/baselines/src/mta1.rs:
+crates/baselines/src/psca.rs:
+crates/baselines/src/stepper.rs:
+crates/baselines/src/tetris.rs:

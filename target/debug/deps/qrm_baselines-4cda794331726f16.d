@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/qrm_baselines-4cda794331726f16.d: crates/baselines/src/lib.rs crates/baselines/src/hybrid.rs crates/baselines/src/mta1.rs crates/baselines/src/psca.rs crates/baselines/src/stepper.rs crates/baselines/src/tetris.rs
+
+/root/repo/target/debug/deps/qrm_baselines-4cda794331726f16: crates/baselines/src/lib.rs crates/baselines/src/hybrid.rs crates/baselines/src/mta1.rs crates/baselines/src/psca.rs crates/baselines/src/stepper.rs crates/baselines/src/tetris.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/hybrid.rs:
+crates/baselines/src/mta1.rs:
+crates/baselines/src/psca.rs:
+crates/baselines/src/stepper.rs:
+crates/baselines/src/tetris.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qrm_bench-182a2d1902dd3a68.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/qrm_bench-182a2d1902dd3a68: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qrm_bench-20f9f6b02f8d7e24.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libqrm_bench-20f9f6b02f8d7e24.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qrm_bench-29e0d9847e60be97.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libqrm_bench-29e0d9847e60be97.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qrm_bench-328967a75f90336c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libqrm_bench-328967a75f90336c.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libqrm_bench-328967a75f90336c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qrm_bench-3e6ac7e0d89dde0e.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqrm_bench-3e6ac7e0d89dde0e.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qrm_bench-7a3551213beb3d5e.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqrm_bench-7a3551213beb3d5e.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

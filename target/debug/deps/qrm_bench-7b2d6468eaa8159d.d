@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qrm_bench-7b2d6468eaa8159d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libqrm_bench-7b2d6468eaa8159d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libqrm_bench-7b2d6468eaa8159d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

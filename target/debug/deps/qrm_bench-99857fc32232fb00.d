@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qrm_bench-99857fc32232fb00.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/qrm_bench-99857fc32232fb00: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

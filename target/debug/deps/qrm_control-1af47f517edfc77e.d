@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/qrm_control-1af47f517edfc77e.d: crates/control/src/lib.rs crates/control/src/awg.rs crates/control/src/pipeline.rs crates/control/src/system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqrm_control-1af47f517edfc77e.rmeta: crates/control/src/lib.rs crates/control/src/awg.rs crates/control/src/pipeline.rs crates/control/src/system.rs Cargo.toml
+
+crates/control/src/lib.rs:
+crates/control/src/awg.rs:
+crates/control/src/pipeline.rs:
+crates/control/src/system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/qrm_control-758bf5e5e663b5ad.d: crates/control/src/lib.rs crates/control/src/awg.rs crates/control/src/pipeline.rs crates/control/src/system.rs
+
+/root/repo/target/debug/deps/libqrm_control-758bf5e5e663b5ad.rlib: crates/control/src/lib.rs crates/control/src/awg.rs crates/control/src/pipeline.rs crates/control/src/system.rs
+
+/root/repo/target/debug/deps/libqrm_control-758bf5e5e663b5ad.rmeta: crates/control/src/lib.rs crates/control/src/awg.rs crates/control/src/pipeline.rs crates/control/src/system.rs
+
+crates/control/src/lib.rs:
+crates/control/src/awg.rs:
+crates/control/src/pipeline.rs:
+crates/control/src/system.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/qrm_control-8af7716da8f2c8ad.d: crates/control/src/lib.rs crates/control/src/awg.rs crates/control/src/pipeline.rs crates/control/src/system.rs
+
+/root/repo/target/debug/deps/libqrm_control-8af7716da8f2c8ad.rlib: crates/control/src/lib.rs crates/control/src/awg.rs crates/control/src/pipeline.rs crates/control/src/system.rs
+
+/root/repo/target/debug/deps/libqrm_control-8af7716da8f2c8ad.rmeta: crates/control/src/lib.rs crates/control/src/awg.rs crates/control/src/pipeline.rs crates/control/src/system.rs
+
+crates/control/src/lib.rs:
+crates/control/src/awg.rs:
+crates/control/src/pipeline.rs:
+crates/control/src/system.rs:

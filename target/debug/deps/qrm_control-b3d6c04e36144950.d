@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/qrm_control-b3d6c04e36144950.d: crates/control/src/lib.rs crates/control/src/awg.rs crates/control/src/pipeline.rs crates/control/src/system.rs
+
+/root/repo/target/debug/deps/libqrm_control-b3d6c04e36144950.rmeta: crates/control/src/lib.rs crates/control/src/awg.rs crates/control/src/pipeline.rs crates/control/src/system.rs
+
+crates/control/src/lib.rs:
+crates/control/src/awg.rs:
+crates/control/src/pipeline.rs:
+crates/control/src/system.rs:

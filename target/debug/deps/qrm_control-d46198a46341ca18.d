@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/qrm_control-d46198a46341ca18.d: crates/control/src/lib.rs crates/control/src/awg.rs crates/control/src/pipeline.rs crates/control/src/system.rs
+
+/root/repo/target/debug/deps/qrm_control-d46198a46341ca18: crates/control/src/lib.rs crates/control/src/awg.rs crates/control/src/pipeline.rs crates/control/src/system.rs
+
+crates/control/src/lib.rs:
+crates/control/src/awg.rs:
+crates/control/src/pipeline.rs:
+crates/control/src/system.rs:

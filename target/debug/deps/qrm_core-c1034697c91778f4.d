@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/qrm_core-c1034697c91778f4.d: crates/core/src/lib.rs crates/core/src/aod.rs crates/core/src/bitline.rs crates/core/src/codec.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/executor.rs crates/core/src/geometry.rs crates/core/src/grid.rs crates/core/src/kernel.rs crates/core/src/loading.rs crates/core/src/merge.rs crates/core/src/moves.rs crates/core/src/optimize.rs crates/core/src/quadrant.rs crates/core/src/schedule.rs crates/core/src/scheduler.rs crates/core/src/target.rs crates/core/src/typical.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqrm_core-c1034697c91778f4.rmeta: crates/core/src/lib.rs crates/core/src/aod.rs crates/core/src/bitline.rs crates/core/src/codec.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/executor.rs crates/core/src/geometry.rs crates/core/src/grid.rs crates/core/src/kernel.rs crates/core/src/loading.rs crates/core/src/merge.rs crates/core/src/moves.rs crates/core/src/optimize.rs crates/core/src/quadrant.rs crates/core/src/schedule.rs crates/core/src/scheduler.rs crates/core/src/target.rs crates/core/src/typical.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/aod.rs:
+crates/core/src/bitline.rs:
+crates/core/src/codec.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/executor.rs:
+crates/core/src/geometry.rs:
+crates/core/src/grid.rs:
+crates/core/src/kernel.rs:
+crates/core/src/loading.rs:
+crates/core/src/merge.rs:
+crates/core/src/moves.rs:
+crates/core/src/optimize.rs:
+crates/core/src/quadrant.rs:
+crates/core/src/schedule.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/target.rs:
+crates/core/src/typical.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/qrm_fpga-69d0f55baab0d630.d: crates/fpga/src/lib.rs crates/fpga/src/accelerator.rs crates/fpga/src/clock.rs crates/fpga/src/fifo.rs crates/fpga/src/latency.rs crates/fpga/src/ldm.rs crates/fpga/src/memory.rs crates/fpga/src/ocm.rs crates/fpga/src/qpm.rs crates/fpga/src/resources.rs crates/fpga/src/shift_unit.rs crates/fpga/src/stream.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqrm_fpga-69d0f55baab0d630.rmeta: crates/fpga/src/lib.rs crates/fpga/src/accelerator.rs crates/fpga/src/clock.rs crates/fpga/src/fifo.rs crates/fpga/src/latency.rs crates/fpga/src/ldm.rs crates/fpga/src/memory.rs crates/fpga/src/ocm.rs crates/fpga/src/qpm.rs crates/fpga/src/resources.rs crates/fpga/src/shift_unit.rs crates/fpga/src/stream.rs Cargo.toml
+
+crates/fpga/src/lib.rs:
+crates/fpga/src/accelerator.rs:
+crates/fpga/src/clock.rs:
+crates/fpga/src/fifo.rs:
+crates/fpga/src/latency.rs:
+crates/fpga/src/ldm.rs:
+crates/fpga/src/memory.rs:
+crates/fpga/src/ocm.rs:
+crates/fpga/src/qpm.rs:
+crates/fpga/src/resources.rs:
+crates/fpga/src/shift_unit.rs:
+crates/fpga/src/stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qrm_vision-089447f17906dec9.d: crates/vision/src/lib.rs crates/vision/src/detect.rs crates/vision/src/image.rs crates/vision/src/layout.rs crates/vision/src/noise.rs
+
+/root/repo/target/debug/deps/libqrm_vision-089447f17906dec9.rmeta: crates/vision/src/lib.rs crates/vision/src/detect.rs crates/vision/src/image.rs crates/vision/src/layout.rs crates/vision/src/noise.rs
+
+crates/vision/src/lib.rs:
+crates/vision/src/detect.rs:
+crates/vision/src/image.rs:
+crates/vision/src/layout.rs:
+crates/vision/src/noise.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/qrm_vision-22935454e4a69019.d: crates/vision/src/lib.rs crates/vision/src/detect.rs crates/vision/src/image.rs crates/vision/src/layout.rs crates/vision/src/noise.rs
+
+/root/repo/target/debug/deps/libqrm_vision-22935454e4a69019.rlib: crates/vision/src/lib.rs crates/vision/src/detect.rs crates/vision/src/image.rs crates/vision/src/layout.rs crates/vision/src/noise.rs
+
+/root/repo/target/debug/deps/libqrm_vision-22935454e4a69019.rmeta: crates/vision/src/lib.rs crates/vision/src/detect.rs crates/vision/src/image.rs crates/vision/src/layout.rs crates/vision/src/noise.rs
+
+crates/vision/src/lib.rs:
+crates/vision/src/detect.rs:
+crates/vision/src/image.rs:
+crates/vision/src/layout.rs:
+crates/vision/src/noise.rs:

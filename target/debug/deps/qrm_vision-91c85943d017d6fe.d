@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/qrm_vision-91c85943d017d6fe.d: crates/vision/src/lib.rs crates/vision/src/detect.rs crates/vision/src/image.rs crates/vision/src/layout.rs crates/vision/src/noise.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqrm_vision-91c85943d017d6fe.rmeta: crates/vision/src/lib.rs crates/vision/src/detect.rs crates/vision/src/image.rs crates/vision/src/layout.rs crates/vision/src/noise.rs Cargo.toml
+
+crates/vision/src/lib.rs:
+crates/vision/src/detect.rs:
+crates/vision/src/image.rs:
+crates/vision/src/layout.rs:
+crates/vision/src/noise.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-645377c8e67a769e.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-645377c8e67a769e.rmeta: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

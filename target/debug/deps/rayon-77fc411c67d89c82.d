@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-77fc411c67d89c82.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-77fc411c67d89c82.rmeta: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

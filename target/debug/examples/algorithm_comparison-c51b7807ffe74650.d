@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/algorithm_comparison-c51b7807ffe74650.d: examples/algorithm_comparison.rs Cargo.toml
+
+/root/repo/target/debug/examples/libalgorithm_comparison-c51b7807ffe74650.rmeta: examples/algorithm_comparison.rs Cargo.toml
+
+examples/algorithm_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

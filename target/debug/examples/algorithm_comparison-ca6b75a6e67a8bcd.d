@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/algorithm_comparison-ca6b75a6e67a8bcd.d: examples/algorithm_comparison.rs
+
+/root/repo/target/debug/examples/libalgorithm_comparison-ca6b75a6e67a8bcd.rmeta: examples/algorithm_comparison.rs
+
+examples/algorithm_comparison.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/algorithm_comparison-d9e99afdb3d41c14.d: examples/algorithm_comparison.rs Cargo.toml
+
+/root/repo/target/debug/examples/libalgorithm_comparison-d9e99afdb3d41c14.rmeta: examples/algorithm_comparison.rs Cargo.toml
+
+examples/algorithm_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/algorithm_comparison-e9e48043cef03198.d: examples/algorithm_comparison.rs
+
+/root/repo/target/debug/examples/algorithm_comparison-e9e48043cef03198: examples/algorithm_comparison.rs
+
+examples/algorithm_comparison.rs:

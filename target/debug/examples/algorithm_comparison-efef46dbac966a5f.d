@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/algorithm_comparison-efef46dbac966a5f.d: examples/algorithm_comparison.rs
+
+/root/repo/target/debug/examples/algorithm_comparison-efef46dbac966a5f: examples/algorithm_comparison.rs
+
+examples/algorithm_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/batch_planning-2770959554d1909a.d: examples/batch_planning.rs
+
+/root/repo/target/debug/examples/batch_planning-2770959554d1909a: examples/batch_planning.rs
+
+examples/batch_planning.rs:

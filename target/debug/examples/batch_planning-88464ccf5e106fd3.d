@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/batch_planning-88464ccf5e106fd3.d: examples/batch_planning.rs
+
+/root/repo/target/debug/examples/libbatch_planning-88464ccf5e106fd3.rmeta: examples/batch_planning.rs
+
+examples/batch_planning.rs:

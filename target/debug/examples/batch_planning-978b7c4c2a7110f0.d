@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/batch_planning-978b7c4c2a7110f0.d: examples/batch_planning.rs
+
+/root/repo/target/debug/examples/batch_planning-978b7c4c2a7110f0: examples/batch_planning.rs
+
+examples/batch_planning.rs:

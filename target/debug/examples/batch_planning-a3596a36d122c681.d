@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/batch_planning-a3596a36d122c681.d: examples/batch_planning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbatch_planning-a3596a36d122c681.rmeta: examples/batch_planning.rs Cargo.toml
+
+examples/batch_planning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

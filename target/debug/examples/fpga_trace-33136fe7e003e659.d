@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fpga_trace-33136fe7e003e659.d: examples/fpga_trace.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfpga_trace-33136fe7e003e659.rmeta: examples/fpga_trace.rs Cargo.toml
+
+examples/fpga_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

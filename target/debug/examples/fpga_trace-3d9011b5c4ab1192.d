@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fpga_trace-3d9011b5c4ab1192.d: examples/fpga_trace.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfpga_trace-3d9011b5c4ab1192.rmeta: examples/fpga_trace.rs Cargo.toml
+
+examples/fpga_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

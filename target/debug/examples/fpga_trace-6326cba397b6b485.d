@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fpga_trace-6326cba397b6b485.d: examples/fpga_trace.rs
+
+/root/repo/target/debug/examples/fpga_trace-6326cba397b6b485: examples/fpga_trace.rs
+
+examples/fpga_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fpga_trace-638dbdc397d1b66e.d: examples/fpga_trace.rs
+
+/root/repo/target/debug/examples/fpga_trace-638dbdc397d1b66e: examples/fpga_trace.rs
+
+examples/fpga_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fpga_trace-db07c4a2dd97abbb.d: examples/fpga_trace.rs
+
+/root/repo/target/debug/examples/libfpga_trace-db07c4a2dd97abbb.rmeta: examples/fpga_trace.rs
+
+examples/fpga_trace.rs:

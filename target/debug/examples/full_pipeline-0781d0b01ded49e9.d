@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/full_pipeline-0781d0b01ded49e9.d: examples/full_pipeline.rs
+
+/root/repo/target/debug/examples/full_pipeline-0781d0b01ded49e9: examples/full_pipeline.rs
+
+examples/full_pipeline.rs:

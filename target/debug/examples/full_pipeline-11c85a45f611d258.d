@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/full_pipeline-11c85a45f611d258.d: examples/full_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfull_pipeline-11c85a45f611d258.rmeta: examples/full_pipeline.rs Cargo.toml
+
+examples/full_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

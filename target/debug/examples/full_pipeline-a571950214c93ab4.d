@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/full_pipeline-a571950214c93ab4.d: examples/full_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfull_pipeline-a571950214c93ab4.rmeta: examples/full_pipeline.rs Cargo.toml
+
+examples/full_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/full_pipeline-c199c984d30a4621.d: examples/full_pipeline.rs
+
+/root/repo/target/debug/examples/libfull_pipeline-c199c984d30a4621.rmeta: examples/full_pipeline.rs
+
+examples/full_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/full_pipeline-c280f2524e1b16a1.d: examples/full_pipeline.rs
+
+/root/repo/target/debug/examples/full_pipeline-c280f2524e1b16a1: examples/full_pipeline.rs
+
+examples/full_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-15b49242c991af94.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-15b49242c991af94: examples/quickstart.rs
+
+examples/quickstart.rs:

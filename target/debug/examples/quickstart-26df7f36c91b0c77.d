@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-26df7f36c91b0c77.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-26df7f36c91b0c77: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b2e5f377e1b8d0fe.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-b2e5f377e1b8d0fe.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scaling_study-4769149b08906ba8.d: examples/scaling_study.rs
+
+/root/repo/target/debug/examples/libscaling_study-4769149b08906ba8.rmeta: examples/scaling_study.rs
+
+examples/scaling_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scaling_study-bce0ac757a81c52e.d: examples/scaling_study.rs
+
+/root/repo/target/debug/examples/scaling_study-bce0ac757a81c52e: examples/scaling_study.rs
+
+examples/scaling_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scaling_study-d05ab87a87e8a2e6.d: examples/scaling_study.rs
+
+/root/repo/target/debug/examples/scaling_study-d05ab87a87e8a2e6: examples/scaling_study.rs
+
+examples/scaling_study.rs:

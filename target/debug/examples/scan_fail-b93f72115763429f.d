@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scan_fail-b93f72115763429f.d: examples/scan_fail.rs
+
+/root/repo/target/debug/examples/scan_fail-b93f72115763429f: examples/scan_fail.rs
+
+examples/scan_fail.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/atom_rearrange-a0b33cbc4310e511.d: src/lib.rs
+
+/root/repo/target/release/deps/libatom_rearrange-a0b33cbc4310e511.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libatom_rearrange-a0b33cbc4310e511.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/atom_rearrange-a58abf6e9244bd88.d: src/lib.rs
+
+/root/repo/target/release/deps/libatom_rearrange-a58abf6e9244bd88.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libatom_rearrange-a58abf6e9244bd88.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine-f0b1722fc3d30fdf.d: crates/bench/benches/engine.rs
+
+/root/repo/target/release/deps/engine-f0b1722fc3d30fdf: crates/bench/benches/engine.rs
+
+crates/bench/benches/engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-3de456e31a635929.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-3de456e31a635929: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

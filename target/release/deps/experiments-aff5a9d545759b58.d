@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-aff5a9d545759b58.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-aff5a9d545759b58: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/qrm_baselines-c7508bcc5754eff2.d: crates/baselines/src/lib.rs crates/baselines/src/hybrid.rs crates/baselines/src/mta1.rs crates/baselines/src/psca.rs crates/baselines/src/stepper.rs crates/baselines/src/tetris.rs
+
+/root/repo/target/release/deps/libqrm_baselines-c7508bcc5754eff2.rlib: crates/baselines/src/lib.rs crates/baselines/src/hybrid.rs crates/baselines/src/mta1.rs crates/baselines/src/psca.rs crates/baselines/src/stepper.rs crates/baselines/src/tetris.rs
+
+/root/repo/target/release/deps/libqrm_baselines-c7508bcc5754eff2.rmeta: crates/baselines/src/lib.rs crates/baselines/src/hybrid.rs crates/baselines/src/mta1.rs crates/baselines/src/psca.rs crates/baselines/src/stepper.rs crates/baselines/src/tetris.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/hybrid.rs:
+crates/baselines/src/mta1.rs:
+crates/baselines/src/psca.rs:
+crates/baselines/src/stepper.rs:
+crates/baselines/src/tetris.rs:

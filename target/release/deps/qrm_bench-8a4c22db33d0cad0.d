@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/qrm_bench-8a4c22db33d0cad0.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libqrm_bench-8a4c22db33d0cad0.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libqrm_bench-8a4c22db33d0cad0.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/qrm_bench-d50917e14fdf0dd7.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libqrm_bench-d50917e14fdf0dd7.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libqrm_bench-d50917e14fdf0dd7.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/qrm_control-5883f03bb0cc60d6.d: crates/control/src/lib.rs crates/control/src/awg.rs crates/control/src/pipeline.rs crates/control/src/system.rs
+
+/root/repo/target/release/deps/libqrm_control-5883f03bb0cc60d6.rlib: crates/control/src/lib.rs crates/control/src/awg.rs crates/control/src/pipeline.rs crates/control/src/system.rs
+
+/root/repo/target/release/deps/libqrm_control-5883f03bb0cc60d6.rmeta: crates/control/src/lib.rs crates/control/src/awg.rs crates/control/src/pipeline.rs crates/control/src/system.rs
+
+crates/control/src/lib.rs:
+crates/control/src/awg.rs:
+crates/control/src/pipeline.rs:
+crates/control/src/system.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/qrm_fpga-29983f9cfcabb7d4.d: crates/fpga/src/lib.rs crates/fpga/src/accelerator.rs crates/fpga/src/clock.rs crates/fpga/src/fifo.rs crates/fpga/src/latency.rs crates/fpga/src/ldm.rs crates/fpga/src/memory.rs crates/fpga/src/ocm.rs crates/fpga/src/qpm.rs crates/fpga/src/resources.rs crates/fpga/src/shift_unit.rs crates/fpga/src/stream.rs
+
+/root/repo/target/release/deps/libqrm_fpga-29983f9cfcabb7d4.rlib: crates/fpga/src/lib.rs crates/fpga/src/accelerator.rs crates/fpga/src/clock.rs crates/fpga/src/fifo.rs crates/fpga/src/latency.rs crates/fpga/src/ldm.rs crates/fpga/src/memory.rs crates/fpga/src/ocm.rs crates/fpga/src/qpm.rs crates/fpga/src/resources.rs crates/fpga/src/shift_unit.rs crates/fpga/src/stream.rs
+
+/root/repo/target/release/deps/libqrm_fpga-29983f9cfcabb7d4.rmeta: crates/fpga/src/lib.rs crates/fpga/src/accelerator.rs crates/fpga/src/clock.rs crates/fpga/src/fifo.rs crates/fpga/src/latency.rs crates/fpga/src/ldm.rs crates/fpga/src/memory.rs crates/fpga/src/ocm.rs crates/fpga/src/qpm.rs crates/fpga/src/resources.rs crates/fpga/src/shift_unit.rs crates/fpga/src/stream.rs
+
+crates/fpga/src/lib.rs:
+crates/fpga/src/accelerator.rs:
+crates/fpga/src/clock.rs:
+crates/fpga/src/fifo.rs:
+crates/fpga/src/latency.rs:
+crates/fpga/src/ldm.rs:
+crates/fpga/src/memory.rs:
+crates/fpga/src/ocm.rs:
+crates/fpga/src/qpm.rs:
+crates/fpga/src/resources.rs:
+crates/fpga/src/shift_unit.rs:
+crates/fpga/src/stream.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/qrm_fpga-3a339a91e77dcb0e.d: crates/fpga/src/lib.rs crates/fpga/src/accelerator.rs crates/fpga/src/clock.rs crates/fpga/src/fifo.rs crates/fpga/src/latency.rs crates/fpga/src/ldm.rs crates/fpga/src/memory.rs crates/fpga/src/ocm.rs crates/fpga/src/qpm.rs crates/fpga/src/resources.rs crates/fpga/src/shift_unit.rs crates/fpga/src/stream.rs
+
+/root/repo/target/release/deps/libqrm_fpga-3a339a91e77dcb0e.rlib: crates/fpga/src/lib.rs crates/fpga/src/accelerator.rs crates/fpga/src/clock.rs crates/fpga/src/fifo.rs crates/fpga/src/latency.rs crates/fpga/src/ldm.rs crates/fpga/src/memory.rs crates/fpga/src/ocm.rs crates/fpga/src/qpm.rs crates/fpga/src/resources.rs crates/fpga/src/shift_unit.rs crates/fpga/src/stream.rs
+
+/root/repo/target/release/deps/libqrm_fpga-3a339a91e77dcb0e.rmeta: crates/fpga/src/lib.rs crates/fpga/src/accelerator.rs crates/fpga/src/clock.rs crates/fpga/src/fifo.rs crates/fpga/src/latency.rs crates/fpga/src/ldm.rs crates/fpga/src/memory.rs crates/fpga/src/ocm.rs crates/fpga/src/qpm.rs crates/fpga/src/resources.rs crates/fpga/src/shift_unit.rs crates/fpga/src/stream.rs
+
+crates/fpga/src/lib.rs:
+crates/fpga/src/accelerator.rs:
+crates/fpga/src/clock.rs:
+crates/fpga/src/fifo.rs:
+crates/fpga/src/latency.rs:
+crates/fpga/src/ldm.rs:
+crates/fpga/src/memory.rs:
+crates/fpga/src/ocm.rs:
+crates/fpga/src/qpm.rs:
+crates/fpga/src/resources.rs:
+crates/fpga/src/shift_unit.rs:
+crates/fpga/src/stream.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/qrm_vision-7208e06f8ccd854b.d: crates/vision/src/lib.rs crates/vision/src/detect.rs crates/vision/src/image.rs crates/vision/src/layout.rs crates/vision/src/noise.rs
+
+/root/repo/target/release/deps/libqrm_vision-7208e06f8ccd854b.rlib: crates/vision/src/lib.rs crates/vision/src/detect.rs crates/vision/src/image.rs crates/vision/src/layout.rs crates/vision/src/noise.rs
+
+/root/repo/target/release/deps/libqrm_vision-7208e06f8ccd854b.rmeta: crates/vision/src/lib.rs crates/vision/src/detect.rs crates/vision/src/image.rs crates/vision/src/layout.rs crates/vision/src/noise.rs
+
+crates/vision/src/lib.rs:
+crates/vision/src/detect.rs:
+crates/vision/src/image.rs:
+crates/vision/src/layout.rs:
+crates/vision/src/noise.rs:

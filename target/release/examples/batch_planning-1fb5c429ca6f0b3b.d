@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/batch_planning-1fb5c429ca6f0b3b.d: examples/batch_planning.rs
+
+/root/repo/target/release/examples/batch_planning-1fb5c429ca6f0b3b: examples/batch_planning.rs
+
+examples/batch_planning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/batch_planning-f8844cb906d29cb8.d: examples/batch_planning.rs
+
+/root/repo/target/release/examples/batch_planning-f8844cb906d29cb8: examples/batch_planning.rs
+
+examples/batch_planning.rs:

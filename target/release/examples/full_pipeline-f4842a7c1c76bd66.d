@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/full_pipeline-f4842a7c1c76bd66.d: examples/full_pipeline.rs
+
+/root/repo/target/release/examples/full_pipeline-f4842a7c1c76bd66: examples/full_pipeline.rs
+
+examples/full_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-0c9a7d6d7017e2c1.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-0c9a7d6d7017e2c1: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/scan_corpus-a0478da0ed248fb9.d: examples/scan_corpus.rs
+
+/root/repo/target/release/examples/scan_corpus-a0478da0ed248fb9: examples/scan_corpus.rs
+
+examples/scan_corpus.rs:

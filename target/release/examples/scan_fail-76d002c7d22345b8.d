@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/scan_fail-76d002c7d22345b8.d: examples/scan_fail.rs
+
+/root/repo/target/release/examples/scan_fail-76d002c7d22345b8: examples/scan_fail.rs
+
+examples/scan_fail.rs:

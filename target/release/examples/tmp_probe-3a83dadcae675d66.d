@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/tmp_probe-3a83dadcae675d66.d: examples/tmp_probe.rs
+
+/root/repo/target/release/examples/tmp_probe-3a83dadcae675d66: examples/tmp_probe.rs
+
+examples/tmp_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/tmp_probe-77902fcb161861d2.d: examples/tmp_probe.rs
+
+/root/repo/target/release/examples/tmp_probe-77902fcb161861d2: examples/tmp_probe.rs
+
+examples/tmp_probe.rs:
