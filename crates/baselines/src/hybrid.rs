@@ -19,8 +19,9 @@ use qrm_core::error::Error;
 use qrm_core::executor::{Executor, PathPolicy};
 use qrm_core::geometry::Rect;
 use qrm_core::grid::AtomGrid;
+use qrm_core::planner::Planner;
 use qrm_core::schedule::Schedule;
-use qrm_core::scheduler::{Plan, QrmConfig, QrmScheduler, Rearranger};
+use qrm_core::scheduler::{Plan, QrmConfig, QrmScheduler};
 
 use crate::mta1::{Mta1Config, Mta1Scheduler};
 
@@ -86,7 +87,13 @@ impl HybridScheduler {
     }
 }
 
-impl Rearranger for HybridScheduler {
+impl Planner for HybridScheduler {
+    /// Hybrid repair legs fly over occupied traps like MTA1's, so the
+    /// schedules need the endpoints-only executor ([`hybrid_executor`]).
+    fn executor(&self) -> Executor {
+        hybrid_executor()
+    }
+
     fn name(&self) -> &'static str {
         "QRM + repair (hybrid)"
     }

@@ -2,7 +2,7 @@
 //!
 //! Reimplementations of the three algorithms the paper benchmarks QRM
 //! against in Fig. 7(b), each implementing
-//! [`Rearranger`](qrm_core::scheduler::Rearranger) so they can be compared
+//! [`Planner`](qrm_core::planner::Planner) so they can be compared
 //! head-to-head with QRM on identical instances:
 //!
 //! * [`tetris`] — Wang et al., *Accelerating the assembly of defect-free

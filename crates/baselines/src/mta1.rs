@@ -23,8 +23,9 @@ use qrm_core::executor::{Executor, PathPolicy};
 use qrm_core::geometry::{Position, Rect};
 use qrm_core::grid::AtomGrid;
 use qrm_core::moves::ParallelMove;
+use qrm_core::planner::Planner;
 use qrm_core::schedule::Schedule;
-use qrm_core::scheduler::{Plan, Rearranger};
+use qrm_core::scheduler::Plan;
 
 /// MTA1 configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,9 +115,18 @@ impl Mta1Scheduler {
     }
 }
 
-impl Rearranger for Mta1Scheduler {
+impl Planner for Mta1Scheduler {
     fn name(&self) -> &'static str {
         "MTA1 (Ebadi 2021)"
+    }
+
+    /// MTA1 transports atoms on long single-tweezer legs that fly over
+    /// intermediate occupied sites, so its schedules need the
+    /// endpoints-only executor ([`mta1_executor`]) — generic consumers
+    /// (bench harness, pipeline) pick it up through the trait instead of
+    /// special-casing the algorithm.
+    fn executor(&self) -> Executor {
+        mta1_executor()
     }
 
     fn plan(&self, grid: &AtomGrid, target: &Rect) -> Result<Plan, Error> {

@@ -15,8 +15,9 @@
 use qrm_core::error::Error;
 use qrm_core::geometry::{Axis, Position, Rect};
 use qrm_core::grid::AtomGrid;
+use qrm_core::planner::Planner;
 use qrm_core::schedule::Schedule;
-use qrm_core::scheduler::{Plan, Rearranger};
+use qrm_core::scheduler::Plan;
 
 use crate::stepper::{realize_plan, PlannedMove};
 
@@ -149,7 +150,7 @@ impl PscaScheduler {
     }
 }
 
-impl Rearranger for PscaScheduler {
+impl Planner for PscaScheduler {
     fn name(&self) -> &'static str {
         "PSCA (Tian 2023)"
     }

@@ -14,8 +14,9 @@
 use qrm_core::error::Error;
 use qrm_core::geometry::{Axis, Position, Rect};
 use qrm_core::grid::AtomGrid;
+use qrm_core::planner::Planner;
 use qrm_core::schedule::Schedule;
-use qrm_core::scheduler::{Plan, Rearranger};
+use qrm_core::scheduler::Plan;
 
 use crate::stepper::{realize_plan, PlannedMove};
 
@@ -58,7 +59,7 @@ impl TetrisScheduler {
     }
 }
 
-impl Rearranger for TetrisScheduler {
+impl Planner for TetrisScheduler {
     fn name(&self) -> &'static str {
         "Tetris (Wang 2023)"
     }

@@ -16,20 +16,38 @@
 
 use std::time::Instant;
 
-use qrm_baselines::mta1::mta1_executor;
-use qrm_baselines::{Mta1Scheduler, PscaScheduler, TetrisScheduler};
+use qrm_baselines::{HybridScheduler, Mta1Scheduler, PscaScheduler, TetrisScheduler};
 use qrm_control::system::{Architecture, SystemModel};
 use qrm_core::engine::PlanEngine;
-use qrm_core::executor::Executor;
 use qrm_core::geometry::Rect;
 use qrm_core::grid::AtomGrid;
 use qrm_core::kernel::KernelStrategy;
 use qrm_core::loading::{seeded_rng, LoadModel};
-use qrm_core::scheduler::{QrmConfig, QrmScheduler, Rearranger};
+use qrm_core::planner::Planner;
+use qrm_core::scheduler::{QrmConfig, QrmScheduler};
 use qrm_core::typical::TypicalScheduler;
 use qrm_fpga::accelerator::{AcceleratorConfig, QrmAccelerator};
 use qrm_fpga::latency::LatencyModel;
 use qrm_fpga::resources::ResourceModel;
+
+/// Every planner of the workspace as a `dyn Planner` trait object — QRM
+/// (software, paper config), the typical §III-A procedure, the three
+/// published baselines, the hybrid extension, and the cycle-accurate
+/// FPGA model. This is the harness's single construction point: all
+/// benchmark and contract code dispatches through the trait (executor
+/// policy included, via [`Planner::executor`]), so adding a planner here
+/// adds it to every comparison with no new match arms.
+pub fn planner_matrix() -> Vec<Box<dyn Planner>> {
+    vec![
+        Box::new(QrmScheduler::new(QrmConfig::paper())),
+        Box::new(TypicalScheduler::default()),
+        Box::new(TetrisScheduler::default()),
+        Box::new(PscaScheduler::default()),
+        Box::new(Mta1Scheduler::default()),
+        Box::new(HybridScheduler::default()),
+        Box::new(QrmAccelerator::new(AcceleratorConfig::paper())),
+    ]
+}
 
 /// The paper's standard workload: `size x size` array at 50 % fill with
 /// a centred target of ~60 % linear size (even), with enough atoms to be
@@ -142,7 +160,7 @@ pub fn fig7b(reps: usize, instances: usize) -> Vec<Fig7bRow> {
     let tetris = TetrisScheduler::default();
     let psca = PscaScheduler::default();
     let mta1 = Mta1Scheduler::default();
-    let planners: Vec<(&dyn Rearranger, f64)> = vec![
+    let planners: Vec<(&dyn Planner, f64)> = vec![
         (&qrm, 5.4),
         (&typical, f64::NAN),
         (&tetris, 108.0),
@@ -165,14 +183,11 @@ pub fn fig7b(reps: usize, instances: usize) -> Vec<Fig7bRow> {
                 std::hint::black_box(planner.plan(grid, target).expect("plan"));
             }
         }) / instances as f64;
+        // sanity: schedules must execute under the planner's own
+        // transport contract — supplied by the trait, not guessed here.
+        let executor = planner.executor();
         for (grid, target) in &grids {
             let plan = planner.plan(grid, target).expect("plan");
-            // sanity: schedules must execute under the planner's policy
-            let executor = if planner.name().starts_with("MTA1") {
-                mta1_executor()
-            } else {
-                Executor::new()
-            };
             executor.run(grid, &plan.schedule).expect("valid schedule");
             filled += usize::from(plan.filled);
         }
@@ -496,6 +511,30 @@ pub fn latency_model_check() -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn planner_matrix_reaches_all_seven_through_the_trait() {
+        let planners = planner_matrix();
+        assert_eq!(planners.len(), 7, "QRM, typical, 3 baselines, hybrid, FPGA");
+        let names: std::collections::BTreeSet<&str> = planners.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), 7, "planner names must be distinct");
+        let (grid, target) = paper_instance(16, 321);
+        let jobs = vec![(grid.clone(), target), (grid.clone(), target)];
+        for planner in &planners {
+            let single = planner.plan(&grid, &target).expect("plan");
+            let batched = planner.plan_batch(&jobs).expect("batch");
+            assert_eq!(
+                batched,
+                vec![single.clone(), single.clone()],
+                "{} batch != mapped plan",
+                planner.name()
+            );
+            planner
+                .executor()
+                .run(&grid, &single.schedule)
+                .expect("schedule must execute under the trait's executor");
+        }
+    }
 
     #[test]
     fn paper_instance_is_feasible() {

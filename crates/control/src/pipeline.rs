@@ -9,30 +9,69 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 
+use qrm_baselines::{HybridScheduler, Mta1Scheduler, PscaScheduler, TetrisScheduler};
 use qrm_core::error::Error;
 use qrm_core::executor::{CollisionPolicy, Executor};
 use qrm_core::geometry::Rect;
 use qrm_core::grid::AtomGrid;
 use qrm_core::loading::seeded_rng;
+use qrm_core::planner::Planner;
 use qrm_core::schedule::MotionModel;
-use qrm_core::scheduler::{QrmConfig, QrmScheduler, Rearranger};
+use qrm_core::scheduler::{QrmConfig, QrmScheduler};
+use qrm_core::typical::TypicalScheduler;
 use qrm_fpga::accelerator::{AcceleratorConfig, QrmAccelerator};
 use qrm_vision::prelude::*;
 
 use crate::awg::{AodCalibration, ToneProgram};
 
-/// Which planner drives the cycle.
+/// Which planner drives the cycle — the pipeline's config surface over
+/// the workspace's planners. Every variant resolves to a
+/// `Box<dyn Planner>` ([`resolve`](PlannerChoice::resolve)); the
+/// pipeline itself dispatches only through the trait, so adding a
+/// planner here is a one-line construction, not a new code path.
+///
+/// (Previously named `Planner`; that name now refers to the trait in
+/// [`qrm_core::planner`].)
 #[derive(Debug, Clone, PartialEq)]
-pub enum Planner {
+pub enum PlannerChoice {
     /// Software QRM on the host (Fig. 2(a) role).
     Software(QrmConfig),
     /// The cycle-accurate FPGA accelerator model (Fig. 2(b) role).
     Fpga(AcceleratorConfig),
+    /// The "typical rearrangement procedure" of paper §III-A.
+    Typical,
+    /// The Tetris baseline (Wang et al. 2023).
+    Tetris,
+    /// The PSCA baseline (Tian et al. 2023).
+    Psca,
+    /// The MTA1 single-tweezer baseline (Ebadi et al. 2021).
+    Mta1,
+    /// QRM followed by targeted single-tweezer repair (extension).
+    Hybrid,
 }
 
-impl Default for Planner {
+impl Default for PlannerChoice {
     fn default() -> Self {
-        Planner::Software(QrmConfig::default())
+        PlannerChoice::Software(QrmConfig::default())
+    }
+}
+
+impl PlannerChoice {
+    /// Builds the chosen planner. `workers` is the batch worker count
+    /// for planners with a parallel core (`0` = automatic, one per
+    /// core); serial planners ignore it.
+    pub fn resolve(&self, workers: usize) -> Box<dyn Planner> {
+        match self {
+            PlannerChoice::Software(cfg) => {
+                Box::new(QrmScheduler::new(cfg.clone()).with_workers(workers))
+            }
+            PlannerChoice::Fpga(cfg) => Box::new(QrmAccelerator::new(*cfg).with_workers(workers)),
+            PlannerChoice::Typical => Box::new(TypicalScheduler::default()),
+            PlannerChoice::Tetris => Box::new(TetrisScheduler::default()),
+            PlannerChoice::Psca => Box::new(PscaScheduler::default()),
+            PlannerChoice::Mta1 => Box::new(Mta1Scheduler::default()),
+            PlannerChoice::Hybrid => Box::new(HybridScheduler::default()),
+        }
     }
 }
 
@@ -46,7 +85,12 @@ pub struct PipelineConfig {
     /// Trap-to-pixel geometry pitch (pixels).
     pub pitch_px: f64,
     /// Planner choice.
-    pub planner: Planner,
+    pub planner: PlannerChoice,
+    /// Batch worker count for planners with a parallel core (`0` =
+    /// automatic, one per core). Workers are jobs on the persistent
+    /// global pool — raising this spawns no OS threads after pool
+    /// initialisation.
+    pub workers: usize,
     /// Physical motion model for AWG compilation.
     pub motion: MotionModel,
     /// Per-move atom-loss probability during transport.
@@ -61,7 +105,8 @@ impl Default for PipelineConfig {
             imaging: ImagingConfig::default(),
             detector: Detector::default(),
             pitch_px: 6.0,
-            planner: Planner::default(),
+            planner: PlannerChoice::default(),
+            workers: 0,
             motion: MotionModel::typical(),
             loss_prob: 0.0,
             max_rounds: 3,
@@ -122,12 +167,11 @@ impl Pipeline {
     }
 
     /// The configured planner as a trait object, so single-shot and
-    /// batched paths share one construction.
-    fn planner(&self) -> Box<dyn Rearranger> {
-        match &self.config.planner {
-            Planner::Software(cfg) => Box::new(QrmScheduler::new(cfg.clone())),
-            Planner::Fpga(cfg) => Box::new(QrmAccelerator::new(*cfg)),
-        }
+    /// batched paths share one construction. The returned planner is
+    /// long-lived for a whole run, so its internal plan context (QRM,
+    /// FPGA) recycles scratch across rounds.
+    fn planner(&self) -> Box<dyn Planner> {
+        self.config.planner.resolve(self.config.workers)
     }
 
     /// The observation half of one round: synthesise a frame from the
@@ -199,8 +243,13 @@ impl Pipeline {
         let mut state = truth.clone();
         let mut rounds = Vec::new();
         let layout = TrapLayout::new(state.height(), state.width(), self.config.pitch_px, 4.0);
-        let executor = Executor::new().with_collision_policy(CollisionPolicy::Eject);
         let planner = self.planner();
+        // The planner's transport contract (strict AOD sweeps, or
+        // endpoints-only for single-tweezer planners) plus the control
+        // loop's eject-on-collision recovery policy.
+        let executor = planner
+            .executor()
+            .with_collision_policy(CollisionPolicy::Eject);
 
         for _ in 0..self.config.max_rounds {
             if state.is_filled(target)? {
@@ -274,7 +323,9 @@ impl Pipeline {
         }
 
         let planner = self.planner();
-        let executor = Executor::new().with_collision_policy(CollisionPolicy::Eject);
+        let executor = planner
+            .executor()
+            .with_collision_policy(CollisionPolicy::Eject);
         let mut shots: Vec<ShotState> = truths
             .iter()
             .enumerate()
@@ -395,7 +446,7 @@ mod tests {
         let truth = AtomGrid::random(20, 20, 0.55, &mut rng);
         let target = Rect::centered(20, 20, 12, 12).unwrap();
         let config = PipelineConfig {
-            planner: Planner::Fpga(AcceleratorConfig::balanced()),
+            planner: PlannerChoice::Fpga(AcceleratorConfig::balanced()),
             ..PipelineConfig::default()
         };
         let report = Pipeline::new(config)
@@ -436,7 +487,7 @@ mod tests {
                 ..PipelineConfig::default()
             },
             PipelineConfig {
-                planner: Planner::Fpga(AcceleratorConfig::balanced()),
+                planner: PlannerChoice::Fpga(AcceleratorConfig::balanced()),
                 ..PipelineConfig::default()
             },
         ] {

@@ -216,7 +216,7 @@ mod tests {
     use crate::geometry::Rect;
     use crate::grid::AtomGrid;
     use crate::loading::seeded_rng;
-    use crate::scheduler::{QrmConfig, QrmScheduler, Rearranger};
+    use crate::scheduler::{Planner, QrmConfig, QrmScheduler};
 
     #[test]
     fn roundtrip_simple_schedule() {

@@ -25,11 +25,32 @@
 //! ```
 //!
 //! and the tasks of **all shots in a batch share one work queue**, so a
-//! pool of workers (spawned via `rayon::scope`) keeps every core busy
-//! across the whole batch: quadrant kernels are re-enqueued after each
-//! iteration (round-robin fairness across shots), a shot's merge task
-//! becomes ready when its fourth quadrant completes, and its validate
-//! task finalises the [`Plan`].
+//! set of engine workers keeps every core busy across the whole batch:
+//! quadrant kernels are re-enqueued after each iteration (round-robin
+//! fairness across shots), a shot's merge task becomes ready when its
+//! fourth quadrant completes, and its validate task finalises the
+//! [`Plan`].
+//!
+//! ## The persistent worker pool
+//!
+//! Engine workers are submitted through `rayon::scope` to the
+//! **process-global persistent thread pool** (`rayon::ThreadPool`):
+//! OS threads are spawned exactly once, lazily, and every later
+//! `plan_batch`/`run_task_graph` call only enqueues jobs onto them —
+//! `rayon::global_pool_stats()` exposes the spawn counter the reuse
+//! tests assert stays flat. Two paths skip the pool entirely:
+//!
+//! * `workers <= 1` (including every run on a single-core host under the
+//!   automatic policy) executes the graph **inline** on the calling
+//!   thread in deterministic order, with zero queueing overhead;
+//! * an empty batch returns immediately.
+//!
+//! Allocation reuse across batches lives in [`PlanContext`]: it pools
+//! the slot-indexed result buffers and the per-quadrant kernel scratch
+//! (grid word buffers and pass vectors, recycled through
+//! [`KernelScratch::reclaim`] / [`ShiftKernel::start_in`]), so a long-lived
+//! engine — e.g. the one inside `Pipeline::run_batch` planning round
+//! after round — stops allocating on the hot path once warm.
 //!
 //! ## Determinism
 //!
@@ -57,7 +78,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use crate::error::Error;
 use crate::geometry::Rect;
 use crate::grid::AtomGrid;
-use crate::kernel::{KernelConfig, KernelOutcome, KernelState, ShiftKernel};
+use crate::kernel::{KernelConfig, KernelOutcome, KernelScratch, KernelState, ShiftKernel};
 use crate::merge::{merge_outcomes, MergeConfig, MergeOutput};
 use crate::quadrant::QuadrantMap;
 use crate::scheduler::{Plan, QrmConfig};
@@ -319,8 +340,8 @@ struct ShotSlots<T: QuadrantTask, M> {
     merged: Mutex<Option<M>>,
 }
 
-/// Executes a batch of quadrant task graphs on `workers` threads and
-/// returns the per-shot results in input order.
+/// Executes a batch of quadrant task graphs on `workers` pool workers
+/// and returns the per-shot results in input order.
 ///
 /// `tasks` holds the four [`QuadrantTask`]s of every shot. When a shot's
 /// four tasks complete, `merge` fuses their outputs; `validate` then
@@ -329,8 +350,10 @@ struct ShotSlots<T: QuadrantTask, M> {
 /// quadrant work of later shots.
 ///
 /// With `workers <= 1` the graph is executed inline in deterministic
-/// order with zero thread overhead — the result is bit-identical either
-/// way (see the module docs).
+/// order with zero thread overhead; with more, workers are submitted to
+/// the persistent global pool (no OS threads are spawned either way
+/// after pool initialisation). The result is bit-identical in all cases
+/// (see the module docs).
 ///
 /// # Errors
 ///
@@ -344,6 +367,32 @@ pub fn run_task_graph<T, M, O, FM, FV>(
     workers: usize,
     merge: FM,
     validate: FV,
+) -> Result<Vec<O>, Error>
+where
+    T: QuadrantTask,
+    M: Send,
+    O: Send,
+    FM: Fn(usize, [T::Out; 4]) -> Result<M, Error> + Sync,
+    FV: Fn(usize, M) -> Result<O, Error> + Sync,
+{
+    run_task_graph_in(tasks, workers, merge, validate, &mut Vec::new())
+}
+
+/// [`run_task_graph`] with a caller-owned slot-indexed result buffer, so
+/// repeated batches reuse its allocation instead of growing a fresh one
+/// (the [`PlanContext`] hook). The buffer is cleared and resized to the
+/// batch; on success every slot has been drained into the returned
+/// `Vec`. The inline `workers <= 1` path does not touch the buffer.
+///
+/// # Errors
+///
+/// Identical to [`run_task_graph`].
+pub fn run_task_graph_in<T, M, O, FM, FV>(
+    tasks: Vec<[T; 4]>,
+    workers: usize,
+    merge: FM,
+    validate: FV,
+    results: &mut Vec<Mutex<Option<O>>>,
 ) -> Result<Vec<O>, Error>
 where
     T: QuadrantTask,
@@ -395,7 +444,9 @@ where
             }
         })
         .collect();
-    let results: Vec<Mutex<Option<O>>> = (0..shots).map(|_| Mutex::new(None)).collect();
+    results.clear();
+    results.resize_with(shots, || Mutex::new(None));
+    let results = &*results;
     let first_error: Mutex<Option<(usize, Error)>> = Mutex::new(None);
 
     // Seed the queue with every quadrant task, interleaved shot-major so
@@ -498,10 +549,11 @@ where
         return Err(err);
     }
     Ok(results
-        .into_iter()
+        .iter()
         .map(|slot| {
-            slot.into_inner()
+            slot.lock()
                 .expect("engine result slot poisoned")
+                .take()
                 .expect("every shot produced a result")
         })
         .collect())
@@ -518,6 +570,41 @@ pub fn resolve_workers(configured: usize, shots: usize) -> usize {
         rayon::current_num_threads().min(max_useful)
     } else {
         configured.min(max_useful)
+    }
+}
+
+/// Reusable scratch for repeated batched planning: the slot-indexed
+/// result buffer of [`run_task_graph_in`] plus a pool of recycled
+/// per-quadrant kernel scratch (grid word buffers and pass vectors —
+/// see [`KernelScratch::reclaim`] and [`ShiftKernel::start_in`]).
+///
+/// A [`PlanEngine`] owns one internally, so consecutive
+/// [`plan_batch`](PlanEngine::plan_batch) calls through the same engine
+/// (e.g. the per-round calls inside `Pipeline::run_batch`) reuse
+/// allocations automatically; [`plan_batch_in`](PlanEngine::plan_batch_in)
+/// takes an explicit context for callers that manage their own. Reuse is
+/// purely an allocation optimisation — plans are bit-identical whether a
+/// context is fresh, warm, or absent, which the integration suite
+/// asserts.
+#[derive(Debug, Default)]
+pub struct PlanContext {
+    /// Recycled kernel scratch, shared with in-flight tasks.
+    states: Mutex<Vec<KernelScratch>>,
+    /// Recycled result-slot buffer for [`run_task_graph_in`].
+    slots: Vec<Mutex<Option<Plan>>>,
+}
+
+impl PlanContext {
+    /// Creates an empty context.
+    pub fn new() -> Self {
+        PlanContext::default()
+    }
+
+    /// Number of recycled kernel-scratch buffers currently parked in the
+    /// context (diagnostics: after a warm batch this is nonzero, proving
+    /// the next batch will reuse rather than allocate).
+    pub fn idle_states(&self) -> usize {
+        self.states.lock().expect("plan context poisoned").len()
     }
 }
 
@@ -550,10 +637,22 @@ pub fn resolve_workers(configured: usize, shots: usize) -> usize {
 /// }
 /// # Ok::<(), qrm_core::Error>(())
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct PlanEngine {
     config: QrmConfig,
     workers: usize,
+    /// Cross-batch scratch; cloning an engine starts with a cold one.
+    ctx: Mutex<PlanContext>,
+}
+
+impl Clone for PlanEngine {
+    fn clone(&self) -> Self {
+        PlanEngine {
+            config: self.config.clone(),
+            workers: self.workers,
+            ctx: Mutex::new(PlanContext::default()),
+        }
+    }
 }
 
 /// A [`QuadrantTask`] running the software shift kernel one iteration
@@ -581,7 +680,11 @@ impl PlanEngine {
     /// Creates an engine planning with the given QRM configuration and
     /// automatic worker count (one per core, capped by batch size).
     pub fn new(config: QrmConfig) -> Self {
-        PlanEngine { config, workers: 0 }
+        PlanEngine {
+            config,
+            workers: 0,
+            ctx: Mutex::new(PlanContext::default()),
+        }
     }
 
     /// Overrides the worker count (`0` restores the automatic policy).
@@ -606,20 +709,58 @@ impl PlanEngine {
     /// bit-identical to calling
     /// [`QrmScheduler::plan`](crate::scheduler::QrmScheduler) per shot.
     ///
+    /// Uses the engine's internal [`PlanContext`], so consecutive calls
+    /// reuse kernel scratch and result buffers (concurrent callers on
+    /// one engine fall back to a fresh context rather than serialise).
+    ///
     /// # Errors
     ///
     /// Returns the first decomposition error in input order, or the
     /// first planning error the task graph hits.
     pub fn plan_batch(&self, jobs: &[(AtomGrid, Rect)]) -> Result<Vec<Plan>, Error> {
+        use std::sync::TryLockError;
+        match self.ctx.try_lock() {
+            Ok(mut ctx) => self.plan_batch_in(&mut ctx, jobs),
+            // A panic mid-batch poisoned the context: reset it so reuse
+            // comes back on the next call instead of silently degrading
+            // to cold contexts forever.
+            Err(TryLockError::Poisoned(poisoned)) => {
+                self.ctx.clear_poison();
+                let mut ctx = poisoned.into_inner();
+                *ctx = PlanContext::default();
+                self.plan_batch_in(&mut ctx, jobs)
+            }
+            // Another batch is in flight on this engine: don't serialise
+            // behind it, just plan with a cold context.
+            Err(TryLockError::WouldBlock) => self.plan_batch_in(&mut PlanContext::default(), jobs),
+        }
+    }
+
+    /// [`plan_batch`](Self::plan_batch) with an explicit reusable
+    /// context. Plans are bit-identical whether `ctx` is fresh or warm;
+    /// a warm context only skips allocations (the kernel grid/pass
+    /// buffers and the result slots are recycled from the previous
+    /// batch).
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`plan_batch`](Self::plan_batch).
+    pub fn plan_batch_in(
+        &self,
+        ctx: &mut PlanContext,
+        jobs: &[(AtomGrid, Rect)],
+    ) -> Result<Vec<Plan>, Error> {
         let shots = decompose_batch(jobs)?;
+        let states = &ctx.states;
 
         let tasks: Vec<[KernelTask; 4]> = shots
             .iter()
             .map(|shot| {
                 let kernel = ShiftKernel::new(self.kernel_config(&shot.work));
                 let mk = |quadrant: &Arc<AtomGrid>| -> Result<KernelTask, Error> {
+                    let recycled = states.lock().expect("plan context poisoned").pop();
                     Ok(KernelTask {
-                        state: Some(kernel.start(quadrant)?),
+                        state: Some(kernel.start_in(quadrant, recycled)?),
                         kernel: kernel.clone(),
                     })
                 };
@@ -637,16 +778,24 @@ impl PlanEngine {
         };
         let workers = resolve_workers(self.workers, shots.len());
 
-        run_task_graph(
+        run_task_graph_in(
             tasks,
             workers,
             |shot_idx, outcomes: [KernelOutcome; 4]| {
                 let shot = &shots[shot_idx];
-                merge_shot(shot.grid, &shot.work.map, &outcomes, &merge_cfg)
+                let merged = merge_shot(shot.grid, &shot.work.map, &outcomes, &merge_cfg)?;
+                // The four outcomes have served their purpose; reclaim
+                // their buffers for the next batch's kernels.
+                let mut pool = states.lock().expect("plan context poisoned");
+                for outcome in outcomes {
+                    pool.push(KernelScratch::reclaim(outcome));
+                }
+                Ok(merged)
             },
             |shot_idx, (merged, iterations)| {
                 validate_shot(shots[shot_idx].target, merged, iterations)
             },
+            &mut ctx.slots,
         )
     }
 }

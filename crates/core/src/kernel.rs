@@ -209,6 +209,29 @@ impl KernelState {
     }
 }
 
+/// Recycled kernel buffers (grid words plus the pass vector), reclaimed
+/// from a finished [`KernelOutcome`] and only consumable by
+/// [`ShiftKernel::start_in`], which reinitialises them in place. The
+/// type is deliberately inert — it cannot be stepped or finished — so
+/// stale data from the previous run is unreachable by construction.
+/// The engine's [`PlanContext`](crate::engine::PlanContext) pools these
+/// across `plan_batch` rounds.
+#[derive(Debug)]
+pub struct KernelScratch {
+    grid: AtomGrid,
+    passes: Vec<LocalPass>,
+}
+
+impl KernelScratch {
+    /// Reclaims the buffers of a finished outcome as reusable scratch.
+    pub fn reclaim(outcome: KernelOutcome) -> KernelScratch {
+        KernelScratch {
+            grid: outcome.final_grid,
+            passes: outcome.passes,
+        }
+    }
+}
+
 /// The per-quadrant scheduler.
 ///
 /// ```
@@ -269,6 +292,23 @@ impl ShiftKernel {
     /// Returns [`Error::InvalidTarget`] when the target extent exceeds the
     /// quadrant or is zero.
     pub fn start(&self, quadrant: &AtomGrid) -> Result<KernelState, Error> {
+        self.start_in(quadrant, None)
+    }
+
+    /// [`start`](Self::start), optionally reusing recycled buffers (see
+    /// [`KernelScratch::reclaim`]): the grid words and the pass vector
+    /// are reinitialised in place instead of freshly allocated.
+    /// Behaviour is bit-identical to `start` either way.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidTarget`] when the target extent exceeds the
+    /// quadrant or is zero.
+    pub fn start_in(
+        &self,
+        quadrant: &AtomGrid,
+        recycled: Option<KernelScratch>,
+    ) -> Result<KernelState, Error> {
         let (qh, qw) = quadrant.dims();
         let (th, tw) = (self.config.target_height, self.config.target_width);
         if th > qh || tw > qw {
@@ -281,9 +321,17 @@ impl ShiftKernel {
                 reason: "target has zero extent",
             });
         }
+        let (grid, passes) = match recycled {
+            Some(mut scrap) => {
+                scrap.grid.clone_from(quadrant);
+                scrap.passes.clear();
+                (scrap.grid, scrap.passes)
+            }
+            None => (quadrant.clone(), Vec::new()),
+        };
         Ok(KernelState {
-            grid: quadrant.clone(),
-            passes: Vec::new(),
+            grid,
+            passes,
             iterations: 0,
             done: self.config.max_iterations == 0,
         })

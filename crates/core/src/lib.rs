@@ -55,12 +55,34 @@
 //! | [`kernel`] | canonical per-quadrant shift kernel, greedy and balanced strategies (paper §IV-C, Fig. 6) |
 //! | [`bitline`] | bit-vector line primitives shared with the FPGA model |
 //! | [`codec`] | bit-packed movement-record stream (accelerator output contract) |
-//! | [`engine`] | parallel planning engine: batched task graph over quadrant kernels |
+//! | [`engine`] | parallel planning engine: batched task graph over quadrant kernels on the persistent worker pool, [`PlanContext`](engine::PlanContext) scratch reuse |
 //! | [`merge`] | cross-quadrant command merging (paper §IV-C) |
 //! | [`optimize`] | simulation-validated schedule coalescing (fewer AWG commands) |
+//! | [`planner`] | [`Planner`](planner::Planner): the unified planner interface every algorithm implements |
 //! | [`scheduler`] | [`QrmScheduler`](scheduler::QrmScheduler): the top-level QRM planner |
 //! | [`typical`] | the "typical rearrangement procedure" of paper §III-A |
 //! | [`executor`] | schedule execution, validation, loss injection, defect checks |
+//!
+//! ## Architecture: pool + `Planner`
+//!
+//! Two cross-cutting pieces tie the planning stack together:
+//!
+//! * **Persistent worker pool.** Batched planning ([`engine`]) submits
+//!   its task-graph workers to the lazily-initialised process-global
+//!   thread pool (`rayon::ThreadPool`): OS threads are spawned once per
+//!   process, never per batch, and `workers <= 1` runs inline with no
+//!   queueing at all. [`engine::PlanContext`] recycles kernel scratch
+//!   and result buffers between batches, so a long-lived scheduler
+//!   plans round after round without hot-path allocation. Pooled,
+//!   warm, and serial runs are bit-identical.
+//! * **One [`Planner`](planner::Planner) trait.** Every planner in the
+//!   workspace — [`QrmScheduler`](scheduler::QrmScheduler),
+//!   [`TypicalScheduler`](typical::TypicalScheduler), the baselines in
+//!   `qrm-baselines`, the FPGA model in `qrm-fpga` — implements `name`
+//!   / `plan` / `plan_batch` / `executor`, so pipelines and benchmarks
+//!   dispatch through `dyn Planner` with no per-algorithm match arms;
+//!   transport policy (strict AOD sweeps vs fly-over legs) comes from
+//!   the trait, not from callers.
 //!
 //! ## Conventions
 //!
@@ -86,6 +108,7 @@ pub mod loading;
 pub mod merge;
 pub mod moves;
 pub mod optimize;
+pub mod planner;
 pub mod quadrant;
 pub mod schedule;
 pub mod scheduler;
@@ -97,7 +120,7 @@ pub use crate::error::Error;
 /// Commonly used items, for glob import in examples and downstream crates.
 pub mod prelude {
     pub use crate::aod::AodBatcher;
-    pub use crate::engine::PlanEngine;
+    pub use crate::engine::{PlanContext, PlanEngine};
     pub use crate::error::Error;
     pub use crate::executor::{ExecutionReport, Executor};
     pub use crate::geometry::{Axis, Direction, Position, QuadrantId, Rect};
@@ -105,6 +128,7 @@ pub mod prelude {
     pub use crate::kernel::{KernelConfig, KernelStrategy};
     pub use crate::loading::{seeded_rng, LoadModel};
     pub use crate::moves::ParallelMove;
+    pub use crate::planner::{plan_and_execute, Planner};
     pub use crate::schedule::{MotionModel, Schedule, ScheduleStats};
     pub use crate::scheduler::{Plan, QrmConfig, QrmScheduler, Rearranger};
     pub use crate::target::TargetSpec;

@@ -136,7 +136,7 @@ mod tests {
     use super::*;
     use crate::geometry::Rect;
     use crate::loading::seeded_rng;
-    use crate::scheduler::{QrmConfig, QrmScheduler, Rearranger};
+    use crate::scheduler::{Planner, QrmConfig, QrmScheduler};
 
     #[test]
     fn merges_disjoint_same_direction_moves() {

@@ -1,16 +1,25 @@
-//! The top-level QRM planner and the common [`Rearranger`] interface.
+//! The top-level QRM planner and the [`Plan`] it produces.
+//!
+//! The common planner interface lives in [`crate::planner`]; this module
+//! re-exports it (and its historical `Rearranger` alias) for
+//! compatibility.
 
 use std::fmt;
 
 use crate::engine::{decompose, PlanEngine};
 use crate::error::Error;
-use crate::executor::Executor;
 use crate::geometry::Rect;
 use crate::grid::AtomGrid;
 use crate::kernel::{KernelOutcome, KernelStrategy, ShiftKernel};
 use crate::merge::MergeConfig;
 use crate::quadrant::QuadrantMap;
 use crate::schedule::Schedule;
+
+pub use crate::planner::{plan_and_execute, Planner};
+
+/// Historical name of the [`Planner`] trait, kept as an alias for older
+/// call sites.
+pub use crate::planner::Planner as Rearranger;
 
 /// A computed rearrangement plan.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,49 +43,6 @@ impl Plan {
     /// Returns [`Error::RectOutOfBounds`] when the rect does not fit.
     pub fn defects(&self, target: &Rect) -> Result<usize, Error> {
         Ok(target.area() - self.predicted.count_in(target)?)
-    }
-}
-
-/// Common interface of every rearrangement planner in the workspace (QRM,
-/// the typical procedure, and the published baselines).
-///
-/// A planner consumes the detected occupancy and a target rectangle and
-/// produces a [`Plan`] whose schedule the [`Executor`] can run. The
-/// *analysis time* of `plan` is the quantity the paper's accelerator
-/// optimises.
-pub trait Rearranger {
-    /// Human-readable planner name (used in benchmark tables).
-    fn name(&self) -> &'static str;
-
-    /// Computes a rearrangement plan.
-    ///
-    /// # Errors
-    ///
-    /// Implementations return [`Error::InvalidTarget`] for targets they
-    /// cannot address and propagate internal consistency failures.
-    fn plan(&self, grid: &AtomGrid, target: &Rect) -> Result<Plan, Error>;
-
-    /// Plans a batch of independent shots, returning plans in input
-    /// order.
-    ///
-    /// The default implementation maps [`plan`](Self::plan) serially, so
-    /// every planner conforms without changes; planners with a parallel
-    /// core (QRM, the FPGA model) override it to push the whole batch
-    /// through the shared task-graph engine ([`crate::engine`]).
-    /// On success, overrides must be observationally equal to the
-    /// default — the workspace property suite asserts `plan_batch`
-    /// equals mapped `plan` for every planner.
-    ///
-    /// # Errors
-    ///
-    /// The default returns the first per-shot error in input order;
-    /// parallel overrides return an error from the lowest-indexed shot
-    /// observed to fail, which can be a later shot than the serial path
-    /// would report (see [`crate::engine::run_task_graph`]).
-    fn plan_batch(&self, jobs: &[(AtomGrid, Rect)]) -> Result<Vec<Plan>, Error> {
-        jobs.iter()
-            .map(|(grid, target)| self.plan(grid, target))
-            .collect()
     }
 }
 
@@ -153,18 +119,35 @@ impl QrmConfig {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct QrmScheduler {
-    config: QrmConfig,
+    /// The batched engine — the single owner of the configuration, the
+    /// worker count, and the reusable
+    /// [`PlanContext`](crate::engine::PlanContext), so serial and
+    /// batched paths cannot desync and repeated `plan_batch` rounds
+    /// through one scheduler recycle their scratch.
+    engine: PlanEngine,
 }
 
 impl QrmScheduler {
-    /// Creates a scheduler with the given configuration.
+    /// Creates a scheduler with the given configuration and automatic
+    /// batch worker count.
     pub fn new(config: QrmConfig) -> Self {
-        QrmScheduler { config }
+        QrmScheduler {
+            engine: PlanEngine::new(config),
+        }
+    }
+
+    /// Overrides the worker count used by batched planning (`0` restores
+    /// the automatic one-per-core policy). Single-shot `plan` calls are
+    /// always inline and unaffected.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.engine = self.engine.with_workers(workers);
+        self
     }
 
     /// The scheduler's configuration.
     pub fn config(&self) -> &QrmConfig {
-        &self.config
+        self.engine.config()
     }
 
     /// Runs only the per-quadrant kernels, returning the four outcomes in
@@ -182,7 +165,7 @@ impl QrmScheduler {
         target: &Rect,
     ) -> Result<(QuadrantMap, [KernelOutcome; 4]), Error> {
         let work = decompose(grid, target)?;
-        let kernel = ShiftKernel::new(crate::engine::kernel_config_for(&self.config, &work));
+        let kernel = ShiftKernel::new(crate::engine::kernel_config_for(self.config(), &work));
         let mut outcomes = Vec::with_capacity(4);
         for q in &work.quadrants {
             outcomes.push(kernel.run(q)?);
@@ -191,9 +174,9 @@ impl QrmScheduler {
     }
 }
 
-impl Rearranger for QrmScheduler {
+impl Planner for QrmScheduler {
     fn name(&self) -> &'static str {
-        match self.config.strategy {
+        match self.config().strategy {
             KernelStrategy::Greedy => "QRM (greedy)",
             KernelStrategy::GreedyTargetOnly => "QRM (greedy, target-only)",
             KernelStrategy::Balanced => "QRM (balanced)",
@@ -203,18 +186,20 @@ impl Rearranger for QrmScheduler {
     fn plan(&self, grid: &AtomGrid, target: &Rect) -> Result<Plan, Error> {
         let (map, outcomes) = self.quadrant_outcomes(grid, target)?;
         let merge_cfg = MergeConfig {
-            merge_quadrants: self.config.merge_quadrants,
+            merge_quadrants: self.config().merge_quadrants,
         };
         crate::engine::assemble_plan(grid, target, &map, &outcomes, &merge_cfg)
     }
 
     /// Batched planning through the parallel task-graph engine
     /// ([`crate::engine`]): quadrant kernels of **all** shots share one
-    /// work queue, keeping every core busy across the batch. Plans are
-    /// bit-identical to mapping [`plan`](Self::plan) (the engine's
-    /// determinism guarantee).
+    /// work queue on the persistent worker pool, keeping every core busy
+    /// across the batch, and the scheduler's embedded
+    /// [`PlanContext`](crate::engine::PlanContext) recycles scratch
+    /// between rounds. Plans are bit-identical to mapping
+    /// [`plan`](Self::plan) (the engine's determinism guarantee).
     fn plan_batch(&self, jobs: &[(AtomGrid, Rect)]) -> Result<Vec<Plan>, Error> {
-        PlanEngine::new(self.config.clone()).plan_batch(jobs)
+        self.engine.plan_batch(jobs)
     }
 }
 
@@ -224,31 +209,16 @@ impl fmt::Display for QrmScheduler {
             f,
             "{} (max {} iterations, merge={})",
             self.name(),
-            self.config.max_iterations,
-            self.config.merge_quadrants
+            self.config().max_iterations,
+            self.config().merge_quadrants
         )
     }
-}
-
-/// Plans and executes in one call, returning the executor's report — a
-/// convenience for tests and examples.
-///
-/// # Errors
-///
-/// Propagates planner and executor errors.
-pub fn plan_and_execute(
-    planner: &dyn Rearranger,
-    grid: &AtomGrid,
-    target: &Rect,
-) -> Result<(Plan, crate::executor::ExecutionReport), Error> {
-    let plan = planner.plan(grid, target)?;
-    let report = Executor::new().run(grid, &plan.schedule)?;
-    Ok((plan, report))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::executor::Executor;
     use crate::loading::seeded_rng;
 
     #[test]

@@ -18,7 +18,7 @@ use crate::geometry::{Direction, Rect};
 use crate::grid::AtomGrid;
 use crate::moves::ParallelMove;
 use crate::schedule::Schedule;
-use crate::scheduler::{Plan, Rearranger};
+use crate::scheduler::{Plan, Planner};
 
 /// Configuration of the [`TypicalScheduler`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,7 +62,7 @@ impl TypicalScheduler {
     }
 }
 
-impl Rearranger for TypicalScheduler {
+impl Planner for TypicalScheduler {
     fn name(&self) -> &'static str {
         "typical (centre-outward)"
     }

@@ -20,7 +20,8 @@ use qrm_core::error::Error;
 use qrm_core::geometry::Rect;
 use qrm_core::grid::AtomGrid;
 use qrm_core::kernel::{KernelOutcome, KernelStrategy};
-use qrm_core::scheduler::{Plan, Rearranger};
+use qrm_core::planner::Planner;
+use qrm_core::scheduler::Plan;
 
 use crate::clock::ClockDomain;
 use crate::ldm::{LdmConfig, LoadDataModule};
@@ -134,18 +135,29 @@ pub struct AcceleratorReport {
 
 /// The four-quadrant rearrangement accelerator.
 ///
-/// Implements [`Rearranger`], so it can be compared head-to-head with the
+/// Implements [`Planner`], so it can be compared head-to-head with the
 /// software planners; [`run`](QrmAccelerator::run) additionally returns
 /// the timing report.
 #[derive(Debug, Clone, Default)]
 pub struct QrmAccelerator {
     config: AcceleratorConfig,
+    /// Host-side worker count for batched runs (`0` = automatic).
+    workers: usize,
 }
 
 impl QrmAccelerator {
-    /// Creates an accelerator.
+    /// Creates an accelerator with automatic batch worker count.
     pub fn new(config: AcceleratorConfig) -> Self {
-        QrmAccelerator { config }
+        QrmAccelerator { config, workers: 0 }
+    }
+
+    /// Overrides the host-side worker count used by batched runs (`0`
+    /// restores the automatic policy). Simulated cycle counts are
+    /// unaffected — host parallelism only changes wall-clock time.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
     }
 
     /// The accelerator's configuration.
@@ -238,16 +250,17 @@ impl QrmAccelerator {
         self.finalize(grid, target, combined, quadrant_cycles)
     }
 
-    /// Runs a batch of analyses with the automatic worker count —
+    /// Runs a batch of analyses with the configured worker count —
     /// shorthand for [`run_batch_with_workers`](Self::run_batch_with_workers)
-    /// with `workers == 0`.
+    /// with the count set by [`with_workers`](Self::with_workers)
+    /// (automatic by default).
     ///
     /// # Errors
     ///
     /// Returns the first decomposition error in input order, or the
     /// first processing error the task graph hits.
     pub fn run_batch(&self, jobs: &[(AtomGrid, Rect)]) -> Result<Vec<AcceleratorReport>, Error> {
-        self.run_batch_with_workers(jobs, 0)
+        self.run_batch_with_workers(jobs, self.workers)
     }
 
     /// Runs a batch of analyses through the shared task-graph engine
@@ -315,7 +328,7 @@ impl QrmAccelerator {
     }
 }
 
-impl Rearranger for QrmAccelerator {
+impl Planner for QrmAccelerator {
     fn name(&self) -> &'static str {
         match self.config.strategy {
             KernelStrategy::Greedy => "QRM-FPGA (greedy)",

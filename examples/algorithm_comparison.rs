@@ -8,7 +8,6 @@ use std::time::Instant;
 
 use atom_rearrange::prelude::*;
 use qrm_baselines::hybrid::HybridScheduler;
-use qrm_baselines::mta1::mta1_executor;
 
 fn main() -> Result<(), qrm_core::Error> {
     let size = 20;
@@ -27,7 +26,7 @@ fn main() -> Result<(), qrm_core::Error> {
     let psca = PscaScheduler::default();
     let mta1 = Mta1Scheduler::default();
     let hybrid = HybridScheduler::paper_qrm();
-    let planners: Vec<&dyn Rearranger> = vec![&qrm, &typical, &tetris, &psca, &mta1, &hybrid];
+    let planners: Vec<&dyn Planner> = vec![&qrm, &typical, &tetris, &psca, &mta1, &hybrid];
 
     println!(
         "{:<26} {:>12} {:>8} {:>10} {:>8} {:>12}",
@@ -48,15 +47,9 @@ fn main() -> Result<(), qrm_core::Error> {
             max_traps = max_traps.max(plan.schedule.stats().max_traps);
             filled += usize::from(plan.filled);
             motion_us += plan.schedule.physical_duration_us(&motion);
-            // every schedule must execute cleanly under its contract
-            // MTA1 and the hybrid's repair stage fly over occupied traps.
-            let executor =
-                if planner.name().starts_with("MTA1") || planner.name().contains("repair") {
-                    mta1_executor()
-                } else {
-                    Executor::new()
-                };
-            let report = executor.run(grid, &plan.schedule)?;
+            // Every schedule must execute cleanly under its planner's
+            // transport contract, which the trait supplies directly.
+            let report = planner.executor().run(grid, &plan.schedule)?;
             assert_eq!(report.final_grid, plan.predicted);
         }
         let n = instances.len() as f64;

@@ -20,7 +20,7 @@ fn main() -> Result<(), qrm_core::Error> {
     );
 
     let config = PipelineConfig {
-        planner: Planner::Fpga(AcceleratorConfig::balanced()),
+        planner: PlannerChoice::Fpga(AcceleratorConfig::balanced()),
         loss_prob: 0.01, // 1% per-move transport loss
         max_rounds: 4,
         ..PipelineConfig::default()

@@ -43,12 +43,14 @@
 //! ## Batched planning
 //!
 //! Multi-shot workloads go through
-//! [`Rearranger::plan_batch`](qrm_core::scheduler::Rearranger::plan_batch)
+//! [`Planner::plan_batch`](qrm_core::planner::Planner::plan_batch)
 //! — every planner supports it, and QRM (software and FPGA model alike)
 //! routes the batch through the parallel task-graph engine in
 //! [`qrm_core::engine`], planning all shots' quadrants on a shared work
-//! queue. Results are bit-identical to per-shot
-//! [`Rearranger::plan`](qrm_core::scheduler::Rearranger::plan) calls.
+//! queue served by the **persistent global worker pool** (threads are
+//! spawned once per process, never per batch). Results are bit-identical
+//! to per-shot [`Planner::plan`](qrm_core::planner::Planner::plan)
+//! calls.
 //!
 //! ```
 //! use atom_rearrange::prelude::*;
@@ -88,7 +90,7 @@ pub use qrm_vision;
 pub mod prelude {
     pub use qrm_baselines::{Mta1Scheduler, PscaScheduler, TetrisScheduler};
     pub use qrm_control::awg::{AodCalibration, ToneProgram};
-    pub use qrm_control::pipeline::{Pipeline, PipelineConfig, Planner};
+    pub use qrm_control::pipeline::{Pipeline, PipelineConfig, PlannerChoice};
     pub use qrm_control::system::{Architecture, SystemModel};
     pub use qrm_core::prelude::*;
     pub use qrm_fpga::accelerator::{AcceleratorConfig, QrmAccelerator};

@@ -133,7 +133,7 @@ proptest! {
         let qrm = QrmScheduler::new(QrmConfig::default());
         let fpga = QrmAccelerator::new(AcceleratorConfig::paper());
         let tetris = TetrisScheduler::default();
-        let planners: [&dyn Rearranger; 3] = [&qrm, &fpga, &tetris];
+        let planners: [&dyn Planner; 3] = [&qrm, &fpga, &tetris];
         for planner in planners {
             let mapped: Result<Vec<Plan>, _> =
                 jobs.iter().map(|(g, t)| planner.plan(g, t)).collect();

@@ -1,11 +1,34 @@
 //! Contract tests every planner in the workspace must satisfy on shared
 //! instances: schedules execute exactly as predicted, atoms are
-//! conserved, and motion respects each planner's execution policy.
+//! conserved, motion respects each planner's execution policy, and
+//! `plan_batch` is observationally equal to mapping `plan` — for all
+//! seven `Planner` implementations (QRM, typical, the four baselines,
+//! the FPGA model).
 
 use atom_rearrange::prelude::*;
 use qrm_baselines::mta1::mta1_executor;
+use qrm_bench::planner_matrix;
 use qrm_core::executor::Executor as StrictExecutor;
+use qrm_core::scheduler::Plan;
 use qrm_core::typical::TypicalScheduler;
+
+/// All seven planner implementations behind the unified trait — the
+/// canonical registry (`qrm_bench::planner_matrix`) shared with the
+/// benchmark harness, so a new planner joins contract coverage by being
+/// added in exactly one place.
+fn all_seven() -> Vec<Box<dyn Planner>> {
+    planner_matrix()
+}
+
+/// Multi-worker variants of the two engine-backed planners, so the
+/// batch contract also exercises the pooled task-graph path (the matrix
+/// uses the automatic worker policy, which is inline on a 1-core host).
+fn pooled_variants() -> Vec<Box<dyn Planner>> {
+    vec![
+        Box::new(QrmScheduler::new(QrmConfig::default()).with_workers(3)),
+        Box::new(QrmAccelerator::new(AcceleratorConfig::balanced()).with_workers(3)),
+    ]
+}
 
 fn instances(n: usize, size: usize, min_atoms: usize) -> Vec<AtomGrid> {
     let mut rng = qrm_core::loading::seeded_rng(4242);
@@ -19,7 +42,7 @@ fn instances(n: usize, size: usize, min_atoms: usize) -> Vec<AtomGrid> {
         .collect()
 }
 
-fn check_strict(planner: &dyn Rearranger, grids: &[AtomGrid], target: &Rect) {
+fn check_strict(planner: &dyn Planner, grids: &[AtomGrid], target: &Rect) {
     for (i, grid) in grids.iter().enumerate() {
         let plan = planner
             .plan(grid, target)
@@ -95,6 +118,54 @@ fn fpga_accelerator_contract() {
 }
 
 #[test]
+fn plan_batch_equals_mapped_plan_for_all_seven_planners() {
+    // The trait-level batching contract on a seeded workload: batched
+    // plans equal per-shot plans, for every implementation — including
+    // the two that route batches through the pooled task-graph engine
+    // (QRM software, FPGA model) — and a second batch through the same
+    // (now warm) planner instance is identical to the first.
+    let grids = instances(4, 16, 100);
+    let target = Rect::centered(16, 16, 10, 10).unwrap();
+    let jobs: Vec<(AtomGrid, Rect)> = grids.iter().map(|g| (g.clone(), target)).collect();
+    let mut planners = all_seven();
+    assert_eq!(planners.len(), 7);
+    planners.extend(pooled_variants());
+    for planner in &planners {
+        let mapped: Vec<Plan> = jobs
+            .iter()
+            .map(|(g, t)| planner.plan(g, t).unwrap())
+            .collect();
+        let batched = planner.plan_batch(&jobs).unwrap();
+        assert_eq!(batched, mapped, "{} batch != mapped plan", planner.name());
+        let warm = planner.plan_batch(&jobs).unwrap();
+        assert_eq!(warm, batched, "{} warm batch diverged", planner.name());
+    }
+}
+
+#[test]
+fn every_planner_schedule_executes_under_its_own_contract() {
+    // `Planner::executor` must supply a policy that validates the
+    // planner's own schedules — no caller-side algorithm sniffing.
+    let grids = instances(3, 16, 100);
+    let target = Rect::centered(16, 16, 8, 8).unwrap();
+    for planner in &all_seven() {
+        let executor = planner.executor();
+        for (i, grid) in grids.iter().enumerate() {
+            let plan = planner.plan(grid, &target).unwrap();
+            let report = executor
+                .run(grid, &plan.schedule)
+                .unwrap_or_else(|e| panic!("{} schedule invalid on {i}: {e}", planner.name()));
+            assert_eq!(
+                report.final_grid,
+                plan.predicted,
+                "{} prediction mismatch on {i}",
+                planner.name()
+            );
+        }
+    }
+}
+
+#[test]
 fn mta1_contract_under_flyover_policy() {
     // MTA1's documented execution contract uses endpoints-only paths.
     let grids = instances(6, 20, 160);
@@ -118,7 +189,7 @@ fn all_aod_planners_emit_unit_steps() {
     let typical = TypicalScheduler::default();
     let tetris = TetrisScheduler::default();
     let psca = PscaScheduler::default();
-    let planners: Vec<&dyn Rearranger> = vec![&qrm, &typical, &tetris, &psca];
+    let planners: Vec<&dyn Planner> = vec![&qrm, &typical, &tetris, &psca];
     for planner in planners {
         for grid in &grids {
             let plan = planner.plan(grid, &target).unwrap();

@@ -1,31 +1,60 @@
 //! Offline, API-compatible subset of the `rayon` crate.
 //!
-//! Provides `join`, `scope`, and eager order-preserving parallel
-//! iterators over `std::thread` — the surface the workspace's parallel
-//! planning engine uses. Work distribution is a shared index queue, so
-//! results are written into pre-assigned slots and `collect()` is
-//! deterministic regardless of thread interleaving. See
-//! `vendor/README.md` for scope and caveats.
+//! Provides `join`, `scope`, `spawn`, and eager order-preserving
+//! parallel iterators — the surface the workspace's parallel planning
+//! engine uses — all running on a **persistent process-global worker
+//! pool** ([`ThreadPool`], see [`pool`]). Earlier revisions spawned
+//! fresh OS threads per call; now threads are spawned exactly once
+//! (lazily, on first use) and every later parallel region only enqueues
+//! jobs, which [`global_pool_stats`] makes observable. Work distribution
+//! is a shared injector queue, so results are written into pre-assigned
+//! slots and `collect()` is deterministic regardless of thread
+//! interleaving. See `vendor/README.md` for scope and caveats.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::any::Any;
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+pub mod pool;
+
+pub use pool::{PoolStats, ThreadPool};
 
 /// Commonly used traits, mirroring `rayon::prelude`.
 pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
 }
 
-/// Number of worker threads a parallel operation will use at most.
+/// Number of worker threads a parallel operation will use at most — the
+/// size of the global pool (one worker per available core). First call
+/// initialises the pool.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+    ThreadPool::global().thread_count()
 }
 
-/// Runs both closures, potentially in parallel, returning both results.
+/// Lifetime activity counters of the global pool (initialising it if
+/// needed). `threads_spawned` is constant after initialisation — the
+/// planning stack's tests assert repeated batches spawn zero new OS
+/// threads — while `jobs_executed` grows with every parallel region.
+pub fn global_pool_stats() -> PoolStats {
+    ThreadPool::global().stats()
+}
+
+/// Queues `f` for execution on the global pool, returning immediately.
+/// Panics in `f` are swallowed (detached-thread semantics).
+pub fn spawn<F>(f: F)
+where
+    F: FnOnce() + Send + 'static,
+{
+    ThreadPool::global().inject(Box::new(f));
+}
+
+/// Runs both closures, potentially in parallel (the second as a pool
+/// job), returning both results.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -33,47 +62,173 @@ where
     RA: Send,
     RB: Send,
 {
-    if current_num_threads() <= 1 {
-        return (a(), b());
-    }
-    std::thread::scope(|s| {
-        let hb = s.spawn(b);
-        let ra = a();
-        (ra, hb.join().expect("rayon::join closure panicked"))
-    })
+    let rb: Mutex<Option<RB>> = Mutex::new(None);
+    let ra = scope(|s| {
+        s.spawn(|_| {
+            *rb.lock().expect("join result poisoned") = Some(b());
+        });
+        a()
+    });
+    let rb = rb
+        .into_inner()
+        .expect("join result poisoned")
+        .expect("scope waited for the spawned half");
+    (ra, rb)
 }
 
-/// A scope in which spawned tasks are guaranteed to finish before the
-/// scope returns.
-#[derive(Debug)]
+/// Book-keeping shared by a scope and its in-flight jobs.
+struct ScopeState {
+    sync: Mutex<ScopeSync>,
+    /// Signalled when `pending` reaches zero.
+    done: Condvar,
+}
+
+struct ScopeSync {
+    /// Spawned jobs not yet finished.
+    pending: usize,
+    /// First panic payload captured from a job, if any.
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+impl ScopeState {
+    fn new() -> Arc<Self> {
+        Arc::new(ScopeState {
+            sync: Mutex::new(ScopeSync {
+                pending: 0,
+                panic: None,
+            }),
+            done: Condvar::new(),
+        })
+    }
+
+    /// Records one job completion (with an optional captured panic).
+    fn complete(&self, panic: Option<Box<dyn Any + Send>>) {
+        let mut sync = self.sync.lock().expect("scope state poisoned");
+        if let Some(payload) = panic {
+            sync.panic.get_or_insert(payload);
+        }
+        sync.pending -= 1;
+        let finished = sync.pending == 0;
+        drop(sync);
+        if finished {
+            self.done.notify_all();
+        }
+    }
+}
+
+/// A scope in which spawned tasks run on the global pool and are
+/// guaranteed to finish before the scope returns.
 pub struct Scope<'scope, 'env: 'scope> {
-    inner: &'scope std::thread::Scope<'scope, 'env>,
+    state: Arc<ScopeState>,
+    pool: &'static ThreadPool,
+    _scope: PhantomData<&'scope mut &'scope ()>,
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl std::fmt::Debug for Scope<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scope").finish_non_exhaustive()
+    }
+}
+
+/// Erases the `'scope` lifetime bound so a scoped job can sit in the
+/// 'static pool queue.
+///
+/// SAFETY argument (the only unsafe in this crate): every erased job is
+/// registered in its scope's `pending` count *before* injection, and
+/// [`scope`] does not return — not even when unwinding — until `pending`
+/// is zero, i.e. until the job has finished running. The borrows the job
+/// captures therefore strictly outlive its execution; the transmute
+/// changes only the lifetime bound of an otherwise identical fat
+/// pointer. This is the same contract `std::thread::scope` and real
+/// rayon implement internally.
+#[allow(unsafe_code)]
+fn erase_job<'scope>(job: Box<dyn FnOnce() + Send + 'scope>) -> pool::Job {
+    // SAFETY: see the function docs — the owning scope blocks until the
+    // job has executed, so captured borrows outlive the erased lifetime.
+    unsafe {
+        std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send + 'static>>(
+            job,
+        )
+    }
 }
 
 impl<'scope, 'env> Scope<'scope, 'env> {
-    /// Spawns a task on the scope; it may run on another thread and may
-    /// itself spawn further tasks.
+    /// Spawns a task on the scope; it runs on a pool worker (or on the
+    /// scope's own thread while it waits) and may itself spawn further
+    /// tasks. A panicking task is captured and re-raised when the scope
+    /// closes.
     pub fn spawn<F>(&self, f: F)
     where
         F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
     {
-        let inner = self.inner;
-        inner.spawn(move || f(&Scope { inner }));
+        let state = Arc::clone(&self.state);
+        let pool = self.pool;
+        self.state
+            .sync
+            .lock()
+            .expect("scope state poisoned")
+            .pending += 1;
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let scope = Scope {
+                state: Arc::clone(&state),
+                pool,
+                _scope: PhantomData,
+                _env: PhantomData,
+            };
+            let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+            state.complete(result.err());
+        });
+        pool.inject(erase_job(job));
     }
 }
 
 /// Creates a scope whose spawned tasks all complete before `scope`
-/// returns.
+/// returns. Tasks execute on the persistent global pool; the calling
+/// thread helps run queued jobs while it waits, so progress is
+/// guaranteed even on a single-core host or from within a pool worker.
 pub fn scope<'env, F, R>(f: F) -> R
 where
     F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
 {
-    std::thread::scope(|s| f(&Scope { inner: s }))
+    let pool = ThreadPool::global();
+    let state = ScopeState::new();
+    let scope = Scope {
+        state: Arc::clone(&state),
+        pool,
+        _scope: PhantomData,
+        _env: PhantomData,
+    };
+    // Run the scope body; even if it panics, all spawned jobs must
+    // finish before we unwind past the borrowed environment.
+    let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+    pool.wait_while_helping(
+        || state.sync.lock().expect("scope state poisoned").pending == 0,
+        |cap| {
+            let sync = state.sync.lock().expect("scope state poisoned");
+            if sync.pending > 0 {
+                let _ = state
+                    .done
+                    .wait_timeout(sync, cap)
+                    .expect("scope state poisoned");
+            }
+        },
+    );
+    let job_panic = state
+        .sync
+        .lock()
+        .expect("scope state poisoned")
+        .panic
+        .take();
+    match (result, job_panic) {
+        (Ok(value), None) => value,
+        (Err(payload), _) | (Ok(_), Some(payload)) => resume_unwind(payload),
+    }
 }
 
-/// Order-preserving parallel map over owned items: thread `k` pulls the
-/// next `(index, item)` from a shared queue and writes `f(item)` into
-/// slot `index`.
+/// Order-preserving parallel map over owned items: pool workers (plus
+/// the calling thread) pull the next `(index, item)` from a shared queue
+/// and write `f(item)` into slot `index`.
 fn par_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
     let n = items.len();
     let threads = current_num_threads().min(n);
@@ -82,17 +237,18 @@ fn par_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R>
     }
     let input: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
     let output: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|s| {
+    let run = |_: &Scope<'_, '_>| loop {
+        let job = input.lock().expect("rayon queue poisoned").pop_front();
+        match job {
+            Some((i, item)) => {
+                *output[i].lock().expect("rayon slot poisoned") = Some(f(item));
+            }
+            None => break,
+        }
+    };
+    scope(|s| {
         for _ in 0..threads {
-            s.spawn(|| loop {
-                let job = input.lock().expect("rayon queue poisoned").pop_front();
-                match job {
-                    Some((i, item)) => {
-                        *output[i].lock().expect("rayon slot poisoned") = Some(f(item));
-                    }
-                    None => break,
-                }
-            });
+            s.spawn(run);
         }
     });
     output
@@ -183,7 +339,7 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
-    use super::{join, scope};
+    use super::{global_pool_stats, join, scope};
 
     #[test]
     fn map_preserves_order() {
@@ -216,5 +372,67 @@ mod tests {
             }
         });
         assert_eq!(counter.load(std::sync::atomic::Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn scoped_tasks_borrow_stack_data() {
+        let data = [1u64, 2, 3, 4, 5];
+        let total = std::sync::Mutex::new(0u64);
+        scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    *total.lock().unwrap() += chunk.iter().sum::<u64>();
+                });
+            }
+        });
+        assert_eq!(total.into_inner().unwrap(), 15);
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        // More concurrent scopes than pool workers: waiting callers must
+        // help drain the queue.
+        let hits = std::sync::atomic::AtomicUsize::new(0);
+        scope(|outer| {
+            for _ in 0..4 {
+                outer.spawn(|_| {
+                    scope(|inner| {
+                        for _ in 0..4 {
+                            inner.spawn(|_| {
+                                hits.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(hits.load(std::sync::atomic::Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn scope_panic_propagates_and_pool_survives() {
+        let result = std::panic::catch_unwind(|| {
+            scope(|s| {
+                s.spawn(|_| panic!("scoped job exploded"));
+            })
+        });
+        assert!(result.is_err(), "job panic must reach the scope caller");
+        // The pool must keep working after a captured panic.
+        let doubled: Vec<usize> = (0..8usize).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..8usize).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_threads_are_spawned_once() {
+        let before = global_pool_stats();
+        for _ in 0..3 {
+            let _: Vec<usize> = (0..32usize).into_par_iter().map(|x| x + 1).collect();
+        }
+        let after = global_pool_stats();
+        assert_eq!(
+            before.threads_spawned, after.threads_spawned,
+            "parallel regions must reuse the persistent pool"
+        );
+        assert_eq!(after.threads as u64, after.threads_spawned);
     }
 }

@@ -1,0 +1,186 @@
+//! The persistent worker pool behind this crate's `scope`/`spawn`/`join`.
+//!
+//! Mirrors the executor/scheduler split of real rayon (and of Block-STM
+//! style executors): a fixed set of long-lived worker threads pull
+//! type-erased jobs from a shared injector queue behind an `Arc`. The
+//! pool is created **once** per process (lazily, on first use) and its
+//! threads never exit, so repeated parallel regions pay zero
+//! thread-spawn cost after initialisation — observable through
+//! [`ThreadPool::stats`]: `threads_spawned` stays constant while
+//! `jobs_executed` grows.
+//!
+//! Work distribution is a mutex-protected injector deque (offline-stub
+//! quality; real rayon uses per-worker stealable deques). Blocked
+//! callers *help*: while a scope waits for its spawned jobs it runs
+//! queued jobs itself, so nested parallel regions cannot deadlock the
+//! fixed-size pool and a 1-core host still makes progress.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// A type-erased unit of pool work.
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Counters describing a pool's lifetime activity.
+///
+/// `threads_spawned` is the total number of OS threads the pool has ever
+/// created; for the process-global pool it is set once at initialisation
+/// and never grows again — the property the planning stack's reuse tests
+/// assert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads serving the pool.
+    pub threads: usize,
+    /// OS threads spawned over the pool's lifetime.
+    pub threads_spawned: u64,
+    /// Jobs executed so far (by workers or by helping callers).
+    pub jobs_executed: u64,
+}
+
+struct PoolShared {
+    injector: Mutex<VecDeque<Job>>,
+    /// Signalled when a job is pushed; workers wait on it.
+    ready: Condvar,
+    threads: usize,
+    threads_spawned: AtomicU64,
+    jobs_executed: AtomicU64,
+}
+
+/// A persistent pool of worker threads executing injected jobs.
+///
+/// Use [`ThreadPool::global`] for the lazily-initialised process-global
+/// pool that `scope`, `spawn`, and `join` run on; constructing private
+/// pools is possible but only the global one backs the free functions.
+pub struct ThreadPool {
+    shared: Arc<PoolShared>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.shared.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ThreadPool {
+    /// Creates a pool with `threads` detached worker threads (at least
+    /// one). The threads live until process exit.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            injector: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            threads,
+            threads_spawned: AtomicU64::new(0),
+            jobs_executed: AtomicU64::new(0),
+        });
+        for i in 0..threads {
+            let worker_shared = Arc::clone(&shared);
+            shared.threads_spawned.fetch_add(1, Ordering::Relaxed);
+            std::thread::Builder::new()
+                .name(format!("rayon-stub-worker-{i}"))
+                .spawn(move || worker_loop(&worker_shared))
+                .expect("spawn pool worker");
+        }
+        ThreadPool { shared }
+    }
+
+    /// The lazily-initialised process-global pool, sized to
+    /// `available_parallelism`. The first caller pays the one-time
+    /// thread-spawn cost; every later parallel region reuses the same
+    /// workers.
+    pub fn global() -> &'static ThreadPool {
+        static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let threads = std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1);
+            ThreadPool::new(threads)
+        })
+    }
+
+    /// Number of worker threads serving the pool.
+    pub fn thread_count(&self) -> usize {
+        self.shared.threads
+    }
+
+    /// Lifetime activity counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            threads: self.shared.threads,
+            threads_spawned: self.shared.threads_spawned.load(Ordering::Relaxed),
+            jobs_executed: self.shared.jobs_executed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Queues a job for execution by the pool workers.
+    pub(crate) fn inject(&self, job: Job) {
+        let mut queue = self.shared.injector.lock().expect("pool injector poisoned");
+        queue.push_back(job);
+        drop(queue);
+        self.shared.ready.notify_one();
+    }
+
+    /// Pops one queued job without blocking. Used by waiting callers to
+    /// help drain the pool instead of idling.
+    pub(crate) fn try_pop(&self) -> Option<Job> {
+        self.shared
+            .injector
+            .lock()
+            .expect("pool injector poisoned")
+            .pop_front()
+    }
+
+    /// Runs one job on the calling thread, counting it in the stats.
+    /// Jobs carry their own panic capture (see `Scope::spawn`), but the
+    /// pool guards anyway so a panicking bare [`crate::spawn`] job can
+    /// never kill a shared worker (detached-thread semantics: the
+    /// payload is dropped).
+    pub(crate) fn run_job(&self, job: Job) {
+        self.shared.jobs_executed.fetch_add(1, Ordering::Relaxed);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+    }
+
+    /// Blocks until `done()` reports true, running queued jobs while
+    /// waiting. `wait()` must block until either a job is queued or the
+    /// condition may have changed; the 1 ms cap keeps the caller
+    /// responsive to jobs queued while it slept on a foreign condvar.
+    pub(crate) fn wait_while_helping(
+        &self,
+        mut done: impl FnMut() -> bool,
+        mut wait: impl FnMut(Duration),
+    ) {
+        loop {
+            if done() {
+                return;
+            }
+            if let Some(job) = self.try_pop() {
+                self.run_job(job);
+                continue;
+            }
+            wait(Duration::from_millis(1));
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<PoolShared>) {
+    loop {
+        let job = {
+            let mut queue = shared.injector.lock().expect("pool injector poisoned");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                queue = shared.ready.wait(queue).expect("pool injector poisoned");
+            }
+        };
+        shared.jobs_executed.fetch_add(1, Ordering::Relaxed);
+        // Jobs capture their own panics (scope jobs stash the payload for
+        // the owning scope); a stray panic from a bare `spawn` job is
+        // swallowed so the worker survives — same as a detached thread.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+    }
+}
