@@ -1,13 +1,30 @@
-//! Regenerates every table and figure of the paper's evaluation.
+//! Regenerates every table and figure of the paper's evaluation, and
+//! runs end-to-end planner sweeps.
 //!
 //! Usage: `cargo run --release -p qrm-bench --bin experiments -- [cmd]`
 //! where `cmd` is one of `fig7a`, `fig7b`, `fig8`, `headline`,
-//! `quality`, `ablations`, `engine`, `system`, or `all` (default).
+//! `quality`, `ablations`, `engine`, `system`, `sweep`, or `all`
+//! (default).
+//!
+//! `sweep` runs the full image→detect→plan→execute pipeline for one or
+//! all seven planners and prints per-planner fill/round/motion numbers
+//! plus the worker-pool counters (threads spawned, jobs, steals):
+//!
+//! ```text
+//! experiments -- sweep [--planner all|qrm|typical|tetris|psca|mta1|hybrid|fpga]
+//!                      [--workers N] [--shots N] [--size N] [--rounds N] [--seed N]
+//! ```
+//!
+//! `--workers 0` (the default) uses one pool worker per core; any other
+//! value only changes how many pool *jobs* run concurrently — OS
+//! threads are never spawned after pool initialisation, which the
+//! printed `threads_spawned` counter makes visible.
 
 use qrm_bench::*;
 
 fn main() {
-    let cmd = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map_or("all", String::as_str);
     let all = cmd == "all";
     if all || cmd == "fig7a" {
         print_fig7a();
@@ -33,15 +50,129 @@ fn main() {
     if all || cmd == "system" {
         print_system();
     }
+    if all || cmd == "sweep" {
+        // Skip the command token itself ("all" or "sweep") when one was
+        // given; a bare `experiments` has no token to skip.
+        match parse_sweep_args(&args[usize::from(!args.is_empty())..]) {
+            Ok((planner, sweep)) => print_sweep(&planner, &sweep),
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
     if !all
         && !matches!(
-            cmd.as_str(),
-            "fig7a" | "fig7b" | "fig8" | "headline" | "quality" | "ablations" | "engine" | "system"
+            cmd,
+            "fig7a"
+                | "fig7b"
+                | "fig8"
+                | "headline"
+                | "quality"
+                | "ablations"
+                | "engine"
+                | "system"
+                | "sweep"
         )
     {
-        eprintln!("unknown experiment {cmd:?}; use fig7a|fig7b|fig8|headline|quality|ablations|engine|system|all");
+        eprintln!("unknown experiment {cmd:?}; use fig7a|fig7b|fig8|headline|quality|ablations|engine|system|sweep|all");
         std::process::exit(2);
     }
+}
+
+/// Parses `sweep` flags (`--planner`, `--workers`, `--shots`, `--size`,
+/// `--rounds`, `--seed`) into the planner filter and sweep parameters.
+fn parse_sweep_args(args: &[String]) -> Result<(String, SweepConfig), String> {
+    let mut planner = "all".to_string();
+    let mut sweep = SweepConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--planner" => planner = value("--planner")?,
+            "--workers" => sweep.workers = parse_num(&value("--workers")?, "--workers")?,
+            "--shots" => {
+                sweep.shots = parse_num::<usize>(&value("--shots")?, "--shots")?.max(1);
+            }
+            "--size" => {
+                let size: usize = parse_num(&value("--size")?, "--size")?;
+                if size < 4 || !size.is_multiple_of(2) {
+                    return Err(format!("--size must be an even number >= 4, got {size}"));
+                }
+                sweep.size = size;
+            }
+            "--rounds" => {
+                sweep.rounds = parse_num::<usize>(&value("--rounds")?, "--rounds")?.max(1);
+            }
+            "--seed" => sweep.seed = parse_num(&value("--seed")?, "--seed")?,
+            other => {
+                return Err(format!(
+                    "unknown sweep flag {other:?}; use --planner/--workers/--shots/--size/--rounds/--seed"
+                ))
+            }
+        }
+    }
+    if planner != "all" && !planner_choices().iter().any(|(name, _)| *name == planner) {
+        let names: Vec<&str> = planner_choices().iter().map(|(n, _)| *n).collect();
+        return Err(format!(
+            "unknown planner {planner:?}; use all or one of {names:?}"
+        ));
+    }
+    Ok((planner, sweep))
+}
+
+fn parse_num<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, String> {
+    raw.parse()
+        .map_err(|_| format!("{flag}: invalid number {raw:?}"))
+}
+
+fn print_sweep(planner: &str, sweep: &SweepConfig) {
+    println!(
+        "== End-to-end planner sweep: {} shot(s), {}x{} array, <= {} rounds, workers={} ==",
+        sweep.shots,
+        sweep.size,
+        sweep.size,
+        sweep.rounds,
+        if sweep.workers == 0 {
+            "auto".to_string()
+        } else {
+            sweep.workers.to_string()
+        }
+    );
+    println!(
+        "{:<10} {:>8} {:>12} {:>16} {:>10} {:>12}",
+        "planner", "filled", "mean_rounds", "mean_motion_us", "lost", "wall_us"
+    );
+    for (name, choice) in planner_choices() {
+        if planner != "all" && name != planner {
+            continue;
+        }
+        let row = pipeline_sweep(name, &choice, sweep);
+        println!(
+            "{:<10} {:>5}/{} {:>12.2} {:>16.1} {:>10} {:>12.0}",
+            row.name,
+            row.filled,
+            row.total,
+            row.mean_rounds,
+            row.mean_motion_us,
+            row.atoms_lost,
+            row.wall_us
+        );
+    }
+    let stats = rayon::global_pool_stats();
+    println!(
+        "pool: {} worker(s), {} thread(s) ever spawned, {} job(s) executed",
+        stats.threads, stats.threads_spawned, stats.jobs_executed
+    );
+    println!(
+        "      {} local pop(s), {} injector take(s), {} steal(s)",
+        stats.local_hits, stats.injector_hits, stats.steals
+    );
+    println!();
 }
 
 fn print_fig7a() {

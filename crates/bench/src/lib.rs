@@ -17,6 +17,7 @@
 use std::time::Instant;
 
 use qrm_baselines::{HybridScheduler, Mta1Scheduler, PscaScheduler, TetrisScheduler};
+use qrm_control::pipeline::{Pipeline, PipelineConfig, PipelineReport, PlannerChoice};
 use qrm_control::system::{Architecture, SystemModel};
 use qrm_core::engine::PlanEngine;
 use qrm_core::geometry::Rect;
@@ -47,6 +48,114 @@ pub fn planner_matrix() -> Vec<Box<dyn Planner>> {
         Box::new(HybridScheduler::default()),
         Box::new(QrmAccelerator::new(AcceleratorConfig::paper())),
     ]
+}
+
+/// The seven planners as **pipeline configurations**
+/// ([`PlannerChoice`]), keyed by the CLI name the `experiments` binary
+/// accepts. This is the config-level twin of [`planner_matrix`] (same
+/// seven planners, same order), for consumers that need to *construct*
+/// pipelines — end-to-end sweeps, the cross-worker determinism suite —
+/// rather than dispatch through `dyn Planner`.
+pub fn planner_choices() -> Vec<(&'static str, PlannerChoice)> {
+    vec![
+        ("qrm", PlannerChoice::Software(QrmConfig::paper())),
+        ("typical", PlannerChoice::Typical),
+        ("tetris", PlannerChoice::Tetris),
+        ("psca", PlannerChoice::Psca),
+        ("mta1", PlannerChoice::Mta1),
+        ("hybrid", PlannerChoice::Hybrid),
+        ("fpga", PlannerChoice::Fpga(AcceleratorConfig::paper())),
+    ]
+}
+
+/// Result of one end-to-end planner sweep ([`pipeline_sweep`]).
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// CLI name of the planner.
+    pub name: &'static str,
+    /// Shots whose target ended defect-free.
+    pub filled: usize,
+    /// Shots run.
+    pub total: usize,
+    /// Mean image→plan→move rounds per shot.
+    pub mean_rounds: f64,
+    /// Mean physical tweezer time per shot (µs).
+    pub mean_motion_us: f64,
+    /// Total atoms lost in transport across the batch.
+    pub atoms_lost: usize,
+    /// Wall-clock time of the whole batched run (µs).
+    pub wall_us: f64,
+}
+
+/// Parameters of an end-to-end planner sweep (the `experiments sweep`
+/// command).
+#[derive(Debug, Clone, Copy)]
+pub struct SweepConfig {
+    /// Batch worker count handed to the pipeline (`0` = one per core).
+    pub workers: usize,
+    /// Independent shots per planner.
+    pub shots: usize,
+    /// Array side (even; QRM requires it).
+    pub size: usize,
+    /// Maximum rounds per shot.
+    pub rounds: usize,
+    /// Base seed; shot `i` derives its RNG via `Pipeline::shot_rng`.
+    pub seed: u64,
+    /// Per-move transport-loss probability.
+    pub loss_prob: f64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            workers: 0,
+            shots: 4,
+            size: 16,
+            rounds: 3,
+            seed: 9000,
+            loss_prob: 0.01,
+        }
+    }
+}
+
+/// Runs one planner end-to-end over a batch of shots through
+/// [`Pipeline::run_batch`] — imaging, detection, batched planning, and
+/// schedule execution all as jobs on the persistent worker pool — and
+/// aggregates the reports. The workload is `shots` random `size x size`
+/// arrays at 55 % fill against a centred ~60 % target.
+pub fn pipeline_sweep(name: &'static str, choice: &PlannerChoice, sweep: &SweepConfig) -> SweepRow {
+    let mut rng = seeded_rng(sweep.seed);
+    let truths: Vec<AtomGrid> = (0..sweep.shots)
+        .map(|_| AtomGrid::random(sweep.size, sweep.size, 0.55, &mut rng))
+        .collect();
+    let side = ((sweep.size * 3 / 5) & !1).max(2);
+    let target = Rect::centered(sweep.size, sweep.size, side, side).expect("target fits");
+    let pipeline = Pipeline::new(PipelineConfig {
+        planner: choice.clone(),
+        workers: sweep.workers,
+        loss_prob: sweep.loss_prob,
+        max_rounds: sweep.rounds,
+        ..PipelineConfig::default()
+    });
+    let t0 = Instant::now();
+    let reports = pipeline
+        .run_batch(&truths, &target, sweep.seed)
+        .expect("sweep batch");
+    let wall_us = t0.elapsed().as_secs_f64() * 1e6;
+    let total = reports.len();
+    SweepRow {
+        name,
+        filled: reports.iter().filter(|r| r.filled).count(),
+        total,
+        mean_rounds: reports.iter().map(|r| r.rounds.len()).sum::<usize>() as f64 / total as f64,
+        mean_motion_us: reports
+            .iter()
+            .map(PipelineReport::total_motion_us)
+            .sum::<f64>()
+            / total as f64,
+        atoms_lost: reports.iter().map(PipelineReport::total_lost).sum(),
+        wall_us,
+    }
 }
 
 /// The paper's standard workload: `size x size` array at 50 % fill with
@@ -534,6 +643,35 @@ mod tests {
                 .run(&grid, &single.schedule)
                 .expect("schedule must execute under the trait's executor");
         }
+    }
+
+    #[test]
+    fn planner_choices_mirror_the_matrix() {
+        // The config-level registry and the trait-object matrix must
+        // cover the same seven planners: resolving every choice yields
+        // seven distinct planner names, matching the matrix's set.
+        let choices = planner_choices();
+        assert_eq!(choices.len(), 7);
+        let resolved: std::collections::BTreeSet<&str> = choices
+            .iter()
+            .map(|(_, choice)| choice.resolve(1).name())
+            .collect();
+        let matrix: std::collections::BTreeSet<&str> =
+            planner_matrix().iter().map(|p| p.name()).collect();
+        assert_eq!(resolved, matrix);
+    }
+
+    #[test]
+    fn pipeline_sweep_runs_end_to_end() {
+        let sweep = SweepConfig {
+            shots: 2,
+            size: 12,
+            ..SweepConfig::default()
+        };
+        let row = pipeline_sweep("qrm", &PlannerChoice::Software(QrmConfig::paper()), &sweep);
+        assert_eq!(row.total, 2);
+        assert!(row.wall_us > 0.0);
+        assert!(row.mean_rounds <= sweep.rounds as f64);
     }
 
     #[test]

@@ -10,6 +10,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 use qrm_baselines::{HybridScheduler, Mta1Scheduler, PscaScheduler, TetrisScheduler};
+use qrm_core::engine::shard_map;
 use qrm_core::error::Error;
 use qrm_core::executor::{CollisionPolicy, Executor};
 use qrm_core::geometry::Rect;
@@ -292,23 +293,33 @@ impl Pipeline {
     }
 
     /// Runs a batch of independent shots (one camera frame / trap array
-    /// each) against a common target, planning each round's surviving
-    /// shots **together** through the planner's batched entry point
-    /// ([`Rearranger::plan_batch`]) — for QRM and the FPGA model that is
-    /// the parallel task-graph engine, so a multi-shot workload keeps
-    /// every core busy.
+    /// each) against a common target. Every stage of a round is
+    /// batch-parallel on the persistent worker pool:
     ///
-    /// Rounds proceed in lockstep: every unfinished shot is imaged and
-    /// detected, the batch of detected occupancies is planned in one
-    /// call, then each shot executes its schedule (with transport loss)
-    /// on its own true occupancy. Each shot draws from its own
-    /// deterministic RNG ([`shot_rng`](Self::shot_rng)), so reports are
-    /// independent of batch composition and identical to running the
-    /// shot alone.
+    /// 1. **Image + detect** — each unfinished shot's frame synthesis
+    ///    and detection is one pool job
+    ///    ([`shard_map`](qrm_core::engine::shard_map), slot-indexed);
+    /// 2. **Plan** — the detected occupancies go through the planner's
+    ///    batched entry point ([`Planner::plan_batch`]) — for QRM and
+    ///    the FPGA model the parallel task-graph engine;
+    /// 3. **Execute** — each shot's AWG compilation and schedule
+    ///    execution (with transport loss) is again one pool job.
+    ///
+    /// All three stages only *enqueue* onto the process-global pool —
+    /// no OS threads are spawned after pool initialisation — and each
+    /// shot draws from its own deterministic RNG
+    /// ([`shot_rng`](Self::shot_rng)), so reports are **bit-identical**
+    /// for any `workers` setting, independent of batch composition, and
+    /// equal to running the shot alone through [`run`](Self::run). With
+    /// `workers <= 1` (counting the automatic policy on a 1-core host)
+    /// the imaging and execution stages run inline with zero queueing
+    /// overhead.
     ///
     /// # Errors
     ///
-    /// Propagates planner and executor failures.
+    /// Propagates planner and executor failures; among shots failing in
+    /// the same round and stage, the lowest-indexed shot's error is
+    /// returned.
     pub fn run_batch(
         &self,
         truths: &[AtomGrid],
@@ -326,6 +337,7 @@ impl Pipeline {
         let executor = planner
             .executor()
             .with_collision_policy(CollisionPolicy::Eject);
+        let workers = self.config.workers;
         let mut shots: Vec<ShotState> = truths
             .iter()
             .enumerate()
@@ -340,30 +352,49 @@ impl Pipeline {
             .collect();
 
         for _ in 0..self.config.max_rounds {
-            // Image + detect every unfinished shot.
+            // Select the unfinished shots (cheap, serial), then image +
+            // detect each of them as a slot-indexed pool job.
             let mut active: Vec<usize> = Vec::new();
-            let mut jobs: Vec<(AtomGrid, Rect)> = Vec::new();
-            let mut fidelities: Vec<f64> = Vec::new();
+            let mut to_observe: Vec<&mut ShotState> = Vec::new();
             for (i, shot) in shots.iter_mut().enumerate() {
                 if shot.state.is_filled(target)? {
                     continue;
                 }
-                let (detection, fidelity) =
-                    self.observe(&shot.state, &shot.layout, &mut shot.rng)?;
-                fidelities.push(fidelity);
-                jobs.push((detection.grid, *target));
                 active.push(i);
+                to_observe.push(shot);
             }
             if active.is_empty() {
                 break;
+            }
+            let observed = shard_map(to_observe, workers, |shot| {
+                self.observe(&shot.state, &shot.layout, &mut shot.rng)
+            });
+            let mut jobs: Vec<(AtomGrid, Rect)> = Vec::with_capacity(active.len());
+            let mut fidelities: Vec<f64> = Vec::with_capacity(active.len());
+            for result in observed {
+                let (detection, fidelity) = result?;
+                jobs.push((detection.grid, *target));
+                fidelities.push(fidelity);
             }
 
             // One batched planning call covers the whole round.
             let plans = planner.plan_batch(&jobs)?;
 
-            // Execute per shot.
-            for ((&i, plan), detection_fidelity) in active.iter().zip(&plans).zip(fidelities) {
-                let shot = &mut shots[i];
+            // Execute per shot, again as slot-indexed pool jobs. The
+            // shots were only borrowed for observation, so re-borrow the
+            // active ones (in index order) alongside their plans.
+            let mut to_execute: Vec<(&mut ShotState, &qrm_core::scheduler::Plan, f64)> =
+                Vec::with_capacity(active.len());
+            let mut round_inputs = plans.iter().zip(fidelities);
+            let mut remaining = active.iter().copied().peekable();
+            for (i, shot) in shots.iter_mut().enumerate() {
+                if remaining.peek() == Some(&i) {
+                    remaining.next();
+                    let (plan, fidelity) = round_inputs.next().expect("one plan per active shot");
+                    to_execute.push((shot, plan, fidelity));
+                }
+            }
+            let executed = shard_map(to_execute, workers, |(shot, plan, detection_fidelity)| {
                 let round = self.execute_round(
                     &executor,
                     &mut shot.state,
@@ -373,6 +404,10 @@ impl Pipeline {
                     &mut shot.rng,
                 )?;
                 shot.rounds.push(round);
+                Ok::<(), Error>(())
+            });
+            for result in executed {
+                result?;
             }
         }
 

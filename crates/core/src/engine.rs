@@ -573,6 +573,45 @@ pub fn resolve_workers(configured: usize, shots: usize) -> usize {
     }
 }
 
+/// Runs `f` over `items` as slot-indexed jobs on the persistent worker
+/// pool and returns the results in input order — the sharding primitive
+/// behind the pipeline's parallel rounds (per-shot imaging/detection and
+/// per-shot schedule execution).
+///
+/// `workers` follows the engine policy (`0` = one per core), capped by
+/// the item count. With `workers <= 1` (or fewer than two items) the map
+/// runs inline on the caller with zero queueing overhead. Otherwise
+/// `workers` loop-jobs are spawned on the pool; each repeatedly pulls
+/// the next `(index, item)` from a shared queue and writes `f(item)`
+/// into slot `index`, so the output order — and, for per-item
+/// deterministic `f`, every output value — is independent of thread
+/// interleaving and worker count. Jobs spawned from the calling thread
+/// land on its scope-local deque, where idle pool workers steal them
+/// (see `vendor/rayon`).
+///
+/// Fallibility is the caller's: use `R = Result<_, _>` and sequence the
+/// slots afterwards. A panic in `f` propagates to the caller once the
+/// scope closes (remaining items still run — each loop-job's panic only
+/// kills that job).
+///
+/// This is the engine's worker-count policy layered over the vendored
+/// pool's one scheduling loop (`rayon::par_map_with`) — the same loop
+/// the parallel iterators use, so there is exactly one place that
+/// distributes slot-indexed items over pool jobs.
+pub fn shard_map<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = if workers == 0 {
+        rayon::current_num_threads()
+    } else {
+        workers
+    };
+    rayon::par_map_with(items, workers, f)
+}
+
 /// Reusable scratch for repeated batched planning: the slot-indexed
 /// result buffer of [`run_task_graph_in`] plus a pool of recycled
 /// per-quadrant kernel scratch (grid word buffers and pass vectors —
@@ -641,16 +680,26 @@ impl PlanContext {
 pub struct PlanEngine {
     config: QrmConfig,
     workers: usize,
-    /// Cross-batch scratch; cloning an engine starts with a cold one.
-    ctx: Mutex<PlanContext>,
+    /// Pool of parked cross-batch contexts. Each `plan_batch` call
+    /// checks one out for its duration, so **concurrent** batches on one
+    /// engine each get their own warm context instead of one winner
+    /// taking the engine's scratch and everyone else planning cold (the
+    /// old `try_lock` fallback). Cloning an engine starts with an empty
+    /// pool.
+    ctxs: Mutex<Vec<PlanContext>>,
 }
+
+/// Parked contexts kept per engine: enough for one per core of
+/// plausible concurrent callers; beyond that, surplus contexts are
+/// dropped rather than hoarded.
+const MAX_POOLED_CONTEXTS: usize = 8;
 
 impl Clone for PlanEngine {
     fn clone(&self) -> Self {
         PlanEngine {
             config: self.config.clone(),
             workers: self.workers,
-            ctx: Mutex::new(PlanContext::default()),
+            ctxs: Mutex::new(Vec::new()),
         }
     }
 }
@@ -683,7 +732,7 @@ impl PlanEngine {
         PlanEngine {
             config,
             workers: 0,
-            ctx: Mutex::new(PlanContext::default()),
+            ctxs: Mutex::new(Vec::new()),
         }
     }
 
@@ -709,31 +758,53 @@ impl PlanEngine {
     /// bit-identical to calling
     /// [`QrmScheduler::plan`](crate::scheduler::QrmScheduler) per shot.
     ///
-    /// Uses the engine's internal [`PlanContext`], so consecutive calls
-    /// reuse kernel scratch and result buffers (concurrent callers on
-    /// one engine fall back to a fresh context rather than serialise).
+    /// Checks a warm [`PlanContext`] out of the engine's context pool
+    /// for the duration of the call, so consecutive *and concurrent*
+    /// calls reuse kernel scratch and result buffers: each concurrent
+    /// batch takes (or creates) its own context and parks it back
+    /// afterwards, so a steady state of `k` concurrent callers settles
+    /// on `k` warm contexts with no serialisation and no cold-planning
+    /// fallback. A batch that panics simply drops its context — the
+    /// pool itself cannot be poisoned mid-plan because the lock is
+    /// never held while planning.
     ///
     /// # Errors
     ///
     /// Returns the first decomposition error in input order, or the
     /// first planning error the task graph hits.
     pub fn plan_batch(&self, jobs: &[(AtomGrid, Rect)]) -> Result<Vec<Plan>, Error> {
-        use std::sync::TryLockError;
-        match self.ctx.try_lock() {
-            Ok(mut ctx) => self.plan_batch_in(&mut ctx, jobs),
-            // A panic mid-batch poisoned the context: reset it so reuse
-            // comes back on the next call instead of silently degrading
-            // to cold contexts forever.
-            Err(TryLockError::Poisoned(poisoned)) => {
-                self.ctx.clear_poison();
-                let mut ctx = poisoned.into_inner();
-                *ctx = PlanContext::default();
-                self.plan_batch_in(&mut ctx, jobs)
-            }
-            // Another batch is in flight on this engine: don't serialise
-            // behind it, just plan with a cold context.
-            Err(TryLockError::WouldBlock) => self.plan_batch_in(&mut PlanContext::default(), jobs),
+        let mut ctx = self.lock_ctxs().pop().unwrap_or_default();
+        let result = self.plan_batch_in(&mut ctx, jobs);
+        let mut pool = self.lock_ctxs();
+        if pool.len() < MAX_POOLED_CONTEXTS {
+            pool.push(ctx);
         }
+        result
+    }
+
+    /// The context pool, recovering from the (practically impossible)
+    /// case of a panic inside a push/pop by starting a fresh pool.
+    fn lock_ctxs(&self) -> std::sync::MutexGuard<'_, Vec<PlanContext>> {
+        self.ctxs.lock().unwrap_or_else(|poisoned| {
+            self.ctxs.clear_poison();
+            let mut pool = poisoned.into_inner();
+            pool.clear();
+            pool
+        })
+    }
+
+    /// Number of parked contexts currently in the engine's pool
+    /// (diagnostics: after `k` concurrent batches complete this is
+    /// `min(k, 8)`, each of them warm).
+    pub fn idle_contexts(&self) -> usize {
+        self.lock_ctxs().len()
+    }
+
+    /// Total recycled kernel-scratch buffers across all parked contexts
+    /// (diagnostics: nonzero proves the next batch — concurrent or not —
+    /// starts warm).
+    pub fn warm_states(&self) -> usize {
+        self.lock_ctxs().iter().map(PlanContext::idle_states).sum()
     }
 
     /// [`plan_batch`](Self::plan_batch) with an explicit reusable

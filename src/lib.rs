@@ -47,10 +47,14 @@
 //! — every planner supports it, and QRM (software and FPGA model alike)
 //! routes the batch through the parallel task-graph engine in
 //! [`qrm_core::engine`], planning all shots' quadrants on a shared work
-//! queue served by the **persistent global worker pool** (threads are
-//! spawned once per process, never per batch). Results are bit-identical
-//! to per-shot [`Planner::plan`](qrm_core::planner::Planner::plan)
-//! calls.
+//! queue served by the **persistent work-stealing worker pool**
+//! (threads are spawned once per process, never per batch; jobs fan
+//! out via per-worker deques). The end-to-end pipeline goes further:
+//! every stage of a `Pipeline::run_batch` round — per-shot imaging +
+//! detection, batched planning, per-shot execution — is pool jobs.
+//! Results are bit-identical to per-shot
+//! [`Planner::plan`](qrm_core::planner::Planner::plan) /
+//! `Pipeline::run` calls at any worker count (`tests/determinism.rs`).
 //!
 //! ```
 //! use atom_rearrange::prelude::*;

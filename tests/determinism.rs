@@ -1,0 +1,184 @@
+//! The cross-worker determinism contract of the fully sharded pipeline.
+//!
+//! Every stage of a `Pipeline::run_batch` round — per-shot imaging and
+//! detection, batched planning, per-shot schedule execution — runs as
+//! jobs on the persistent work-stealing pool, with each shot driven by
+//! its own derived RNG (`Pipeline::shot_rng`). This suite pins the
+//! resulting contract for **all seven planners**:
+//!
+//! * reports are **bit-identical** for workers ∈ {1, 2, 4, 8} (the
+//!   acceptance criterion of the sharding work) and equal to running
+//!   each shot alone through `Pipeline::run`;
+//! * consecutive rounds at `workers >= 2` spawn **zero** OS threads
+//!   (jobs only), while the pool's steal counter is live.
+//!
+//! Stats note: the global pool's counters are process-wide and tests in
+//! this binary run concurrently, so counter assertions here are
+//! monotone (strict increase / exact non-increase of spawns), never
+//! equalities between deltas.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use atom_rearrange::prelude::*;
+use proptest::prelude::*;
+use qrm_bench::planner_choices;
+
+fn truths(shots: usize, size: usize, fill: f64, seed: u64) -> Vec<AtomGrid> {
+    let mut rng = qrm_core::loading::seeded_rng(seed);
+    (0..shots)
+        .map(|_| AtomGrid::random(size, size, fill, &mut rng))
+        .collect()
+}
+
+fn pipeline_for(choice: &PlannerChoice, workers: usize) -> Pipeline {
+    Pipeline::new(PipelineConfig {
+        planner: choice.clone(),
+        workers,
+        // Transport loss exercises the executor's RNG draws, the part
+        // of a round most sensitive to per-shot stream mixups.
+        loss_prob: 0.01,
+        max_rounds: 3,
+        ..PipelineConfig::default()
+    })
+}
+
+/// Forces at least one deterministic steal on the global pool: job A
+/// spawns job B onto the deque of whichever thread runs A (worker or
+/// helping caller alike own one) and then spins in the scope *body*
+/// until B has run. A's thread is busy spinning, so B can only execute
+/// via a **steal** by another pool participant — and one always exists
+/// (the pool has >= 1 worker and the outermost caller helps). On
+/// multi-core hosts the sharded rounds steal on their own; this makes
+/// the counter assertion below deterministic on a 1-core runner too.
+fn force_one_steal() {
+    rayon::scope(|outer| {
+        outer.spawn(|_| {
+            let done = AtomicBool::new(false);
+            rayon::scope(|inner| {
+                inner.spawn(|_| done.store(true, Ordering::Release));
+                while !done.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+            });
+        });
+    });
+}
+
+/// Acceptance criterion: `run_batch` output is bit-identical across
+/// workers ∈ {1, 2, 4, 8} for all seven planners, and equal to per-shot
+/// `run` with the derived RNG.
+#[test]
+fn run_batch_is_bit_identical_across_worker_counts_for_all_planners() {
+    let truths = truths(3, 12, 0.6, 501);
+    let target = Rect::centered(12, 12, 6, 6).unwrap();
+    let base_seed = 4242;
+    for (name, choice) in planner_choices() {
+        let baseline = pipeline_for(&choice, 1)
+            .run_batch(&truths, &target, base_seed)
+            .unwrap();
+        for (i, truth) in truths.iter().enumerate() {
+            let mut rng = Pipeline::shot_rng(base_seed, i);
+            let single = pipeline_for(&choice, 1)
+                .run(truth, &target, &mut rng)
+                .unwrap();
+            assert_eq!(single, baseline[i], "{name}: shot {i} != batched shot");
+        }
+        for workers in [2usize, 4, 8] {
+            let batched = pipeline_for(&choice, workers)
+                .run_batch(&truths, &target, base_seed)
+                .unwrap();
+            assert_eq!(batched, baseline, "{name}: workers={workers} diverged");
+        }
+    }
+}
+
+/// Batch composition must not leak between shots: a shot's report is
+/// the same whether its neighbours finish early, fail to fill, or are
+/// absent entirely.
+#[test]
+fn shot_reports_are_independent_of_batch_composition() {
+    let all = truths(4, 12, 0.6, 777);
+    let target = Rect::centered(12, 12, 6, 6).unwrap();
+    let (_, choice) = planner_choices().remove(0);
+    let pipeline = pipeline_for(&choice, 4);
+    let full = pipeline.run_batch(&all, &target, 99).unwrap();
+    // Same truth at the same index, different neighbours.
+    let trimmed = pipeline.run_batch(&all[..2], &target, 99).unwrap();
+    assert_eq!(
+        full[..2],
+        trimmed[..],
+        "dropping later shots changed earlier reports"
+    );
+}
+
+/// Acceptance criterion: consecutive sharded rounds at `workers >= 2`
+/// spawn zero extra OS threads while `global_pool_stats()` shows
+/// nonzero steals.
+#[test]
+fn sharded_rounds_spawn_no_threads_and_stealing_is_live() {
+    let init = rayon::global_pool_stats(); // forces pool initialisation
+    let truths = truths(3, 16, 0.6, 600);
+    let target = Rect::centered(16, 16, 8, 8).unwrap();
+    let (_, choice) = planner_choices().remove(0);
+    let pipeline = pipeline_for(&choice, 2);
+
+    let first = pipeline.run_batch(&truths, &target, 314).unwrap();
+    force_one_steal();
+    let mid = rayon::global_pool_stats();
+    let second = pipeline.run_batch(&truths, &target, 314).unwrap();
+    let after = rayon::global_pool_stats();
+
+    assert_eq!(first, second, "same seed, same reports");
+    assert_eq!(
+        init.threads_spawned, after.threads_spawned,
+        "sharded rounds must only enqueue pool jobs, never spawn threads"
+    );
+    assert!(
+        after.jobs_executed > mid.jobs_executed,
+        "workers >= 2 must schedule imaging/planning/execution as pool jobs"
+    );
+    assert!(
+        after.steals > 0,
+        "work stealing must be live while rounds run"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Property form of the worker-count contract: for random array
+    /// sizes, fills, seeds, and batch sizes, `run_batch` reports
+    /// (plans, fidelities, round counts, final grids) are bit-identical
+    /// across workers ∈ {1, 2, 4} and equal to per-shot `run`, for all
+    /// seven planners of `qrm_bench::planner_choices()` (the config
+    /// twin of `planner_matrix()`).
+    #[test]
+    fn run_batch_reports_match_run_for_every_planner(
+        half in 6usize..9,
+        fill in 0.45f64..0.65,
+        seed in any::<u64>(),
+        shots in 1usize..4,
+    ) {
+        let size = half * 2;
+        let side = ((size * 3 / 5) & !1).max(2);
+        let target = Rect::centered(size, size, side, side).unwrap();
+        let truths = truths(shots, size, fill, seed);
+        let base_seed = seed ^ 0xa5a5;
+        for (name, choice) in planner_choices() {
+            let baseline = pipeline_for(&choice, 1)
+                .run_batch(&truths, &target, base_seed)
+                .unwrap();
+            for (i, truth) in truths.iter().enumerate() {
+                let mut rng = Pipeline::shot_rng(base_seed, i);
+                let single = pipeline_for(&choice, 1).run(truth, &target, &mut rng).unwrap();
+                prop_assert_eq!(&single, &baseline[i], "{}: shot {}", name, i);
+            }
+            for workers in [2usize, 4] {
+                let batched = pipeline_for(&choice, workers)
+                    .run_batch(&truths, &target, base_seed)
+                    .unwrap();
+                prop_assert_eq!(&batched, &baseline, "{}: workers={}", name, workers);
+            }
+        }
+    }
+}

@@ -118,6 +118,43 @@ fn scheduler_internal_context_survives_varied_batches() {
 }
 
 #[test]
+fn concurrent_batches_each_get_a_warm_context() {
+    // The engine keeps a *pool* of contexts: a lone batch parks one
+    // warm context; concurrent batches each check out their own (the
+    // overflow caller gets a fresh context that is then parked too), so
+    // a steady stream of concurrent callers stops planning cold. The
+    // old behaviour — try_lock with a cold-context fallback — left
+    // every loser of the race allocating from scratch.
+    let jobs = workload(3, 16, 95);
+    let engine = PlanEngine::new(QrmConfig::default()).with_workers(2);
+    let expected = engine.plan_batch(&jobs).unwrap();
+    assert_eq!(engine.idle_contexts(), 1, "one batch parks one context");
+    assert!(
+        engine.warm_states() > 0,
+        "the parked context must hold recycled kernel scratch"
+    );
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| s.spawn(|| engine.plan_batch(&jobs).unwrap()))
+            .collect();
+        for handle in handles {
+            assert_eq!(
+                handle.join().unwrap(),
+                expected,
+                "context checkout must not change plans"
+            );
+        }
+    });
+    let idle = engine.idle_contexts();
+    assert!(
+        (1..=2).contains(&idle),
+        "concurrent batches park their contexts back (got {idle})"
+    );
+    assert!(engine.warm_states() > 0, "parked contexts stay warm");
+}
+
+#[test]
 fn fpga_batches_reuse_the_pool_too() {
     let jobs = workload(3, 16, 90);
     let accel = QrmAccelerator::new(AcceleratorConfig::balanced()).with_workers(2);

@@ -7,9 +7,13 @@
 //! fresh OS threads per call; now threads are spawned exactly once
 //! (lazily, on first use) and every later parallel region only enqueues
 //! jobs, which [`global_pool_stats`] makes observable. Work distribution
-//! is a shared injector queue, so results are written into pre-assigned
-//! slots and `collect()` is deterministic regardless of thread
-//! interleaving. See `vendor/README.md` for scope and caveats.
+//! is **work stealing**: every worker (and every thread inside a
+//! [`scope`]) owns a deque it pushes and pops LIFO, idle threads steal
+//! FIFO from each other, and a shared injector catches submissions from
+//! unregistered threads — see [`pool`] for the full protocol and the
+//! per-path counters. Results are written into pre-assigned slots, so
+//! `collect()` is deterministic regardless of which thread runs which
+//! job. See `vendor/README.md` for scope and caveats.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -187,11 +191,20 @@ impl<'scope, 'env> Scope<'scope, 'env> {
 /// returns. Tasks execute on the persistent global pool; the calling
 /// thread helps run queued jobs while it waits, so progress is
 /// guaranteed even on a single-core host or from within a pool worker.
+///
+/// For the duration of the scope the calling thread is registered as a
+/// pool participant: its spawns land on a thread-local deque it pops
+/// LIFO while helping, and idle pool workers steal from that deque —
+/// so work fans out from the caller without touching the shared
+/// injector.
 pub fn scope<'env, F, R>(f: F) -> R
 where
     F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
 {
     let pool = ThreadPool::global();
+    // Registered for the whole scope (drop-guard): spawns from this
+    // thread go to its stealable local deque.
+    let _caller = pool.register_caller();
     let state = ScopeState::new();
     let scope = Scope {
         state: Arc::clone(&state),
@@ -226,13 +239,25 @@ where
     }
 }
 
-/// Order-preserving parallel map over owned items: pool workers (plus
-/// the calling thread) pull the next `(index, item)` from a shared queue
-/// and write `f(item)` into slot `index`.
-fn par_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+/// Order-preserving parallel map over owned items with an explicit cap
+/// on concurrent worker jobs: `workers` loop-jobs (capped by the item
+/// count; `<= 1` runs inline on the caller) each pull the next
+/// `(index, item)` from a shared queue and write `f(item)` into slot
+/// `index`, so output order — and, for per-item deterministic `f`,
+/// every output value — is independent of thread interleaving.
+///
+/// Not part of real rayon's API (which caps via pool construction);
+/// exposed so workspace consumers that throttle per *call* — the
+/// planning stack's `shard_map` — share this one scheduling loop
+/// instead of duplicating it.
+pub fn par_map_with<T: Send, R: Send>(
+    items: Vec<T>,
+    workers: usize,
+    f: impl Fn(T) -> R + Sync,
+) -> Vec<R> {
     let n = items.len();
-    let threads = current_num_threads().min(n);
-    if threads <= 1 {
+    let workers = workers.min(n);
+    if workers <= 1 {
         return items.into_iter().map(f).collect();
     }
     let input: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
@@ -247,7 +272,7 @@ fn par_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R>
         }
     };
     scope(|s| {
-        for _ in 0..threads {
+        for _ in 0..workers {
             s.spawn(run);
         }
     });
@@ -259,6 +284,12 @@ fn par_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R>
                 .expect("every slot filled")
         })
         .collect()
+}
+
+/// Order-preserving parallel map over owned items, one worker job per
+/// pool thread ([`par_map_with`] with the automatic cap).
+fn par_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    par_map_with(items, current_num_threads(), f)
 }
 
 /// An eagerly evaluated parallel iterator.

@@ -1,22 +1,48 @@
-//! The persistent worker pool behind this crate's `scope`/`spawn`/`join`.
+//! The persistent work-stealing worker pool behind this crate's
+//! `scope`/`spawn`/`join`.
 //!
 //! Mirrors the executor/scheduler split of real rayon (and of Block-STM
-//! style executors): a fixed set of long-lived worker threads pull
-//! type-erased jobs from a shared injector queue behind an `Arc`. The
-//! pool is created **once** per process (lazily, on first use) and its
-//! threads never exit, so repeated parallel regions pay zero
-//! thread-spawn cost after initialisation — observable through
-//! [`ThreadPool::stats`]: `threads_spawned` stays constant while
+//! style executors): a fixed set of long-lived worker threads execute
+//! type-erased jobs. The pool is created **once** per process (lazily,
+//! on first use) and its threads never exit, so repeated parallel
+//! regions pay zero thread-spawn cost after initialisation — observable
+//! through [`ThreadPool::stats`]: `threads_spawned` stays constant while
 //! `jobs_executed` grows.
 //!
-//! Work distribution is a mutex-protected injector deque (offline-stub
-//! quality; real rayon uses per-worker stealable deques). Blocked
-//! callers *help*: while a scope waits for its spawned jobs it runs
-//! queued jobs itself, so nested parallel regions cannot deadlock the
-//! fixed-size pool and a 1-core host still makes progress.
+//! ## Work distribution: per-worker deques + injector overflow
+//!
+//! Earlier revisions used a single mutex-protected injector queue, which
+//! serialises every push and pop on one lock. Work distribution now
+//! follows the crossbeam/rayon shape:
+//!
+//! * every worker thread owns a **local deque**; jobs spawned *from* a
+//!   pool thread (or from a thread inside a [`crate::scope`], which
+//!   registers a transient *guest* deque) are pushed to that thread's
+//!   own deque and popped **LIFO** — the cache-hot order;
+//! * idle threads first drain the shared **injector** (jobs submitted
+//!   by threads with no registered deque), then **steal FIFO** from the
+//!   *cold* end of other threads' deques, round-robin from a rotating
+//!   start cursor so victims spread;
+//! * blocked scope callers *help*: while a scope waits for its spawned
+//!   jobs it pops/steals and runs jobs itself, so nested parallel
+//!   regions cannot deadlock the fixed-size pool and a 1-core host
+//!   still makes progress.
+//!
+//! Each distribution path has a dedicated counter (`local_hits`,
+//! `injector_hits`, `steals` in [`PoolStats`]); at quiescence their sum
+//! equals `jobs_executed`, which the pool stress suite asserts. The
+//! deques themselves are small mutex-protected `VecDeque`s rather than
+//! lock-free Chase-Lev buffers — per-deque locks already remove the
+//! global contention point, and the vendored crate forbids the unsafe
+//! code a lock-free deque needs.
+//!
+//! Results stay deterministic regardless of who runs a job: all
+//! workspace consumers write into pre-assigned slots, so stealing
+//! changes *where* a job runs, never *what* it computes.
 
+use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Duration;
 
@@ -28,7 +54,9 @@ pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
 /// `threads_spawned` is the total number of OS threads the pool has ever
 /// created; for the process-global pool it is set once at initialisation
 /// and never grows again — the property the planning stack's reuse tests
-/// assert.
+/// assert. `local_hits + injector_hits + steals` equals `jobs_executed`
+/// once the pool is quiescent: every executed job was taken from exactly
+/// one of the three sources.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PoolStats {
     /// Worker threads serving the pool.
@@ -37,15 +65,216 @@ pub struct PoolStats {
     pub threads_spawned: u64,
     /// Jobs executed so far (by workers or by helping callers).
     pub jobs_executed: u64,
+    /// Jobs a thread popped from its **own** deque (LIFO, cache-hot).
+    pub local_hits: u64,
+    /// Jobs taken from the shared overflow injector (FIFO).
+    pub injector_hits: u64,
+    /// Jobs **stolen** from another thread's deque (FIFO, cold end).
+    pub steals: u64,
 }
 
+/// One thread's stealable job deque. The owner pushes and pops at the
+/// back (LIFO); thieves take from the front (FIFO), so the oldest —
+/// coldest — work migrates first, exactly like crossbeam's worker/
+/// stealer split.
+#[derive(Default)]
+struct WorkerDeque {
+    jobs: Mutex<VecDeque<Job>>,
+}
+
+impl WorkerDeque {
+    fn push(&self, job: Job) {
+        self.jobs
+            .lock()
+            .expect("worker deque poisoned")
+            .push_back(job);
+    }
+
+    /// Owner-side pop: newest job first.
+    fn pop_local(&self) -> Option<Job> {
+        self.jobs.lock().expect("worker deque poisoned").pop_back()
+    }
+
+    /// Thief-side pop: oldest job first. Uses `try_lock` so a thief
+    /// never blocks behind a busy owner — it just moves to the next
+    /// victim.
+    fn steal(&self) -> Option<Job> {
+        self.jobs.try_lock().ok()?.pop_front()
+    }
+
+    /// Empties the deque (used when a guest deregisters with detached
+    /// jobs still queued; they move to the injector).
+    fn drain(&self) -> Vec<Job> {
+        self.jobs
+            .lock()
+            .expect("worker deque poisoned")
+            .drain(..)
+            .collect()
+    }
+}
+
+/// The calling thread's registration with a pool, stored thread-locally.
+struct LocalQueue {
+    pool_id: u64,
+    deque: Arc<WorkerDeque>,
+    /// Nested registrations (a scope inside a scope) on this thread.
+    depth: usize,
+    /// Workers never deregister; guests do when `depth` returns to 0.
+    permanent: bool,
+}
+
+thread_local! {
+    static LOCAL: RefCell<Option<LocalQueue>> = const { RefCell::new(None) };
+}
+
+/// Distinguishes pools so a worker of one pool entering a scope on the
+/// global pool does not cross-post jobs.
+static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(0);
+
 struct PoolShared {
+    id: u64,
+    /// Overflow queue for jobs submitted by unregistered threads.
     injector: Mutex<VecDeque<Job>>,
-    /// Signalled when a job is pushed; workers wait on it.
+    /// Registry of stealable deques: one permanent entry per worker,
+    /// plus transient guest deques of threads currently inside a scope.
+    stealable: Mutex<Vec<Arc<WorkerDeque>>>,
+    /// Rotates the steal starting point so thieves spread over victims.
+    steal_cursor: AtomicUsize,
+    /// Push epoch: bumped on every submission (SeqCst) so a worker that
+    /// saw an empty pool can detect a push that raced with its decision
+    /// to sleep (no lost wakeups) — see [`PoolShared::signal`].
+    epoch: AtomicU64,
+    /// Workers currently inside the sleep protocol. Gates the push
+    /// path: a submitter only touches the sleep mutex when somebody
+    /// might actually be asleep, so the busy-pool fast path is
+    /// deque-lock + two atomics with no global lock.
+    sleepers: AtomicUsize,
+    /// Guards the sleep condvar (empty critical section on the push
+    /// side; the lock acquisition orders pushes against a worker's
+    /// epoch re-check → wait transition).
+    sleep: Mutex<()>,
+    /// Signalled when a job is pushed; idle workers wait on it.
     ready: Condvar,
     threads: usize,
     threads_spawned: AtomicU64,
     jobs_executed: AtomicU64,
+    local_hits: AtomicU64,
+    injector_hits: AtomicU64,
+    steals: AtomicU64,
+}
+
+impl PoolShared {
+    /// Finds the next job for the calling thread: own deque (LIFO) →
+    /// injector (FIFO) → steal (FIFO from another deque). `local` is the
+    /// caller's registered deque, if any.
+    fn find_job(&self, local: Option<&Arc<WorkerDeque>>) -> Option<Job> {
+        if let Some(deque) = local {
+            if let Some(job) = deque.pop_local() {
+                self.local_hits.fetch_add(1, Ordering::SeqCst);
+                return Some(job);
+            }
+        }
+        if let Some(job) = self
+            .injector
+            .lock()
+            .expect("pool injector poisoned")
+            .pop_front()
+        {
+            self.injector_hits.fetch_add(1, Ordering::SeqCst);
+            return Some(job);
+        }
+        let victims = self.stealable.lock().expect("pool registry poisoned");
+        let n = victims.len();
+        if n == 0 {
+            return None;
+        }
+        let start = self.steal_cursor.fetch_add(1, Ordering::Relaxed) % n;
+        for offset in 0..n {
+            let victim = &victims[(start + offset) % n];
+            if let Some(own) = local {
+                if Arc::ptr_eq(victim, own) {
+                    continue;
+                }
+            }
+            if let Some(job) = victim.steal() {
+                self.steals.fetch_add(1, Ordering::SeqCst);
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Announces new work: bumps the push epoch, then wakes one idle
+    /// worker — but only touches the sleep mutex when a worker might be
+    /// asleep, so concurrent submitters on a busy pool never serialise
+    /// on a global lock.
+    ///
+    /// No lost wakeups: both the epoch bump here and the sleeper-count
+    /// bump in [`worker_loop`] are SeqCst, so either the submitter sees
+    /// `sleepers > 0` (and its empty lock/unlock of the sleep mutex
+    /// orders it against the worker's epoch re-check → wait transition:
+    /// the worker is pre-check and will see the new epoch, or already
+    /// waiting and gets the notify), or the worker's sleeper-bump came
+    /// later than this load, in which case its epoch re-check — later
+    /// still — observes the bump and rescans instead of sleeping.
+    fn signal(&self) {
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            drop(self.sleep.lock().expect("pool sleep lock poisoned"));
+            self.ready.notify_one();
+        }
+    }
+
+    /// The calling thread's registered deque for this pool, if any.
+    fn local_deque(&self) -> Option<Arc<WorkerDeque>> {
+        LOCAL.with(|slot| {
+            slot.borrow()
+                .as_ref()
+                .filter(|lq| lq.pool_id == self.id)
+                .map(|lq| Arc::clone(&lq.deque))
+        })
+    }
+}
+
+/// RAII registration of a scope-calling thread as a stealing/stealable
+/// pool participant (see [`ThreadPool::register_caller`]).
+pub(crate) struct CallerSlot {
+    shared: Option<Arc<PoolShared>>,
+}
+
+impl Drop for CallerSlot {
+    fn drop(&mut self) {
+        let Some(shared) = self.shared.take() else {
+            return;
+        };
+        let finished = LOCAL.with(|slot| {
+            let mut slot = slot.borrow_mut();
+            let lq = slot.as_mut().expect("caller slot dropped unregistered");
+            debug_assert_eq!(lq.pool_id, shared.id);
+            lq.depth -= 1;
+            if lq.depth == 0 && !lq.permanent {
+                Some(slot.take().expect("checked above").deque)
+            } else {
+                None
+            }
+        });
+        if let Some(deque) = finished {
+            shared
+                .stealable
+                .lock()
+                .expect("pool registry poisoned")
+                .retain(|d| !Arc::ptr_eq(d, &deque));
+            // Detached `spawn` jobs queued on the guest deque outlive the
+            // scope; hand them to the injector so workers still run them.
+            let orphans = deque.drain();
+            if !orphans.is_empty() {
+                let mut injector = shared.injector.lock().expect("pool injector poisoned");
+                injector.extend(orphans);
+                drop(injector);
+                shared.signal();
+            }
+        }
+    }
 }
 
 /// A persistent pool of worker threads executing injected jobs.
@@ -71,33 +300,57 @@ impl ThreadPool {
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
         let shared = Arc::new(PoolShared {
+            id: NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed),
             injector: Mutex::new(VecDeque::new()),
+            stealable: Mutex::new(Vec::with_capacity(threads)),
+            steal_cursor: AtomicUsize::new(0),
+            epoch: AtomicU64::new(0),
+            sleepers: AtomicUsize::new(0),
+            sleep: Mutex::new(()),
             ready: Condvar::new(),
             threads,
             threads_spawned: AtomicU64::new(0),
             jobs_executed: AtomicU64::new(0),
+            local_hits: AtomicU64::new(0),
+            injector_hits: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
         });
         for i in 0..threads {
             let worker_shared = Arc::clone(&shared);
+            let deque = Arc::new(WorkerDeque::default());
+            shared
+                .stealable
+                .lock()
+                .expect("pool registry poisoned")
+                .push(Arc::clone(&deque));
             shared.threads_spawned.fetch_add(1, Ordering::Relaxed);
             std::thread::Builder::new()
                 .name(format!("rayon-stub-worker-{i}"))
-                .spawn(move || worker_loop(&worker_shared))
+                .spawn(move || worker_loop(&worker_shared, deque))
                 .expect("spawn pool worker");
         }
         ThreadPool { shared }
     }
 
-    /// The lazily-initialised process-global pool, sized to
+    /// The lazily-initialised process-global pool. Sized by the
+    /// `QRM_POOL_THREADS` environment variable when set to a positive
+    /// integer (the hook CI's multi-worker job uses to exercise real
+    /// parallelism on small runners), otherwise to
     /// `available_parallelism`. The first caller pays the one-time
     /// thread-spawn cost; every later parallel region reuses the same
     /// workers.
     pub fn global() -> &'static ThreadPool {
         static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
         GLOBAL.get_or_init(|| {
-            let threads = std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1);
+            let threads = std::env::var("QRM_POOL_THREADS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(std::num::NonZeroUsize::get)
+                        .unwrap_or(1)
+                });
             ThreadPool::new(threads)
         })
     }
@@ -112,26 +365,64 @@ impl ThreadPool {
         PoolStats {
             threads: self.shared.threads,
             threads_spawned: self.shared.threads_spawned.load(Ordering::Relaxed),
-            jobs_executed: self.shared.jobs_executed.load(Ordering::Relaxed),
+            jobs_executed: self.shared.jobs_executed.load(Ordering::SeqCst),
+            local_hits: self.shared.local_hits.load(Ordering::SeqCst),
+            injector_hits: self.shared.injector_hits.load(Ordering::SeqCst),
+            steals: self.shared.steals.load(Ordering::SeqCst),
         }
     }
 
-    /// Queues a job for execution by the pool workers.
+    /// Queues a job: onto the calling thread's own deque when the
+    /// thread is a worker of (or scope guest on) this pool — the LIFO
+    /// fast path — otherwise onto the shared injector.
     pub(crate) fn inject(&self, job: Job) {
-        let mut queue = self.shared.injector.lock().expect("pool injector poisoned");
-        queue.push_back(job);
-        drop(queue);
-        self.shared.ready.notify_one();
+        match self.shared.local_deque() {
+            Some(deque) => deque.push(job),
+            None => self
+                .shared
+                .injector
+                .lock()
+                .expect("pool injector poisoned")
+                .push_back(job),
+        }
+        self.shared.signal();
     }
 
-    /// Pops one queued job without blocking. Used by waiting callers to
-    /// help drain the pool instead of idling.
-    pub(crate) fn try_pop(&self) -> Option<Job> {
-        self.shared
-            .injector
-            .lock()
-            .expect("pool injector poisoned")
-            .pop_front()
+    /// Registers the calling thread as a pool participant for the
+    /// duration of the returned guard (a [`crate::scope`] call): its
+    /// spawns go to a thread-local deque that pool workers can steal
+    /// from, and its help-loop pops that deque LIFO first. Nested calls
+    /// on one thread share a single registration; worker threads (and
+    /// threads registered with a *different* pool) are left as they are.
+    pub(crate) fn register_caller(&self) -> CallerSlot {
+        let shared = LOCAL.with(|slot| {
+            let mut slot = slot.borrow_mut();
+            match slot.as_mut() {
+                Some(lq) if lq.pool_id == self.shared.id => {
+                    lq.depth += 1;
+                    Some(Arc::clone(&self.shared))
+                }
+                // A worker of another pool: don't disturb its deque; the
+                // thread falls back to injector submission.
+                Some(_) => None,
+                None => {
+                    let deque = Arc::new(WorkerDeque::default());
+                    self.shared
+                        .stealable
+                        .lock()
+                        .expect("pool registry poisoned")
+                        .push(Arc::clone(&deque));
+                    *slot = Some(LocalQueue {
+                        pool_id: self.shared.id,
+                        deque,
+                        depth: 1,
+                        permanent: false,
+                    });
+                    Some(Arc::clone(&self.shared))
+                }
+            }
+        });
+        CallerSlot { shared }
     }
 
     /// Runs one job on the calling thread, counting it in the stats.
@@ -140,12 +431,13 @@ impl ThreadPool {
     /// never kill a shared worker (detached-thread semantics: the
     /// payload is dropped).
     pub(crate) fn run_job(&self, job: Job) {
-        self.shared.jobs_executed.fetch_add(1, Ordering::Relaxed);
+        self.shared.jobs_executed.fetch_add(1, Ordering::SeqCst);
         let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
     }
 
     /// Blocks until `done()` reports true, running queued jobs while
-    /// waiting. `wait()` must block until either a job is queued or the
+    /// waiting (own deque first, then injector, then stealing).
+    /// `wait()` must block until either a job is queued or the
     /// condition may have changed; the 1 ms cap keeps the caller
     /// responsive to jobs queued while it slept on a foreign condvar.
     pub(crate) fn wait_while_helping(
@@ -153,11 +445,12 @@ impl ThreadPool {
         mut done: impl FnMut() -> bool,
         mut wait: impl FnMut(Duration),
     ) {
+        let local = self.shared.local_deque();
         loop {
             if done() {
                 return;
             }
-            if let Some(job) = self.try_pop() {
+            if let Some(job) = self.shared.find_job(local.as_ref()) {
                 self.run_job(job);
                 continue;
             }
@@ -166,21 +459,127 @@ impl ThreadPool {
     }
 }
 
-fn worker_loop(shared: &Arc<PoolShared>) {
+fn worker_loop(shared: &Arc<PoolShared>, deque: Arc<WorkerDeque>) {
+    LOCAL.with(|slot| {
+        *slot.borrow_mut() = Some(LocalQueue {
+            pool_id: shared.id,
+            deque: Arc::clone(&deque),
+            depth: 0,
+            permanent: true,
+        });
+    });
     loop {
-        let job = {
-            let mut queue = shared.injector.lock().expect("pool injector poisoned");
-            loop {
-                if let Some(job) = queue.pop_front() {
-                    break job;
-                }
-                queue = shared.ready.wait(queue).expect("pool injector poisoned");
+        // Epoch-read before the scan: any push after this point bumps
+        // the epoch, so the re-check inside the sleep protocol below
+        // detects it and rescans instead of missing the wakeup.
+        let epoch = shared.epoch.load(Ordering::SeqCst);
+        if let Some(job) = shared.find_job(Some(&deque)) {
+            shared.jobs_executed.fetch_add(1, Ordering::SeqCst);
+            // Jobs capture their own panics (scope jobs stash the payload
+            // for the owning scope); a stray panic from a bare `spawn`
+            // job is swallowed so the worker survives — same as a
+            // detached thread.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+            continue;
+        }
+        // Sleep protocol (see `PoolShared::signal` for the pairing):
+        // advertise as a sleeper, then re-check the epoch *under the
+        // sleep lock* before waiting.
+        shared.sleepers.fetch_add(1, Ordering::SeqCst);
+        let guard = shared.sleep.lock().expect("pool sleep lock poisoned");
+        if shared.epoch.load(Ordering::SeqCst) == epoch {
+            drop(shared.ready.wait(guard).expect("pool sleep lock poisoned"));
+        } else {
+            drop(guard);
+        }
+        shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    //! Counter-accounting tests on **private** pools: unlike the global
+    //! pool, a private pool is untouched by concurrently running tests,
+    //! so exact equalities on its counters are race-free.
+
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    fn wait_for_jobs(pool: &ThreadPool, jobs: u64) {
+        while pool.stats().jobs_executed < jobs {
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn worker_spawns_hit_its_local_deque() {
+        // A job running on the single worker injects three more: they
+        // land on the worker's own deque (LIFO fast path) and, with no
+        // other thread in the pool, must all be popped locally.
+        let pool = Arc::new(ThreadPool::new(1));
+        let inner = Arc::clone(&pool);
+        pool.inject(Box::new(move || {
+            for _ in 0..3 {
+                inner.inject(Box::new(|| {}));
             }
-        };
-        shared.jobs_executed.fetch_add(1, Ordering::Relaxed);
-        // Jobs capture their own panics (scope jobs stash the payload for
-        // the owning scope); a stray panic from a bare `spawn` job is
-        // swallowed so the worker survives — same as a detached thread.
-        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+        }));
+        wait_for_jobs(&pool, 4);
+        let stats = pool.stats();
+        assert_eq!(stats.injector_hits, 1, "the seed job came via the injector");
+        assert_eq!(
+            stats.local_hits, 3,
+            "worker-spawned jobs are popped LIFO locally"
+        );
+        assert_eq!(stats.steals, 0, "a lone worker has nobody to steal from");
+        assert_eq!(
+            stats.local_hits + stats.injector_hits + stats.steals,
+            stats.jobs_executed,
+            "every executed job was taken from exactly one source"
+        );
+    }
+
+    #[test]
+    fn blocked_owner_forces_a_steal() {
+        // Worker 1 runs a job that spawns a follower onto its own deque
+        // and then spins until the follower has run. Worker 1 cannot run
+        // it (it is busy spinning), so worker 2 **must** steal it — the
+        // deterministic steal-counter check.
+        let pool = Arc::new(ThreadPool::new(2));
+        let done = Arc::new(AtomicBool::new(false));
+        let inner_pool = Arc::clone(&pool);
+        let inner_done = Arc::clone(&done);
+        pool.inject(Box::new(move || {
+            let flag = Arc::clone(&inner_done);
+            inner_pool.inject(Box::new(move || {
+                flag.store(true, Ordering::Release);
+            }));
+            while !inner_done.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+        }));
+        wait_for_jobs(&pool, 2);
+        let stats = pool.stats();
+        assert_eq!(stats.steals, 1, "the follower can only run via a steal");
+        assert_eq!(stats.injector_hits, 1);
+        assert_eq!(
+            stats.local_hits + stats.injector_hits + stats.steals,
+            stats.jobs_executed
+        );
+        assert_eq!(stats.threads_spawned, 2, "stealing spawned no threads");
+    }
+
+    #[test]
+    fn global_pool_honours_env_or_parallelism() {
+        let threads = ThreadPool::global().thread_count();
+        let expected = std::env::var("QRM_POOL_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            });
+        assert_eq!(threads, expected);
     }
 }
