@@ -28,6 +28,29 @@
 //! (QRM) vs per-line assignment DP (Tetris) vs iterative scalar
 //! compression with per-move rescans (PSCA) vs per-defect path search
 //! (MTA1).
+//!
+//! ## Quick example
+//!
+//! Every baseline is a [`Planner`](qrm_core::planner::Planner), so any
+//! of them drops into code written against the trait:
+//!
+//! ```
+//! use qrm_baselines::TetrisScheduler;
+//! use qrm_core::geometry::Rect;
+//! use qrm_core::grid::AtomGrid;
+//! use qrm_core::loading::seeded_rng;
+//! use qrm_core::planner::plan_and_execute;
+//!
+//! # fn main() -> Result<(), qrm_core::Error> {
+//! let mut rng = seeded_rng(2);
+//! let grid = AtomGrid::random(16, 16, 0.6, &mut rng);
+//! let target = Rect::centered(16, 16, 8, 8)?;
+//!
+//! let (plan, report) = plan_and_execute(&TetrisScheduler::default(), &grid, &target)?;
+//! assert_eq!(report.final_grid, plan.predicted);
+//! # Ok(())
+//! # }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

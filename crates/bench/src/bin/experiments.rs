@@ -3,16 +3,28 @@
 //!
 //! Usage: `cargo run --release -p qrm-bench --bin experiments -- [cmd]`
 //! where `cmd` is one of `fig7a`, `fig7b`, `fig8`, `headline`,
-//! `quality`, `ablations`, `engine`, `system`, `sweep`, or `all`
-//! (default).
+//! `quality`, `ablations`, `engine`, `system`, `sweep`, `serve`, or
+//! `all` (default).
 //!
 //! `sweep` runs the full image→detect→plan→execute pipeline for one or
 //! all seven planners and prints per-planner fill/round/motion numbers
-//! plus the worker-pool counters (threads spawned, jobs, steals):
+//! plus the worker-pool counters **attributed to each planner's run**
+//! (snapshot deltas, so one process sweeping many planners doesn't
+//! smear counters across rows):
 //!
 //! ```text
 //! experiments -- sweep [--planner all|qrm|typical|tetris|psca|mta1|hybrid|fpga]
 //!                      [--workers N] [--shots N] [--size N] [--rounds N] [--seed N]
+//! ```
+//!
+//! `serve` stands up the long-lived planning service (`qrm_server`)
+//! with all seven planners registered and hammers it with concurrent
+//! mixed-planner batch submissions from client threads, printing
+//! throughput, per-planner latency histograms, and service/pool stats:
+//!
+//! ```text
+//! experiments -- serve [--clients N] [--batches N] [--shots N] [--size N]
+//!                      [--rounds N] [--seed N] [--workers N] [--max-inflight N]
 //! ```
 //!
 //! `--workers 0` (the default) uses one pool worker per core; any other
@@ -61,6 +73,15 @@ fn main() {
             }
         }
     }
+    if all || cmd == "serve" {
+        match parse_serve_args(&args[usize::from(!args.is_empty())..]) {
+            Ok(serve) => print_serve(&serve),
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
     if !all
         && !matches!(
             cmd,
@@ -73,9 +94,10 @@ fn main() {
                 | "engine"
                 | "system"
                 | "sweep"
+                | "serve"
         )
     {
-        eprintln!("unknown experiment {cmd:?}; use fig7a|fig7b|fig8|headline|quality|ablations|engine|system|sweep|all");
+        eprintln!("unknown experiment {cmd:?}; use fig7a|fig7b|fig8|headline|quality|ablations|engine|system|sweep|serve|all");
         std::process::exit(2);
     }
 }
@@ -125,9 +147,113 @@ fn parse_sweep_args(args: &[String]) -> Result<(String, SweepConfig), String> {
     Ok((planner, sweep))
 }
 
+/// Parses `serve` flags (`--clients`, `--batches`, `--shots`, `--size`,
+/// `--rounds`, `--seed`, `--workers`, `--max-inflight`) into the load
+/// parameters.
+fn parse_serve_args(args: &[String]) -> Result<ServeConfig, String> {
+    let mut serve = ServeConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--clients" => {
+                serve.clients = parse_num::<usize>(&value("--clients")?, "--clients")?.max(1);
+            }
+            "--batches" => {
+                serve.batches = parse_num::<usize>(&value("--batches")?, "--batches")?.max(1);
+            }
+            "--shots" => {
+                serve.shots = parse_num::<usize>(&value("--shots")?, "--shots")?.max(1);
+            }
+            "--size" => {
+                let size: usize = parse_num(&value("--size")?, "--size")?;
+                if size < 4 || !size.is_multiple_of(2) {
+                    return Err(format!("--size must be an even number >= 4, got {size}"));
+                }
+                serve.size = size;
+            }
+            "--rounds" => {
+                serve.rounds = parse_num::<usize>(&value("--rounds")?, "--rounds")?.max(1);
+            }
+            "--seed" => serve.seed = parse_num(&value("--seed")?, "--seed")?,
+            "--workers" => serve.workers = parse_num(&value("--workers")?, "--workers")?,
+            "--max-inflight" => {
+                serve.max_inflight = parse_num(&value("--max-inflight")?, "--max-inflight")?;
+            }
+            other => {
+                return Err(format!(
+                    "unknown serve flag {other:?}; use --clients/--batches/--shots/--size/--rounds/--seed/--workers/--max-inflight"
+                ))
+            }
+        }
+    }
+    Ok(serve)
+}
+
 fn parse_num<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, String> {
     raw.parse()
         .map_err(|_| format!("{flag}: invalid number {raw:?}"))
+}
+
+fn print_serve(serve: &ServeConfig) {
+    println!(
+        "== Planning service load: {} client(s) x {} batch(es), {} shot(s) each, {}x{} array, max_inflight={} ==",
+        serve.clients,
+        serve.batches,
+        serve.shots,
+        serve.size,
+        serve.size,
+        if serve.max_inflight == 0 {
+            "unlimited".to_string()
+        } else {
+            serve.max_inflight.to_string()
+        }
+    );
+    let report = service_load(serve);
+    println!(
+        "served {} batch(es) / {} shot(s) ({} filled) in {:.1} ms -> {:.1} batches/s",
+        report.submitted,
+        report.shots,
+        report.filled,
+        report.wall_us / 1e3,
+        report.batches_per_s
+    );
+    let stats = &report.stats;
+    println!(
+        "admission: peak {} inflight, peak {} queued",
+        stats.peak_inflight, stats.peak_queued
+    );
+    println!(
+        "{:<10} {:>8} {:>8} {:>12} {:>12} {:>12} {:>10}",
+        "planner", "batches", "shots", "mean_us", "p99_us", "max_us", "contexts"
+    );
+    for p in &stats.planners {
+        println!(
+            "{:<10} {:>8} {:>8} {:>12.0} {:>12.0} {:>12.0} {:>10}",
+            p.name,
+            p.batches,
+            p.shots,
+            p.latency.mean_us(),
+            p.latency.quantile_us(0.99),
+            p.latency.max_us(),
+            p.contexts
+                .map(|c| format!("{}w", c.idle_contexts))
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+    println!(
+        "pool since service start: {} job(s), {} local, {} injector, {} steal(s), {} thread(s) spawned",
+        stats.pool.jobs_executed,
+        stats.pool.local_hits,
+        stats.pool.injector_hits,
+        stats.pool.steals,
+        stats.pool.threads_spawned
+    );
+    println!();
 }
 
 fn print_sweep(planner: &str, sweep: &SweepConfig) {
@@ -144,28 +270,33 @@ fn print_sweep(planner: &str, sweep: &SweepConfig) {
         }
     );
     println!(
-        "{:<10} {:>8} {:>12} {:>16} {:>10} {:>12}",
-        "planner", "filled", "mean_rounds", "mean_motion_us", "lost", "wall_us"
+        "{:<10} {:>8} {:>12} {:>16} {:>10} {:>12} {:>8} {:>8}",
+        "planner", "filled", "mean_rounds", "mean_motion_us", "lost", "wall_us", "jobs", "steals"
     );
+    // Per-row pool counters are snapshot deltas around that planner's
+    // run (SweepRow::pool), so rows don't accumulate each other's
+    // steal/job counts; the footer prints the process-lifetime totals.
     for (name, choice) in planner_choices() {
         if planner != "all" && name != planner {
             continue;
         }
         let row = pipeline_sweep(name, &choice, sweep);
         println!(
-            "{:<10} {:>5}/{} {:>12.2} {:>16.1} {:>10} {:>12.0}",
+            "{:<10} {:>5}/{} {:>12.2} {:>16.1} {:>10} {:>12.0} {:>8} {:>8}",
             row.name,
             row.filled,
             row.total,
             row.mean_rounds,
             row.mean_motion_us,
             row.atoms_lost,
-            row.wall_us
+            row.wall_us,
+            row.pool.jobs_executed,
+            row.pool.steals
         );
     }
     let stats = rayon::global_pool_stats();
     println!(
-        "pool: {} worker(s), {} thread(s) ever spawned, {} job(s) executed",
+        "pool (process lifetime): {} worker(s), {} thread(s) ever spawned, {} job(s) executed",
         stats.threads, stats.threads_spawned, stats.jobs_executed
     );
     println!(

@@ -10,6 +10,24 @@
 //! values the text quotes directly (1.0 µs at 50×50, 54× and 134×
 //! speedups, 6.31 %/6.19 % utilisation at 90×90, 120×/300× vs Tetris)
 //! and values read off the logarithmic figures (marked approximate).
+//!
+//! ## Quick example
+//!
+//! The harness's registries cover all seven planners; a benchmark-sized
+//! workload comes from [`paper_instance`]:
+//!
+//! ```
+//! use qrm_bench::{paper_instance, planner_matrix};
+//!
+//! let (grid, target) = paper_instance(16, 1);
+//! for planner in planner_matrix() {
+//!     let plan = planner.plan(&grid, &target).expect("plan");
+//!     planner
+//!         .executor()
+//!         .run(&grid, &plan.schedule)
+//!         .expect("every planner's schedule executes under its own contract");
+//! }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -85,6 +103,11 @@ pub struct SweepRow {
     pub atoms_lost: usize,
     /// Wall-clock time of the whole batched run (µs).
     pub wall_us: f64,
+    /// Worker-pool activity attributable to **this planner's run alone**
+    /// (snapshot delta around the batched run, not process-lifetime
+    /// totals — so per-planner steal/job counts stay meaningful when one
+    /// process sweeps several planners back to back).
+    pub pool: rayon::PoolStats,
 }
 
 /// Parameters of an end-to-end planner sweep (the `experiments sweep`
@@ -124,12 +147,12 @@ impl Default for SweepConfig {
 /// aggregates the reports. The workload is `shots` random `size x size`
 /// arrays at 55 % fill against a centred ~60 % target.
 pub fn pipeline_sweep(name: &'static str, choice: &PlannerChoice, sweep: &SweepConfig) -> SweepRow {
-    let mut rng = seeded_rng(sweep.seed);
-    let truths: Vec<AtomGrid> = (0..sweep.shots)
-        .map(|_| AtomGrid::random(sweep.size, sweep.size, 0.55, &mut rng))
-        .collect();
-    let side = ((sweep.size * 3 / 5) & !1).max(2);
-    let target = Rect::centered(sweep.size, sweep.size, side, side).expect("target fits");
+    // The one workload construction shared with the planning service:
+    // a sweep row and a `SubmitBatch` with the same (shots, size, seed)
+    // plan bit-identical batches.
+    let (truths, target) = qrm_server::BatchSpec::new(sweep.shots, sweep.size, sweep.seed)
+        .workload()
+        .expect("valid sweep workload");
     let pipeline = Pipeline::new(PipelineConfig {
         planner: choice.clone(),
         workers: sweep.workers,
@@ -137,11 +160,13 @@ pub fn pipeline_sweep(name: &'static str, choice: &PlannerChoice, sweep: &SweepC
         max_rounds: sweep.rounds,
         ..PipelineConfig::default()
     });
+    let pool_before = rayon::global_pool_stats();
     let t0 = Instant::now();
     let reports = pipeline
         .run_batch(&truths, &target, sweep.seed)
         .expect("sweep batch");
     let wall_us = t0.elapsed().as_secs_f64() * 1e6;
+    let pool = rayon::global_pool_stats().since(&pool_before);
     let total = reports.len();
     SweepRow {
         name,
@@ -155,6 +180,7 @@ pub fn pipeline_sweep(name: &'static str, choice: &PlannerChoice, sweep: &SweepC
             / total as f64,
         atoms_lost: reports.iter().map(PipelineReport::total_lost).sum(),
         wall_us,
+        pool,
     }
 }
 
@@ -605,6 +631,132 @@ pub fn engine_scaling(
     (serial_us, rows)
 }
 
+/// Parameters of a service load run (the `experiments serve` command):
+/// how many client threads hammer the planning service with how many
+/// mixed-planner batch submissions each.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Submissions per client.
+    pub batches: usize,
+    /// Shots per submitted batch.
+    pub shots: usize,
+    /// Array side of every batch (even).
+    pub size: usize,
+    /// Maximum pipeline rounds per shot.
+    pub rounds: usize,
+    /// Base seed; each submission derives its own workload seed.
+    pub seed: u64,
+    /// Batch worker count of every registered pipeline (`0` = one per
+    /// core).
+    pub workers: usize,
+    /// Service admission cap (`0` = unlimited).
+    pub max_inflight: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            clients: 4,
+            batches: 4,
+            shots: 2,
+            size: 16,
+            rounds: 3,
+            seed: 11000,
+            workers: 0,
+            max_inflight: 0,
+        }
+    }
+}
+
+/// Outcome of a service load run.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Submissions served (clients × batches).
+    pub submitted: usize,
+    /// Shots across all submissions.
+    pub shots: usize,
+    /// Shots whose target ended defect-free.
+    pub filled: usize,
+    /// Wall-clock time of the whole run (µs), client threads included.
+    pub wall_us: f64,
+    /// Served batches per second of wall-clock time.
+    pub batches_per_s: f64,
+    /// The service's own aggregate stats at the end of the run.
+    pub stats: qrm_server::ServiceStats,
+}
+
+/// Builds a planning service with **all seven planners** registered
+/// under their CLI names (the [`planner_choices`] registry), every
+/// pipeline at the given worker count and round/loss settings.
+pub fn build_service(serve: &ServeConfig) -> qrm_server::PlanService {
+    let mut builder = qrm_server::PlanService::builder().max_inflight(serve.max_inflight);
+    for (name, choice) in planner_choices() {
+        let pipeline = PipelineConfig {
+            workers: serve.workers,
+            loss_prob: 0.01,
+            max_rounds: serve.rounds,
+            ..PipelineConfig::default()
+        };
+        builder = builder.register(name, choice, pipeline);
+    }
+    builder.build()
+}
+
+/// Runs the service load: `clients` threads each submit `batches`
+/// requests, cycling through the seven registered planners so the
+/// service serves a concurrent mixed-planner stream, and every
+/// submission's workload seed is unique. Panics on any submission
+/// error (the registry covers every requested planner and the
+/// workload specs are valid by construction).
+pub fn service_load(serve: &ServeConfig) -> ServeReport {
+    let service = build_service(serve);
+    let names: Vec<&'static str> = planner_choices().iter().map(|(n, _)| *n).collect();
+    let t0 = Instant::now();
+    let results: Vec<(usize, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..serve.clients)
+            .map(|client| {
+                let service = &service;
+                let names = &names;
+                scope.spawn(move || {
+                    let mut filled = 0;
+                    let mut shots = 0;
+                    for batch in 0..serve.batches {
+                        let index = (client * serve.batches + batch) as u64;
+                        let name = names[(client + batch) % names.len()];
+                        let spec = qrm_server::BatchSpec::new(
+                            serve.shots,
+                            serve.size,
+                            serve.seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                        );
+                        let report = service
+                            .submit(&qrm_server::SubmitBatch::new(name, spec))
+                            .expect("load submission");
+                        filled += report.filled();
+                        shots += report.shots();
+                    }
+                    (filled, shots)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall_us = t0.elapsed().as_secs_f64() * 1e6;
+    let submitted = serve.clients * serve.batches;
+    ServeReport {
+        submitted,
+        shots: results.iter().map(|(_, s)| s).sum(),
+        filled: results.iter().map(|(f, _)| f).sum(),
+        wall_us,
+        batches_per_s: submitted as f64 / (wall_us / 1e6),
+        stats: service.stats(),
+    }
+}
+
 /// Consistency guard used by the latency-model sweep in the bin.
 pub fn latency_model_check() -> bool {
     let cfg = AcceleratorConfig::paper();
@@ -672,6 +824,69 @@ mod tests {
         assert_eq!(row.total, 2);
         assert!(row.wall_us > 0.0);
         assert!(row.mean_rounds <= sweep.rounds as f64);
+    }
+
+    #[test]
+    fn sweep_pool_counters_are_per_run_deltas() {
+        // Two consecutive sweeps must each report only their own pool
+        // activity: the cumulative process counters keep growing, but a
+        // row's delta cannot exceed the growth during the whole test —
+        // and a second row's counters must not include the first's.
+        let sweep = SweepConfig {
+            shots: 2,
+            size: 12,
+            ..SweepConfig::default()
+        };
+        let before = rayon::global_pool_stats();
+        let first = pipeline_sweep("qrm", &PlannerChoice::Software(QrmConfig::paper()), &sweep);
+        let between = rayon::global_pool_stats();
+        let second = pipeline_sweep("qrm", &PlannerChoice::Software(QrmConfig::paper()), &sweep);
+        let after = rayon::global_pool_stats();
+        assert!(first.pool.jobs_executed <= between.since(&before).jobs_executed);
+        assert!(second.pool.jobs_executed <= after.since(&between).jobs_executed);
+        // Zero new threads during either run: the pool is persistent.
+        assert_eq!(first.pool.threads_spawned + second.pool.threads_spawned, 0);
+    }
+
+    #[test]
+    fn service_load_serves_every_submission() {
+        let serve = ServeConfig {
+            clients: 3,
+            batches: 3,
+            shots: 1,
+            size: 12,
+            ..ServeConfig::default()
+        };
+        let report = service_load(&serve);
+        assert_eq!(report.submitted, 9);
+        assert_eq!(report.shots, 9);
+        assert_eq!(report.stats.batches_served, 9);
+        assert_eq!(report.stats.shots_served, 9);
+        assert_eq!(report.stats.inflight, 0);
+        assert_eq!(report.stats.queued, 0);
+        assert!(report.batches_per_s > 0.0);
+        // 3 clients x 3 batches cycling over 7 planners touches names
+        // (c + b) % 7 for c, b in 0..3 — exactly planners 0..=4.
+        let served: usize = report
+            .stats
+            .planners
+            .iter()
+            .map(|p| p.batches as usize)
+            .sum();
+        assert_eq!(served, 9);
+        assert_eq!(report.stats.planners.len(), 7);
+    }
+
+    #[test]
+    fn build_service_registers_all_seven() {
+        let service = build_service(&ServeConfig::default());
+        let names: Vec<&str> = service.planners().collect();
+        let expected: Vec<&str> = {
+            let mut v: Vec<&str> = planner_choices().iter().map(|(n, _)| *n).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(names, expected);
     }
 
     #[test]

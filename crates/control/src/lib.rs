@@ -16,9 +16,36 @@
 //!   frame → atom detection → scheduling (software QRM or the
 //!   cycle-accurate FPGA model) → validated execution with optional
 //!   transport loss → re-imaging rounds until the target is defect-free.
+//!
+//! ## Quick example
+//!
+//! One full image→detect→plan→move cycle (with re-imaging rounds) on a
+//! simulated trap array:
+//!
+//! ```
+//! use qrm_control::pipeline::{Pipeline, PipelineConfig, PlannerChoice};
+//! use qrm_core::geometry::Rect;
+//! use qrm_core::grid::AtomGrid;
+//! use qrm_core::loading::seeded_rng;
+//!
+//! # fn main() -> Result<(), qrm_core::Error> {
+//! let mut rng = seeded_rng(40);
+//! let truth = AtomGrid::random(16, 16, 0.6, &mut rng);
+//! let target = Rect::centered(16, 16, 8, 8)?;
+//!
+//! let pipeline = Pipeline::new(PipelineConfig {
+//!     loss_prob: 0.01, // 1 % per-move transport loss
+//!     max_rounds: 3,   // re-image and repair up to twice
+//!     ..PipelineConfig::default()
+//! });
+//! let report = pipeline.run(&truth, &target, &mut rng)?;
+//! assert!(report.rounds.len() <= 3);
+//! # Ok(())
+//! # }
+//! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod awg;

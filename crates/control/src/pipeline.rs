@@ -167,6 +167,11 @@ impl Pipeline {
         Pipeline { config }
     }
 
+    /// The pipeline's configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
     /// The configured planner as a trait object, so single-shot and
     /// batched paths share one construction. The returned planner is
     /// long-lived for a whole run, so its internal plan context (QRM,
@@ -298,7 +303,7 @@ impl Pipeline {
     ///
     /// 1. **Image + detect** — each unfinished shot's frame synthesis
     ///    and detection is one pool job
-    ///    ([`shard_map`](qrm_core::engine::shard_map), slot-indexed);
+    ///    ([`shard_map`], slot-indexed);
     /// 2. **Plan** — the detected occupancies go through the planner's
     ///    batched entry point ([`Planner::plan_batch`]) — for QRM and
     ///    the FPGA model the parallel task-graph engine;
@@ -326,6 +331,35 @@ impl Pipeline {
         target: &Rect,
         base_seed: u64,
     ) -> Result<Vec<PipelineReport>, Error> {
+        self.run_batch_with(&*self.planner(), truths, target, base_seed)
+    }
+
+    /// [`run_batch`](Self::run_batch) with a caller-owned planner
+    /// instead of resolving one from the configuration. Only
+    /// `config.planner` is ignored — everything else applies unchanged:
+    /// imaging, loss, and rounds as configured, and the per-stage
+    /// sharding still uses `config.workers` (the planner's own batch
+    /// worker count is whatever the caller resolved it with).
+    ///
+    /// This is the long-lived service entry point: a planning server
+    /// (`qrm_server`) resolves each registered [`PlannerChoice`] **once**
+    /// and reuses the instance across submissions, so every call plans
+    /// warm through the planner's internal context pool instead of
+    /// re-constructing planner state per batch. Reports are
+    /// bit-identical to [`run_batch`](Self::run_batch) with an
+    /// equivalently configured pipeline — planners carry no mutable
+    /// planning state across calls, only recycled allocations.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`run_batch`](Self::run_batch).
+    pub fn run_batch_with(
+        &self,
+        planner: &dyn Planner,
+        truths: &[AtomGrid],
+        target: &Rect,
+        base_seed: u64,
+    ) -> Result<Vec<PipelineReport>, Error> {
         struct ShotState {
             state: AtomGrid,
             rounds: Vec<RoundReport>,
@@ -333,7 +367,6 @@ impl Pipeline {
             layout: TrapLayout,
         }
 
-        let planner = self.planner();
         let executor = planner
             .executor()
             .with_collision_policy(CollisionPolicy::Eject);

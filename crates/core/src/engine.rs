@@ -225,7 +225,7 @@ pub enum Step<T> {
 /// so long-running kernels interleave fairly with other shots' work.
 pub trait QuadrantTask: Send {
     /// The quadrant-level result (e.g. a
-    /// [`KernelOutcome`](crate::kernel::KernelOutcome)).
+    /// [`KernelOutcome`]).
     type Out: Send;
 
     /// Runs one increment of work.
@@ -647,6 +647,22 @@ impl PlanContext {
     }
 }
 
+/// Snapshot of a [`PlanEngine`]'s context pool, taken atomically by
+/// [`PlanEngine::context_stats`].
+///
+/// A long-lived engine that has served at least one batch shows
+/// `idle_contexts >= 1` with nonzero `warm_states` — proof that the next
+/// batch (concurrent or not) will recycle scratch instead of
+/// allocating. A steady state of `k` concurrent callers settles on
+/// `min(k, 8)` parked contexts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ContextPoolStats {
+    /// Parked warm contexts available for checkout.
+    pub idle_contexts: usize,
+    /// Recycled kernel-scratch buffers across all parked contexts.
+    pub warm_states: usize,
+}
+
 /// The batched QRM planning engine.
 ///
 /// Wraps a [`QrmConfig`] and a worker count; [`plan_batch`](Self::plan_batch)
@@ -805,6 +821,20 @@ impl PlanEngine {
     /// starts warm).
     pub fn warm_states(&self) -> usize {
         self.lock_ctxs().iter().map(PlanContext::idle_states).sum()
+    }
+
+    /// One-call snapshot of the engine's context pool —
+    /// [`idle_contexts`](Self::idle_contexts) and
+    /// [`warm_states`](Self::warm_states) taken under a single lock, so
+    /// the two numbers are consistent with each other. This is the
+    /// per-engine half of the planning service's stats surface
+    /// (`qrm_server` aggregates one per registered planner).
+    pub fn context_stats(&self) -> ContextPoolStats {
+        let pool = self.lock_ctxs();
+        ContextPoolStats {
+            idle_contexts: pool.len(),
+            warm_states: pool.iter().map(PlanContext::idle_states).sum(),
+        }
     }
 
     /// [`plan_batch`](Self::plan_batch) with an explicit reusable

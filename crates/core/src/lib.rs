@@ -92,7 +92,7 @@
 //! quadrant coordinates always compress **toward local `(0, 0)`**.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod aod;

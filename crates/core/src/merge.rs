@@ -9,7 +9,7 @@
 //!   column "from the west"), NE with SE (west), NW with NE (south), and
 //!   SW with SE (north);
 //! * merged line sets are split into cross-product-legal batches by the
-//!   [`AodBatcher`](crate::aod::AodBatcher);
+//!   [`AodBatcher`];
 //! * empty shifts are elided from the final schedule.
 
 use crate::aod::AodBatcher;

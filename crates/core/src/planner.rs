@@ -25,9 +25,15 @@ use crate::scheduler::Plan;
 ///
 /// A planner consumes the detected occupancy and a target rectangle and
 /// produces a [`Plan`] whose schedule the
-/// [`Executor`](crate::executor::Executor) can run. The *analysis time*
+/// [`Executor`] can run. The *analysis time*
 /// of `plan` is the quantity the paper's accelerator optimises.
-pub trait Planner {
+///
+/// `Send + Sync` are supertraits: every planner takes `&self` and keeps
+/// any mutable scratch behind internal synchronisation (e.g. the QRM
+/// engine's context pool), so one long-lived instance can serve
+/// concurrent callers — the contract the planning service
+/// (`qrm_server`) relies on to plan every submission warm.
+pub trait Planner: Send + Sync {
     /// Human-readable planner name (used in benchmark tables).
     fn name(&self) -> &'static str;
 
@@ -61,6 +67,19 @@ pub trait Planner {
         jobs.iter()
             .map(|(grid, target)| self.plan(grid, target))
             .collect()
+    }
+
+    /// Diagnostics for planners that keep a warm-context pool behind
+    /// [`plan_batch`](Self::plan_batch): how many recycled contexts and
+    /// scratch buffers the next batch will reuse.
+    ///
+    /// The default returns `None` (stateless planners have nothing to
+    /// report); QRM overrides it with its engine's
+    /// [`context_stats`](crate::engine::PlanEngine::context_stats).
+    /// Long-lived consumers — the `qrm_server` planning service — use
+    /// this to expose per-planner warmth without downcasting.
+    fn context_stats(&self) -> Option<crate::engine::ContextPoolStats> {
+        None
     }
 
     /// The executor configuration this planner's schedules require.

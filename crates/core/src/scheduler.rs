@@ -150,6 +150,14 @@ impl QrmScheduler {
         self.engine.config()
     }
 
+    /// The embedded batched engine — read access to its context-pool
+    /// diagnostics ([`PlanEngine::context_stats`]) for long-lived
+    /// consumers like the planning service, which report how warm a
+    /// scheduler is without owning engine internals.
+    pub fn engine(&self) -> &PlanEngine {
+        &self.engine
+    }
+
     /// Runs only the per-quadrant kernels, returning the four outcomes in
     /// [`QuadrantId::ALL`](crate::geometry::QuadrantId::ALL) order — the
     /// intermediate the FPGA model and the ablation benches consume
@@ -200,6 +208,10 @@ impl Planner for QrmScheduler {
     /// [`plan`](Self::plan) (the engine's determinism guarantee).
     fn plan_batch(&self, jobs: &[(AtomGrid, Rect)]) -> Result<Vec<Plan>, Error> {
         self.engine.plan_batch(jobs)
+    }
+
+    fn context_stats(&self) -> Option<crate::engine::ContextPoolStats> {
+        Some(self.engine.context_stats())
     }
 }
 

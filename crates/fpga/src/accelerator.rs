@@ -1,8 +1,8 @@
 //! The full QRM accelerator top (paper Fig. 5).
 //!
-//! Wires the [`LoadDataModule`](crate::ldm::LoadDataModule), four
-//! [`QuadrantProcessor`](crate::qpm::QuadrantProcessor)s running in
-//! parallel, and the [`OutputModule`](crate::ocm::OutputModule) into the
+//! Wires the [`LoadDataModule`], four
+//! [`QuadrantProcessor`]s running in
+//! parallel, and the [`OutputModule`] into the
 //! complete dataflow design, producing both the functional plan and an
 //! exact cycle breakdown at the configured clock.
 //!

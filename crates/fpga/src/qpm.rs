@@ -2,7 +2,7 @@
 //!
 //! One QPM owns one canonically-oriented quadrant. It alternates
 //! row-wise and column-wise passes through the pipelined
-//! [`ShiftUnit`](crate::shift_unit::ShiftUnit) for a **static** number of
+//! [`ShiftUnit`] for a **static** number of
 //! iterations (the hardware's pass schedule does not depend on data, which
 //! is what makes the paper's latency "correlate solely with the initial
 //! size of the array and the number of iterations", §V-B).

@@ -1,0 +1,176 @@
+//! The typed request/response surface of the planning service.
+//!
+//! A [`SubmitBatch`] names a registered planner and carries a
+//! [`BatchSpec`] — a *deterministic description* of the workload rather
+//! than the workload itself. The spec expands to the same grids and
+//! target on every machine ([`BatchSpec::workload`]), which is what
+//! makes the service testable end to end: a client, the service, and a
+//! direct [`Pipeline::run_batch`](qrm_control::pipeline::Pipeline) call
+//! can all materialise the identical batch and compare reports
+//! bit-for-bit.
+
+use qrm_core::error::Error;
+use qrm_core::geometry::Rect;
+use qrm_core::grid::AtomGrid;
+use qrm_core::loading::seeded_rng;
+
+use qrm_control::pipeline::PipelineReport;
+
+/// Deterministic description of one batch workload: `shots` random
+/// `size x size` occupancy grids at `fill` probability (drawn from a
+/// generator seeded with `seed`) against a centred target of ~60 %
+/// linear size — the same construction the benchmark harness's
+/// end-to-end sweeps use.
+///
+/// The spec is the unit of reproducibility: two equal specs expand to
+/// bit-identical workloads, and `seed` doubles as the base seed of the
+/// batched pipeline run (each shot then derives its own stream via
+/// `Pipeline::shot_rng`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchSpec {
+    /// Independent shots in the batch.
+    pub shots: usize,
+    /// Array side length (QRM requires it even).
+    pub size: usize,
+    /// Per-trap loading probability of the generated grids.
+    pub fill: f64,
+    /// Seed of the workload generator *and* base seed of the batched
+    /// pipeline run.
+    pub seed: u64,
+}
+
+impl BatchSpec {
+    /// Creates a spec with the default 55 % loading probability.
+    pub fn new(shots: usize, size: usize, seed: u64) -> Self {
+        BatchSpec {
+            shots,
+            size,
+            fill: 0.55,
+            seed,
+        }
+    }
+
+    /// Replaces the loading probability.
+    #[must_use]
+    pub fn with_fill(mut self, fill: f64) -> Self {
+        self.fill = fill;
+        self
+    }
+
+    /// The centred target rectangle the spec implies (~60 % linear size,
+    /// forced even, at least 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidTarget`] for sizes too small to hold the
+    /// target (`size < 2`).
+    pub fn target(&self) -> Result<Rect, Error> {
+        let side = ((self.size * 3 / 5) & !1).max(2);
+        Rect::centered(self.size, self.size, side, side)
+    }
+
+    /// Expands the spec into its concrete workload: the true occupancy
+    /// grids and the common target. Deterministic — every call, on any
+    /// machine, yields bit-identical grids — so the equivalence contract
+    /// between [`submit`](crate::PlanService::submit) and a direct
+    /// `Pipeline::run_batch` is checkable by anyone holding the spec.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`target`](Self::target) failures for degenerate
+    /// sizes.
+    pub fn workload(&self) -> Result<(Vec<AtomGrid>, Rect), Error> {
+        let target = self.target()?;
+        let mut rng = seeded_rng(self.seed);
+        let truths = (0..self.shots)
+            .map(|_| AtomGrid::random(self.size, self.size, self.fill, &mut rng))
+            .collect();
+        Ok((truths, target))
+    }
+}
+
+/// A batch submission: which registered planner should run which
+/// workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitBatch {
+    /// Registration name (chosen at
+    /// [`register`](crate::PlanServiceBuilder::register) time).
+    pub planner: String,
+    /// The workload to plan.
+    pub spec: BatchSpec,
+}
+
+impl SubmitBatch {
+    /// Creates a submission.
+    pub fn new(planner: impl Into<String>, spec: BatchSpec) -> Self {
+        SubmitBatch {
+            planner: planner.into(),
+            spec,
+        }
+    }
+}
+
+/// The service's response to one [`SubmitBatch`].
+///
+/// `reports` is the deterministic payload: it is **bit-identical** to
+/// calling `Pipeline::run_batch` directly with the same configuration
+/// and the spec's workload, regardless of how many submissions the
+/// service was handling concurrently (the integration suite pins this
+/// for every planner). `wall_us` is measurement, not payload — it
+/// varies run to run and is excluded from the equivalence contract.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Registration name that served the batch.
+    pub planner: String,
+    /// Per-shot pipeline reports, in shot order.
+    pub reports: Vec<PipelineReport>,
+    /// Wall-clock service time of the batch (µs), queueing excluded.
+    pub wall_us: f64,
+}
+
+impl BatchReport {
+    /// Shots whose target ended defect-free.
+    pub fn filled(&self) -> usize {
+        self.reports.iter().filter(|r| r.filled).count()
+    }
+
+    /// Shots in the batch.
+    pub fn shots(&self) -> usize {
+        self.reports.len()
+    }
+}
+
+/// Why a submission failed.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The submission named a planner no registration covers.
+    UnknownPlanner(String),
+    /// Workload expansion or planning/execution failed.
+    Planning(Error),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::UnknownPlanner(name) => {
+                write!(f, "no planner registered under {name:?}")
+            }
+            ServiceError::Planning(err) => write!(f, "planning failed: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::UnknownPlanner(_) => None,
+            ServiceError::Planning(err) => Some(err),
+        }
+    }
+}
+
+impl From<Error> for ServiceError {
+    fn from(err: Error) -> Self {
+        ServiceError::Planning(err)
+    }
+}

@@ -1,0 +1,408 @@
+//! The long-lived planning service: registry, admission gate, and the
+//! concurrent submit path.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Instant;
+
+use qrm_core::planner::Planner;
+
+use qrm_control::pipeline::{Pipeline, PipelineConfig, PlannerChoice};
+
+use crate::request::{BatchReport, ServiceError, SubmitBatch};
+use crate::stats::{LatencyHistogram, PlannerStats, ServiceStats};
+
+/// Service-level configuration (everything *not* per-planner).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceConfig {
+    /// Maximum submissions planning concurrently; further submissions
+    /// queue (blocking their calling thread) until a slot frees.
+    /// `0` (the default) means unlimited — every submission is admitted
+    /// immediately and only the worker pool itself limits parallelism.
+    pub max_inflight: usize,
+}
+
+/// One registered planner: its long-lived resolved instance, the
+/// pipeline configured around it, and its serving counters.
+struct Registration {
+    pipeline: Pipeline,
+    /// Resolved **once** at registration; every submission plans through
+    /// this same instance, so its internal context pool stays warm
+    /// across batches and across concurrent callers ([`Planner`] is
+    /// `Send + Sync` by contract).
+    planner: Box<dyn Planner>,
+    batches: AtomicU64,
+    shots: AtomicU64,
+    latency: Mutex<LatencyHistogram>,
+}
+
+/// Builds a [`PlanService`]: registrations are declared up front, then
+/// frozen, so the serving registry needs no locking at all.
+#[derive(Default)]
+pub struct PlanServiceBuilder {
+    config: ServiceConfig,
+    regs: BTreeMap<String, Registration>,
+}
+
+impl std::fmt::Debug for PlanServiceBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanServiceBuilder")
+            .field("config", &self.config)
+            .field("registrations", &self.regs.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl PlanServiceBuilder {
+    /// Caps concurrent planning at `max_inflight` submissions (`0` =
+    /// unlimited, the default).
+    #[must_use]
+    pub fn max_inflight(mut self, max_inflight: usize) -> Self {
+        self.config.max_inflight = max_inflight;
+        self
+    }
+
+    /// Registers `choice` under `name` with an explicitly configured
+    /// pipeline (imaging, loss, rounds, workers…). The config's own
+    /// `planner` field is overwritten with `choice` so the registration
+    /// cannot be internally inconsistent, and the planner is resolved
+    /// immediately — construction cost is paid here, never on the
+    /// submit path. Registering an existing name replaces it.
+    #[must_use]
+    pub fn register(
+        mut self,
+        name: impl Into<String>,
+        choice: PlannerChoice,
+        mut pipeline: PipelineConfig,
+    ) -> Self {
+        pipeline.planner = choice;
+        let planner = pipeline.planner.resolve(pipeline.workers);
+        self.regs.insert(
+            name.into(),
+            Registration {
+                pipeline: Pipeline::new(pipeline),
+                planner,
+                batches: AtomicU64::new(0),
+                shots: AtomicU64::new(0),
+                latency: Mutex::new(LatencyHistogram::new()),
+            },
+        );
+        self
+    }
+
+    /// [`register`](Self::register) with a default pipeline at the
+    /// given batch worker count.
+    #[must_use]
+    pub fn register_default(
+        self,
+        name: impl Into<String>,
+        choice: PlannerChoice,
+        workers: usize,
+    ) -> Self {
+        let pipeline = PipelineConfig {
+            workers,
+            ..PipelineConfig::default()
+        };
+        self.register(name, choice, pipeline)
+    }
+
+    /// Freezes the registry and starts the service clock: pool counters
+    /// reported by [`PlanService::stats`] are deltas from this moment.
+    pub fn build(self) -> PlanService {
+        PlanService {
+            regs: self.regs,
+            gate: Gate::new(self.config.max_inflight),
+            batches_served: AtomicU64::new(0),
+            shots_served: AtomicU64::new(0),
+            pool_baseline: rayon::global_pool_stats(),
+        }
+    }
+}
+
+/// The admission gate: a counting semaphore with queue-depth and
+/// high-water-mark accounting. Submissions beyond `max_inflight` block
+/// on the condvar; a released slot wakes exactly one waiter.
+struct Gate {
+    max_inflight: usize,
+    state: Mutex<GateState>,
+    ready: Condvar,
+}
+
+#[derive(Default)]
+struct GateState {
+    inflight: usize,
+    queued: usize,
+    peak_inflight: usize,
+    peak_queued: usize,
+}
+
+impl Gate {
+    fn new(max_inflight: usize) -> Self {
+        Gate {
+            max_inflight,
+            state: Mutex::new(GateState::default()),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, GateState> {
+        self.state.lock().expect("service gate poisoned")
+    }
+
+    /// Blocks until a slot is free, then occupies it for the lifetime
+    /// of the returned permit.
+    fn admit(&self) -> Permit<'_> {
+        let mut state = self.lock();
+        if self.max_inflight != 0 && state.inflight >= self.max_inflight {
+            state.queued += 1;
+            state.peak_queued = state.peak_queued.max(state.queued);
+            while state.inflight >= self.max_inflight {
+                state = self.ready.wait(state).expect("service gate poisoned");
+            }
+            state.queued -= 1;
+        }
+        state.inflight += 1;
+        state.peak_inflight = state.peak_inflight.max(state.inflight);
+        Permit { gate: self }
+    }
+}
+
+/// RAII admission slot; dropping it (success *or* error/panic on the
+/// submit path) frees the slot and wakes one queued submission.
+struct Permit<'a> {
+    gate: &'a Gate,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut state = self.gate.lock();
+        state.inflight -= 1;
+        drop(state);
+        self.gate.ready.notify_one();
+    }
+}
+
+/// The long-lived, in-process planning service.
+///
+/// Owns one resolved planner (and one configured [`Pipeline`]) per
+/// registration, accepts [`SubmitBatch`] requests from any number of
+/// threads through [`submit`](Self::submit) (`&self` — share it behind
+/// an `Arc` or `std::thread::scope`), runs them on the process-global
+/// worker pool through the warm context pool of each planner, and
+/// aggregates serving stats ([`stats`](Self::stats)).
+///
+/// Determinism contract: a submission's [`BatchReport::reports`] is
+/// bit-identical to running the spec's workload directly through
+/// `Pipeline::run_batch` with the same configuration, at any pool size
+/// and under any submission concurrency. See `tests/service.rs`.
+pub struct PlanService {
+    regs: BTreeMap<String, Registration>,
+    gate: Gate,
+    batches_served: AtomicU64,
+    shots_served: AtomicU64,
+    pool_baseline: rayon::PoolStats,
+}
+
+impl std::fmt::Debug for PlanService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanService")
+            .field("registrations", &self.regs.keys().collect::<Vec<_>>())
+            .field(
+                "batches_served",
+                &self.batches_served.load(Ordering::Relaxed),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+impl PlanService {
+    /// Starts building a service.
+    pub fn builder() -> PlanServiceBuilder {
+        PlanServiceBuilder::default()
+    }
+
+    /// The registered planner names, in sorted order.
+    pub fn planners(&self) -> impl Iterator<Item = &str> {
+        self.regs.keys().map(String::as_str)
+    }
+
+    /// Serves one batch submission to completion and returns its
+    /// report.
+    ///
+    /// Callable concurrently from any number of threads. The submission
+    /// first expands its workload (cheap, unthrottled), then waits for
+    /// an admission slot if the service is at `max_inflight`, then runs
+    /// the batched pipeline on the worker pool via the registration's
+    /// long-lived planner — so every batch plans with warm contexts.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownPlanner`] when no registration matches;
+    /// [`ServiceError::Planning`] for workload or pipeline failures.
+    pub fn submit(&self, request: &SubmitBatch) -> Result<BatchReport, ServiceError> {
+        let reg = self
+            .regs
+            .get(&request.planner)
+            .ok_or_else(|| ServiceError::UnknownPlanner(request.planner.clone()))?;
+        let (truths, target) = request.spec.workload()?;
+
+        let _permit = self.gate.admit();
+        let t0 = Instant::now();
+        let reports =
+            reg.pipeline
+                .run_batch_with(&*reg.planner, &truths, &target, request.spec.seed)?;
+        let wall_us = t0.elapsed().as_secs_f64() * 1e6;
+
+        reg.batches.fetch_add(1, Ordering::Relaxed);
+        reg.shots.fetch_add(reports.len() as u64, Ordering::Relaxed);
+        reg.latency
+            .lock()
+            .expect("latency histogram poisoned")
+            .record(wall_us);
+        self.batches_served.fetch_add(1, Ordering::Relaxed);
+        self.shots_served
+            .fetch_add(reports.len() as u64, Ordering::Relaxed);
+
+        Ok(BatchReport {
+            planner: request.planner.clone(),
+            reports,
+            wall_us,
+        })
+    }
+
+    /// Snapshots the service: queue/inflight gauges with their
+    /// high-water marks, served totals, per-registration latency
+    /// histograms and context warmth, and the worker pool's activity
+    /// since the service was built.
+    pub fn stats(&self) -> ServiceStats {
+        let gate = self.gate.lock();
+        let (queued, inflight, peak_queued, peak_inflight) = (
+            gate.queued,
+            gate.inflight,
+            gate.peak_queued,
+            gate.peak_inflight,
+        );
+        drop(gate);
+        ServiceStats {
+            queued,
+            inflight,
+            peak_queued,
+            peak_inflight,
+            batches_served: self.batches_served.load(Ordering::Relaxed),
+            shots_served: self.shots_served.load(Ordering::Relaxed),
+            pool: rayon::global_pool_stats().since(&self.pool_baseline),
+            planners: self
+                .regs
+                .iter()
+                .map(|(name, reg)| PlannerStats {
+                    name: name.clone(),
+                    algorithm: reg.planner.name(),
+                    batches: reg.batches.load(Ordering::Relaxed),
+                    shots: reg.shots.load(Ordering::Relaxed),
+                    latency: reg
+                        .latency
+                        .lock()
+                        .expect("latency histogram poisoned")
+                        .clone(),
+                    contexts: reg.planner.context_stats(),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::BatchSpec;
+    use qrm_core::scheduler::QrmConfig;
+
+    fn small_service(max_inflight: usize) -> PlanService {
+        PlanService::builder()
+            .max_inflight(max_inflight)
+            .register_default("qrm", PlannerChoice::Software(QrmConfig::default()), 1)
+            .register_default("typical", PlannerChoice::Typical, 1)
+            .build()
+    }
+
+    #[test]
+    fn submit_serves_and_counts() {
+        let service = small_service(0);
+        let report = service
+            .submit(&SubmitBatch::new("qrm", BatchSpec::new(2, 12, 5)))
+            .unwrap();
+        assert_eq!(report.shots(), 2);
+        assert_eq!(report.planner, "qrm");
+        assert!(report.wall_us > 0.0);
+
+        let stats = service.stats();
+        assert_eq!(stats.batches_served, 1);
+        assert_eq!(stats.shots_served, 2);
+        assert_eq!(stats.queued, 0);
+        assert_eq!(stats.inflight, 0);
+        let qrm = stats.planners.iter().find(|p| p.name == "qrm").unwrap();
+        assert_eq!(qrm.batches, 1);
+        assert_eq!(qrm.latency.count(), 1);
+        // QRM pools contexts; after one batch the pool is warm.
+        let ctx = qrm.contexts.expect("QRM reports context stats");
+        assert!(ctx.idle_contexts >= 1);
+        // The stateless planner reports none.
+        let typical = stats.planners.iter().find(|p| p.name == "typical").unwrap();
+        assert!(typical.contexts.is_none());
+        assert_eq!(typical.batches, 0);
+    }
+
+    #[test]
+    fn unknown_planner_is_an_error() {
+        let service = small_service(0);
+        let err = service
+            .submit(&SubmitBatch::new("nope", BatchSpec::new(1, 12, 5)))
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::UnknownPlanner(name) if name == "nope"));
+        assert_eq!(service.stats().batches_served, 0);
+    }
+
+    #[test]
+    fn degenerate_spec_is_a_planning_error() {
+        let service = small_service(0);
+        let err = service
+            .submit(&SubmitBatch::new("qrm", BatchSpec::new(1, 0, 5)))
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::Planning(_)));
+    }
+
+    #[test]
+    fn concurrent_submissions_all_serve_under_a_tight_gate() {
+        let service = small_service(1);
+        let spec = BatchSpec::new(1, 12, 77);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let report = service
+                        .submit(&SubmitBatch::new("qrm", spec.clone()))
+                        .unwrap();
+                    assert_eq!(report.shots(), 1);
+                });
+            }
+        });
+        let stats = service.stats();
+        assert_eq!(stats.batches_served, 4);
+        assert_eq!(stats.inflight, 0);
+        assert_eq!(stats.queued, 0);
+        // max_inflight = 1 means the gate never admitted two at once.
+        assert_eq!(stats.peak_inflight, 1);
+    }
+
+    #[test]
+    fn replacing_a_registration_keeps_one_entry() {
+        let service = PlanService::builder()
+            .register_default("p", PlannerChoice::Typical, 1)
+            .register_default("p", PlannerChoice::Tetris, 1)
+            .build();
+        assert_eq!(service.planners().collect::<Vec<_>>(), vec!["p"]);
+        let stats = service.stats();
+        assert_eq!(stats.planners.len(), 1);
+        assert_eq!(stats.planners[0].algorithm, "Tetris (Wang 2023)");
+    }
+}

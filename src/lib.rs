@@ -17,6 +17,7 @@
 //! | [`baselines`](qrm_baselines) | Tetris, PSCA, MTA1 reimplementations |
 //! | [`vision`](qrm_vision) | synthetic fluorescence imaging + atom detection |
 //! | [`control`](qrm_control) | AWG tone programs, system budgets, end-to-end pipeline |
+//! | [`server`](qrm_server) | long-lived planning service: planner registry, concurrent batch submissions, service stats |
 //!
 //! ## Quickstart
 //!
@@ -88,6 +89,7 @@ pub use qrm_baselines;
 pub use qrm_control;
 pub use qrm_core;
 pub use qrm_fpga;
+pub use qrm_server;
 pub use qrm_vision;
 
 /// One-stop imports for applications.
@@ -100,5 +102,6 @@ pub mod prelude {
     pub use qrm_fpga::accelerator::{AcceleratorConfig, QrmAccelerator};
     pub use qrm_fpga::latency::LatencyModel;
     pub use qrm_fpga::resources::ResourceModel;
+    pub use qrm_server::{BatchSpec, PlanService, SubmitBatch};
     pub use qrm_vision::prelude::*;
 }

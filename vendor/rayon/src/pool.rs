@@ -73,6 +73,30 @@ pub struct PoolStats {
     pub steals: u64,
 }
 
+impl PoolStats {
+    /// The activity between `baseline` (an earlier snapshot of the same
+    /// pool) and `self`: every lifetime counter becomes the delta, while
+    /// `threads` — a gauge, not a counter — keeps its current value.
+    ///
+    /// This is how per-phase attribution works against the process-global
+    /// pool: snapshot before a phase, snapshot after, and `since` the
+    /// two. Counters are monotonic, so the subtraction saturates only if
+    /// the snapshots come from different pools (or are swapped).
+    #[must_use]
+    pub fn since(&self, baseline: &PoolStats) -> PoolStats {
+        PoolStats {
+            threads: self.threads,
+            threads_spawned: self
+                .threads_spawned
+                .saturating_sub(baseline.threads_spawned),
+            jobs_executed: self.jobs_executed.saturating_sub(baseline.jobs_executed),
+            local_hits: self.local_hits.saturating_sub(baseline.local_hits),
+            injector_hits: self.injector_hits.saturating_sub(baseline.injector_hits),
+            steals: self.steals.saturating_sub(baseline.steals),
+        }
+    }
+}
+
 /// One thread's stealable job deque. The owner pushes and pops at the
 /// back (LIFO); thieves take from the front (FIFO), so the oldest —
 /// coldest — work migrates first, exactly like crossbeam's worker/
