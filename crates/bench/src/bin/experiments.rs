@@ -20,11 +20,24 @@
 //! `serve` stands up the long-lived planning service (`qrm_server`)
 //! with all seven planners registered and hammers it with concurrent
 //! mixed-planner batch submissions from client threads, printing
-//! throughput, per-planner latency histograms, and service/pool stats:
+//! throughput, per-planner latency histograms, service/pool stats, and
+//! deterministic per-planner `digest` lines:
 //!
 //! ```text
 //! experiments -- serve [--clients N] [--batches N] [--shots N] [--size N]
 //!                      [--rounds N] [--seed N] [--workers N] [--max-inflight N]
+//! ```
+//!
+//! The same service also runs **over the network** (`qrm_net`, see
+//! `docs/PROTOCOL.md`): `--listen ADDR` starts a blocking HTTP server
+//! with the same seven-planner registry, and `--remote ADDR` drives
+//! the identical load through HTTP clients instead of in-process
+//! submission — the printed `digest` lines are byte-identical to the
+//! in-process run's (the CI network job diffs them):
+//!
+//! ```text
+//! experiments -- serve --listen 127.0.0.1:7070 [--workers N] [--rounds N] [--max-inflight N]
+//! experiments -- serve --remote 127.0.0.1:7070 [--clients N] [--batches N] ...
 //! ```
 //!
 //! `--workers 0` (the default) uses one pool worker per core; any other
@@ -75,7 +88,9 @@ fn main() {
     }
     if all || cmd == "serve" {
         match parse_serve_args(&args[usize::from(!args.is_empty())..]) {
-            Ok(serve) => print_serve(&serve),
+            Ok((ServeMode::InProcess, serve)) => print_serve(&serve, None),
+            Ok((ServeMode::Listen(addr), serve)) => serve_listen(&addr, &serve),
+            Ok((ServeMode::Remote(addr), serve)) => print_serve(&serve, Some(&addr)),
             Err(msg) => {
                 eprintln!("{msg}");
                 std::process::exit(2);
@@ -147,11 +162,21 @@ fn parse_sweep_args(args: &[String]) -> Result<(String, SweepConfig), String> {
     Ok((planner, sweep))
 }
 
+/// How the `serve` command runs: in-process load, a blocking network
+/// server, or network load against a running server.
+enum ServeMode {
+    InProcess,
+    Listen(String),
+    Remote(String),
+}
+
 /// Parses `serve` flags (`--clients`, `--batches`, `--shots`, `--size`,
-/// `--rounds`, `--seed`, `--workers`, `--max-inflight`) into the load
-/// parameters.
-fn parse_serve_args(args: &[String]) -> Result<ServeConfig, String> {
+/// `--rounds`, `--seed`, `--workers`, `--max-inflight`, plus the
+/// mutually exclusive `--listen ADDR` / `--remote ADDR` network modes)
+/// into the mode and load parameters.
+fn parse_serve_args(args: &[String]) -> Result<(ServeMode, ServeConfig), String> {
     let mut serve = ServeConfig::default();
+    let mut mode = ServeMode::InProcess;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -184,14 +209,16 @@ fn parse_serve_args(args: &[String]) -> Result<ServeConfig, String> {
             "--max-inflight" => {
                 serve.max_inflight = parse_num(&value("--max-inflight")?, "--max-inflight")?;
             }
+            "--listen" => mode = ServeMode::Listen(value("--listen")?),
+            "--remote" => mode = ServeMode::Remote(value("--remote")?),
             other => {
                 return Err(format!(
-                    "unknown serve flag {other:?}; use --clients/--batches/--shots/--size/--rounds/--seed/--workers/--max-inflight"
+                    "unknown serve flag {other:?}; use --clients/--batches/--shots/--size/--rounds/--seed/--workers/--max-inflight/--listen/--remote"
                 ))
             }
         }
     }
-    Ok(serve)
+    Ok((mode, serve))
 }
 
 fn parse_num<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, String> {
@@ -199,9 +226,35 @@ fn parse_num<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, String> {
         .map_err(|_| format!("{flag}: invalid number {raw:?}"))
 }
 
-fn print_serve(serve: &ServeConfig) {
+/// Stands up the HTTP front end on `addr` with the standard
+/// seven-planner registry and blocks forever (CI and operators run it
+/// as a background process and kill it when done).
+fn serve_listen(addr: &str, serve: &ServeConfig) {
+    let service = std::sync::Arc::new(build_service(serve));
+    let server = match qrm_net::Server::bind(addr, service, qrm_net::NetConfig::default()) {
+        Ok(server) => server,
+        Err(err) => {
+            eprintln!("--listen {addr}: bind failed: {err}");
+            std::process::exit(1);
+        }
+    };
     println!(
-        "== Planning service load: {} client(s) x {} batch(es), {} shot(s) each, {}x{} array, max_inflight={} ==",
+        "listening on http://{} (planners: {}, workers={}, rounds={}, max_inflight={})",
+        server.addr(),
+        planner_choices().len(),
+        serve.workers,
+        serve.rounds,
+        serve.max_inflight,
+    );
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn print_serve(serve: &ServeConfig, remote: Option<&str>) {
+    println!(
+        "== Planning service load{}: {} client(s) x {} batch(es), {} shot(s) each, {}x{} array, max_inflight={} ==",
+        remote.map(|a| format!(" via http://{a}")).unwrap_or_default(),
         serve.clients,
         serve.batches,
         serve.shots,
@@ -213,7 +266,16 @@ fn print_serve(serve: &ServeConfig) {
             serve.max_inflight.to_string()
         }
     );
-    let report = service_load(serve);
+    let report = match remote {
+        Some(addr) => {
+            if !wait_for_server(addr, std::time::Duration::from_secs(30)) {
+                eprintln!("--remote {addr}: server unreachable after 30 s");
+                std::process::exit(1);
+            }
+            remote_load(addr, serve)
+        }
+        None => service_load(serve),
+    };
     println!(
         "served {} batch(es) / {} shot(s) ({} filled) in {:.1} ms -> {:.1} batches/s",
         report.submitted,
@@ -253,6 +315,11 @@ fn print_serve(serve: &ServeConfig) {
         stats.pool.steals,
         stats.pool.threads_spawned
     );
+    // Deterministic payload digest — byte-identical between in-process
+    // and --remote runs of the same parameters (the CI job diffs it).
+    for row in &report.digest {
+        println!("{}", row.line());
+    }
     println!();
 }
 

@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 use qrm_baselines::{HybridScheduler, Mta1Scheduler, PscaScheduler, TetrisScheduler};
@@ -685,6 +686,185 @@ pub struct ServeReport {
     pub batches_per_s: f64,
     /// The service's own aggregate stats at the end of the run.
     pub stats: qrm_server::ServiceStats,
+    /// Per-planner **deterministic** digest of the served payloads, in
+    /// planner-name order. Everything here derives from report payloads
+    /// only (no timing), so an in-process run and a `--remote` run of
+    /// the same parameters print byte-identical digest lines — the CI
+    /// network job diffs exactly that.
+    pub digest: Vec<DigestRow>,
+}
+
+/// Deterministic per-planner payload totals of a load run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DigestRow {
+    /// Planner (registration) name.
+    pub planner: String,
+    /// Batches this planner served.
+    pub batches: usize,
+    /// Shots across those batches.
+    pub shots: usize,
+    /// Shots that ended defect-free.
+    pub filled: usize,
+    /// Pipeline rounds across all shots.
+    pub rounds: usize,
+    /// Parallel moves across all rounds.
+    pub moves: usize,
+    /// Atoms lost in transport across all rounds.
+    pub lost: usize,
+    /// Physical tweezer time across all rounds (µs; exact f64 sum in
+    /// fixed submission order).
+    pub motion_us: f64,
+}
+
+impl DigestRow {
+    /// The canonical one-line rendering the CI loopback job diffs.
+    /// Floats print with shortest round-trip formatting, so equal
+    /// payloads render byte-identically.
+    pub fn line(&self) -> String {
+        format!(
+            "digest planner={} batches={} shots={} filled={} rounds={} moves={} lost={} motion_us={}",
+            self.planner,
+            self.batches,
+            self.shots,
+            self.filled,
+            self.rounds,
+            self.moves,
+            self.lost,
+            self.motion_us
+        )
+    }
+}
+
+/// The deterministic request of global submission index `index`
+/// (shared by the in-process and remote load drivers so their
+/// workloads — and therefore digests — are identical).
+fn load_request(
+    serve: &ServeConfig,
+    names: &[&'static str],
+    client: usize,
+    batch: usize,
+) -> qrm_server::SubmitBatch {
+    let index = (client * serve.batches + batch) as u64;
+    let name = names[(client + batch) % names.len()];
+    let spec = qrm_server::BatchSpec::new(
+        serve.shots,
+        serve.size,
+        serve.seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+    );
+    qrm_server::SubmitBatch::new(name, spec)
+}
+
+/// Runs the client threads against an arbitrary submitter (in-process
+/// service or HTTP client) and folds the reports into digest rows in
+/// deterministic (client, batch) order.
+fn drive_load<F>(
+    serve: &ServeConfig,
+    make_submitter: impl Fn() -> F + Sync,
+) -> (Vec<DigestRow>, f64)
+where
+    F: FnMut(&qrm_server::SubmitBatch) -> qrm_server::BatchReport + Send,
+{
+    let names: Vec<&'static str> = planner_choices().iter().map(|(n, _)| *n).collect();
+    let t0 = Instant::now();
+    // Each client folds its own reports as they arrive (its batches are
+    // sequential, so its partial f64 sums have a fixed order), then the
+    // partials merge in client-index order — memory stays O(planners)
+    // per client instead of buffering every report (with its per-round
+    // grid states) until the run ends, and the overall fold structure
+    // is fixed, so digests stay bit-reproducible run to run and equal
+    // between the in-process and remote drivers.
+    let per_client: Vec<BTreeMap<String, DigestRow>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..serve.clients)
+            .map(|client| {
+                let names = &names;
+                let make_submitter = &make_submitter;
+                scope.spawn(move || {
+                    let mut submit = make_submitter();
+                    let mut rows = BTreeMap::new();
+                    for batch in 0..serve.batches {
+                        let request = load_request(serve, names, client, batch);
+                        let report = submit(&request);
+                        fold_report(&mut rows, &request.planner, &report);
+                    }
+                    rows
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall_us = t0.elapsed().as_secs_f64() * 1e6;
+
+    let mut rows: BTreeMap<String, DigestRow> = BTreeMap::new();
+    for client_rows in per_client {
+        for (name, partial) in client_rows {
+            match rows.entry(name) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(partial);
+                }
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    let row = slot.get_mut();
+                    row.batches += partial.batches;
+                    row.shots += partial.shots;
+                    row.filled += partial.filled;
+                    row.rounds += partial.rounds;
+                    row.moves += partial.moves;
+                    row.lost += partial.lost;
+                    row.motion_us += partial.motion_us;
+                }
+            }
+        }
+    }
+    (rows.into_values().collect(), wall_us)
+}
+
+/// Folds one served report into a client's per-planner partial rows.
+fn fold_report(
+    rows: &mut BTreeMap<String, DigestRow>,
+    planner: &str,
+    report: &qrm_server::BatchReport,
+) {
+    let row = rows
+        .entry(planner.to_string())
+        .or_insert_with(|| DigestRow {
+            planner: planner.to_string(),
+            batches: 0,
+            shots: 0,
+            filled: 0,
+            rounds: 0,
+            moves: 0,
+            lost: 0,
+            motion_us: 0.0,
+        });
+    row.batches += 1;
+    row.shots += report.shots();
+    row.filled += report.filled();
+    for shot in &report.reports {
+        row.rounds += shot.rounds.len();
+        row.moves += shot.rounds.iter().map(|r| r.moves).sum::<usize>();
+        row.lost += shot.total_lost();
+        row.motion_us += shot.total_motion_us();
+    }
+}
+
+fn assemble_report(
+    serve: &ServeConfig,
+    digest: Vec<DigestRow>,
+    wall_us: f64,
+    stats: qrm_server::ServiceStats,
+) -> ServeReport {
+    let submitted = serve.clients * serve.batches;
+    ServeReport {
+        submitted,
+        shots: digest.iter().map(|r| r.shots).sum(),
+        filled: digest.iter().map(|r| r.filled).sum(),
+        wall_us,
+        batches_per_s: submitted as f64 / (wall_us / 1e6),
+        stats,
+        digest,
+    }
 }
 
 /// Builds a planning service with **all seven planners** registered
@@ -704,56 +884,55 @@ pub fn build_service(serve: &ServeConfig) -> qrm_server::PlanService {
     builder.build()
 }
 
-/// Runs the service load: `clients` threads each submit `batches`
-/// requests, cycling through the seven registered planners so the
-/// service serves a concurrent mixed-planner stream, and every
-/// submission's workload seed is unique. Panics on any submission
-/// error (the registry covers every requested planner and the
-/// workload specs are valid by construction).
+/// Runs the service load **in-process**: `clients` threads each
+/// submit `batches` requests, cycling through the seven registered
+/// planners so the service serves a concurrent mixed-planner stream,
+/// and every submission's workload seed is unique. Panics on any
+/// submission error (the registry covers every requested planner and
+/// the workload specs are valid by construction).
 pub fn service_load(serve: &ServeConfig) -> ServeReport {
     let service = build_service(serve);
-    let names: Vec<&'static str> = planner_choices().iter().map(|(n, _)| *n).collect();
-    let t0 = Instant::now();
-    let results: Vec<(usize, usize)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..serve.clients)
-            .map(|client| {
-                let service = &service;
-                let names = &names;
-                scope.spawn(move || {
-                    let mut filled = 0;
-                    let mut shots = 0;
-                    for batch in 0..serve.batches {
-                        let index = (client * serve.batches + batch) as u64;
-                        let name = names[(client + batch) % names.len()];
-                        let spec = qrm_server::BatchSpec::new(
-                            serve.shots,
-                            serve.size,
-                            serve.seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15),
-                        );
-                        let report = service
-                            .submit(&qrm_server::SubmitBatch::new(name, spec))
-                            .expect("load submission");
-                        filled += report.filled();
-                        shots += report.shots();
-                    }
-                    (filled, shots)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("client thread"))
-            .collect()
+    let (digest, wall_us) = drive_load(serve, || {
+        |request: &qrm_server::SubmitBatch| service.submit(request).expect("load submission")
     });
-    let wall_us = t0.elapsed().as_secs_f64() * 1e6;
-    let submitted = serve.clients * serve.batches;
-    ServeReport {
-        submitted,
-        shots: results.iter().map(|(_, s)| s).sum(),
-        filled: results.iter().map(|(f, _)| f).sum(),
-        wall_us,
-        batches_per_s: submitted as f64 / (wall_us / 1e6),
-        stats: service.stats(),
+    assemble_report(serve, digest, wall_us, service.stats())
+}
+
+/// [`service_load`] over the network: the same client threads and the
+/// same deterministic workload stream, but every submission travels
+/// through an HTTP [`qrm_net::Client`] to the server at `addr` (one
+/// connection per client thread). The digest rows are **identical**
+/// to an in-process [`service_load`] of the same parameters against a
+/// server started with the same parameters — the bit-identity
+/// contract, network leg. Panics on submission errors (unknown
+/// planner, unreachable server mid-run).
+pub fn remote_load(addr: &str, serve: &ServeConfig) -> ServeReport {
+    let (digest, wall_us) = drive_load(serve, || {
+        let mut client = qrm_net::Client::connect(addr.to_string());
+        move |request: &qrm_server::SubmitBatch| {
+            client.submit(request).expect("remote load submission")
+        }
+    });
+    let stats = qrm_net::Client::connect(addr.to_string())
+        .stats()
+        .expect("remote stats");
+    assemble_report(serve, digest, wall_us, stats)
+}
+
+/// Polls `GET /v1/healthz` at `addr` until the server answers or
+/// `timeout` elapses — how the `--remote` driver (and CI) waits for a
+/// freshly spawned `--listen` process to come up.
+pub fn wait_for_server(addr: &str, timeout: std::time::Duration) -> bool {
+    let deadline = Instant::now() + timeout;
+    let mut client = qrm_net::Client::connect(addr.to_string());
+    loop {
+        if client.healthz().is_ok() {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
     }
 }
 
@@ -875,6 +1054,61 @@ mod tests {
             .sum();
         assert_eq!(served, 9);
         assert_eq!(report.stats.planners.len(), 7);
+    }
+
+    #[test]
+    fn planner_registry_names_match_planner_choice_names() {
+        // The CLI registry, the PlannerChoice Display names, and the
+        // choices' self-reported names must agree — the wire protocol's
+        // planner identifiers are these strings.
+        let registry: Vec<&str> = planner_choices().iter().map(|(n, _)| *n).collect();
+        assert_eq!(registry, PlannerChoice::NAMES);
+        for (name, choice) in planner_choices() {
+            assert_eq!(choice.name(), name);
+            assert_eq!(choice.to_string(), name);
+            let parsed: PlannerChoice = name.parse().expect("canonical name parses");
+            assert_eq!(parsed.name(), name);
+        }
+    }
+
+    #[test]
+    fn remote_load_digest_matches_in_process_load() {
+        // The bit-identity contract at the load-driver level: the same
+        // parameters through HTTP produce the same digest rows as the
+        // in-process run (timing fields excluded by construction).
+        let serve = ServeConfig {
+            clients: 2,
+            batches: 4,
+            shots: 1,
+            size: 12,
+            workers: 1,
+            ..ServeConfig::default()
+        };
+        let local = service_load(&serve);
+
+        let service = std::sync::Arc::new(build_service(&serve));
+        let server = qrm_net::Server::bind("127.0.0.1:0", service, qrm_net::NetConfig::default())
+            .expect("bind");
+        let addr = server.addr().to_string();
+        assert!(wait_for_server(&addr, std::time::Duration::from_secs(5)));
+        let remote = remote_load(&addr, &serve);
+
+        assert_eq!(remote.digest, local.digest);
+        assert_eq!(remote.submitted, local.submitted);
+        assert_eq!(
+            remote.stats.batches_served, local.stats.batches_served,
+            "remote service served the same stream"
+        );
+        let lines: Vec<String> = local.digest.iter().map(DigestRow::line).collect();
+        assert_eq!(
+            remote
+                .digest
+                .iter()
+                .map(DigestRow::line)
+                .collect::<Vec<_>>(),
+            lines,
+            "digest lines are byte-identical"
+        );
     }
 
     #[test]

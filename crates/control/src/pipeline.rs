@@ -34,6 +34,7 @@ use crate::awg::{AodCalibration, ToneProgram};
 /// (Previously named `Planner`; that name now refers to the trait in
 /// [`qrm_core::planner`].)
 #[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum PlannerChoice {
     /// Software QRM on the host (Fig. 2(a) role).
     Software(QrmConfig),
@@ -58,6 +59,27 @@ impl Default for PlannerChoice {
 }
 
 impl PlannerChoice {
+    /// The seven canonical CLI names, in registry order — the strings
+    /// [`Display`](std::fmt::Display) produces and
+    /// [`FromStr`](std::str::FromStr) accepts.
+    pub const NAMES: [&'static str; 7] =
+        ["qrm", "typical", "tetris", "psca", "mta1", "hybrid", "fpga"];
+
+    /// The choice's canonical CLI name (config parameters are not part
+    /// of the name: every `Software` config displays as `"qrm"`, every
+    /// `Fpga` config as `"fpga"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlannerChoice::Software(_) => "qrm",
+            PlannerChoice::Typical => "typical",
+            PlannerChoice::Tetris => "tetris",
+            PlannerChoice::Psca => "psca",
+            PlannerChoice::Mta1 => "mta1",
+            PlannerChoice::Hybrid => "hybrid",
+            PlannerChoice::Fpga(_) => "fpga",
+        }
+    }
+
     /// Builds the chosen planner. `workers` is the batch worker count
     /// for planners with a parallel core (`0` = automatic, one per
     /// core); serial planners ignore it.
@@ -72,6 +94,56 @@ impl PlannerChoice {
             PlannerChoice::Psca => Box::new(PscaScheduler::default()),
             PlannerChoice::Mta1 => Box::new(Mta1Scheduler::default()),
             PlannerChoice::Hybrid => Box::new(HybridScheduler::default()),
+        }
+    }
+}
+
+impl std::fmt::Display for PlannerChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error from parsing a [`PlannerChoice`] name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownPlannerName {
+    /// The rejected name.
+    pub name: String,
+}
+
+impl std::fmt::Display for UnknownPlannerName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown planner {:?}; use one of {:?}",
+            self.name,
+            PlannerChoice::NAMES
+        )
+    }
+}
+
+impl std::error::Error for UnknownPlannerName {}
+
+impl std::str::FromStr for PlannerChoice {
+    type Err = UnknownPlannerName;
+
+    /// Parses a canonical CLI name into the choice with **default
+    /// configuration** (`Display` → `FromStr` round-trips the name,
+    /// not the config: `"qrm"` always parses to the default
+    /// [`QrmConfig`], `"fpga"` to the balanced accelerator the
+    /// benchmark registry uses).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "qrm" => Ok(PlannerChoice::Software(QrmConfig::default())),
+            "typical" => Ok(PlannerChoice::Typical),
+            "tetris" => Ok(PlannerChoice::Tetris),
+            "psca" => Ok(PlannerChoice::Psca),
+            "mta1" => Ok(PlannerChoice::Mta1),
+            "hybrid" => Ok(PlannerChoice::Hybrid),
+            "fpga" => Ok(PlannerChoice::Fpga(AcceleratorConfig::balanced())),
+            other => Err(UnknownPlannerName {
+                name: other.to_string(),
+            }),
         }
     }
 }
@@ -117,6 +189,7 @@ impl Default for PipelineConfig {
 
 /// Report of one cycle round.
 #[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RoundReport {
     /// Detection fidelity against the true occupancy.
     pub detection_fidelity: f64,
@@ -134,6 +207,7 @@ pub struct RoundReport {
 
 /// Report of a full multi-round run.
 #[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PipelineReport {
     /// Per-round details.
     pub rounds: Vec<RoundReport>,
@@ -462,6 +536,25 @@ impl Pipeline {
 mod tests {
     use super::*;
     use qrm_core::loading::seeded_rng;
+
+    #[test]
+    fn planner_choice_display_parse_round_trips() {
+        // Every canonical name parses, and the parsed choice displays
+        // the same name again; the name list and the enum stay in sync.
+        for name in PlannerChoice::NAMES {
+            let choice: PlannerChoice = name.parse().unwrap();
+            assert_eq!(choice.to_string(), name);
+            assert_eq!(choice.name(), name);
+        }
+        // Display → FromStr also round-trips for non-default configs
+        // (the *name* is the round-trip unit, not the config).
+        let custom = PlannerChoice::Software(QrmConfig::paper());
+        let reparsed: PlannerChoice = custom.to_string().parse().unwrap();
+        assert_eq!(reparsed.name(), custom.name());
+        let err = "warp-drive".parse::<PlannerChoice>().unwrap_err();
+        assert_eq!(err.name, "warp-drive");
+        assert!(err.to_string().contains("qrm"));
+    }
 
     #[test]
     fn single_round_fills_at_high_snr_no_loss() {

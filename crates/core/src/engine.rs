@@ -656,6 +656,7 @@ impl PlanContext {
 /// allocating. A steady state of `k` concurrent callers settles on
 /// `min(k, 8)` parked contexts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ContextPoolStats {
     /// Parked warm contexts available for checkout.
     pub idle_contexts: usize,

@@ -11,6 +11,7 @@ use std::fmt;
 /// assert_eq!(clk.cycles_for_us(2.0), 500);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ClockDomain {
     freq_hz: f64,
 }

@@ -9,6 +9,7 @@
 
 /// DDR access-cost model.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DdrModel {
     /// First-word read latency in PL cycles.
     pub read_latency_cycles: u64,

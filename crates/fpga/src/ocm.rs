@@ -25,6 +25,7 @@ use crate::stream::AxiStream;
 
 /// OCM configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct OcmConfig {
     /// AXI link for the write-back.
     pub axi: AxiStream,

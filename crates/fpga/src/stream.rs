@@ -8,6 +8,7 @@
 
 /// AXI-stream link parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AxiStream {
     /// Payload bits per beat (paper: 1024).
     pub beat_bits: usize,

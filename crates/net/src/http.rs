@@ -1,0 +1,352 @@
+//! Minimal HTTP/1.1 message framing over `std::net` streams.
+//!
+//! Implements exactly what the planning protocol needs — request-line
+//! and header parsing, `Content-Length` body framing, keep-alive
+//! negotiation, and response writing — with hard limits on every
+//! attacker-controlled dimension (request-line length, header count
+//! and size, body size). `Transfer-Encoding: chunked` is deliberately
+//! **not** implemented; requests using it are rejected with a typed
+//! error the server maps to `501`.
+
+use std::io::{self, BufRead, Write};
+
+/// Longest accepted request line or header line, in bytes (the body
+/// limit is configurable via [`NetConfig`](crate::NetConfig); the head
+/// limits are fixed protocol constants).
+pub const MAX_LINE_BYTES: usize = 8 << 10;
+
+/// Most headers accepted per request.
+pub const MAX_HEADERS: usize = 64;
+
+/// A parsed request: method, path, lower-cased headers, raw body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, upper-case as received (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target (path + optional query), as received.
+    pub path: String,
+    /// Headers with lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The raw body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response
+    /// (HTTP/1.1 default yes, `Connection: close` / HTTP/1.0 no).
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First value of a (lower-case) header name, if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed, mapped by the server onto a
+/// status code + [`ErrorReply`](qrm_wire::ErrorReply).
+#[derive(Debug)]
+pub enum HttpError {
+    /// Socket failure or timeout (connection is simply closed).
+    Io(io::Error),
+    /// The request line is malformed or not HTTP/1.x.
+    BadRequestLine,
+    /// A header line is malformed.
+    BadHeader,
+    /// The request line or a header exceeds [`MAX_LINE_BYTES`], or
+    /// there are more than [`MAX_HEADERS`] headers.
+    HeadersTooLarge,
+    /// `Content-Length` is present but not a valid integer.
+    BadContentLength,
+    /// The declared body length exceeds the server's limit.
+    BodyTooLarge {
+        /// The limit that was exceeded (bytes).
+        limit: usize,
+    },
+    /// A body-carrying method arrived without `Content-Length`.
+    LengthRequired,
+    /// The request uses `Transfer-Encoding` (chunked bodies are not
+    /// implemented).
+    UnsupportedTransferEncoding,
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(err) => write!(f, "socket error: {err}"),
+            HttpError::BadRequestLine => write!(f, "malformed request line"),
+            HttpError::BadHeader => write!(f, "malformed header"),
+            HttpError::HeadersTooLarge => write!(f, "request head exceeds limits"),
+            HttpError::BadContentLength => write!(f, "invalid content-length"),
+            HttpError::BodyTooLarge { limit } => {
+                write!(f, "request body exceeds the {limit}-byte limit")
+            }
+            HttpError::LengthRequired => write!(f, "content-length required"),
+            HttpError::UnsupportedTransferEncoding => {
+                write!(f, "transfer-encoding is not supported; use content-length")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<io::Error> for HttpError {
+    fn from(err: io::Error) -> Self {
+        HttpError::Io(err)
+    }
+}
+
+/// Reads one `\r\n`- (or `\n`-) terminated line, capped at
+/// [`MAX_LINE_BYTES`]; the terminator is stripped.
+fn read_line(reader: &mut impl BufRead) -> Result<Option<String>, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None); // clean EOF between requests
+                }
+                return Err(HttpError::Io(io::ErrorKind::UnexpectedEof.into()));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return match String::from_utf8(line) {
+                        Ok(s) => Ok(Some(s)),
+                        Err(_) => Err(HttpError::BadHeader),
+                    };
+                }
+                if line.len() >= MAX_LINE_BYTES {
+                    return Err(HttpError::HeadersTooLarge);
+                }
+                line.push(byte[0]);
+            }
+            Err(err) => return Err(HttpError::Io(err)),
+        }
+    }
+}
+
+/// Parses one request from the stream. `Ok(None)` means the peer
+/// closed the connection cleanly before sending another request (the
+/// normal end of a keep-alive session).
+pub fn read_request(
+    reader: &mut impl BufRead,
+    max_body_bytes: usize,
+) -> Result<Option<Request>, HttpError> {
+    let Some(request_line) = read_line(reader)? else {
+        return Ok(None);
+    };
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(path), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::BadRequestLine);
+    };
+    if method.is_empty() || path.is_empty() {
+        return Err(HttpError::BadRequestLine);
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return Err(HttpError::BadRequestLine),
+    };
+
+    let mut headers = Vec::new();
+    loop {
+        let Some(line) = read_line(reader)? else {
+            return Err(HttpError::Io(io::ErrorKind::UnexpectedEof.into()));
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadHeader);
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let request = Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body: Vec::new(),
+        keep_alive: http11,
+    };
+    let mut request = request;
+    if let Some(connection) = request.header("connection") {
+        if connection.eq_ignore_ascii_case("close") {
+            request.keep_alive = false;
+        } else if connection.eq_ignore_ascii_case("keep-alive") {
+            request.keep_alive = true;
+        }
+    }
+    if request.header("transfer-encoding").is_some() {
+        return Err(HttpError::UnsupportedTransferEncoding);
+    }
+
+    let content_length = match request.header("content-length") {
+        Some(raw) => Some(
+            raw.parse::<usize>()
+                .map_err(|_| HttpError::BadContentLength)?,
+        ),
+        None => None,
+    };
+    match content_length {
+        Some(length) if length > max_body_bytes => {
+            return Err(HttpError::BodyTooLarge {
+                limit: max_body_bytes,
+            })
+        }
+        Some(length) => {
+            let mut body = vec![0u8; length];
+            reader.read_exact(&mut body).map_err(HttpError::Io)?;
+            request.body = body;
+        }
+        None if request.method == "POST" || request.method == "PUT" => {
+            return Err(HttpError::LengthRequired)
+        }
+        None => {}
+    }
+    Ok(Some(request))
+}
+
+/// The reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Content",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete response with `Content-Length` framing and a
+/// `Connection` header reflecting `keep_alive`.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {connection}\r\n\r\n{body}",
+        reason(status),
+        body.len(),
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Option<Request>, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()), 1024)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let request = parse("POST /v1/batch HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody")
+            .unwrap()
+            .unwrap();
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.path, "/v1/batch");
+        assert_eq!(request.header("host"), Some("x"));
+        assert_eq!(request.body, b"body");
+        assert!(request.keep_alive);
+    }
+
+    #[test]
+    fn connection_and_version_drive_keep_alive() {
+        let closed = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!closed.keep_alive);
+        let old = parse("GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!old.keep_alive);
+        let old_ka = parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(old_ka.keep_alive);
+    }
+
+    #[test]
+    fn eof_between_requests_is_clean() {
+        assert!(parse("").unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_requests_are_typed() {
+        assert!(matches!(
+            parse("GARBAGE\r\n\r\n"),
+            Err(HttpError::BadRequestLine)
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/2.0\r\n\r\n"),
+            Err(HttpError::BadRequestLine)
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nno-colon\r\n\r\n"),
+            Err(HttpError::BadHeader)
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\n\r\n"),
+            Err(HttpError::LengthRequired)
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(HttpError::BadContentLength)
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 9999\r\n\r\n"),
+            Err(HttpError::BodyTooLarge { limit: 1024 })
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(HttpError::UnsupportedTransferEncoding)
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nHost: x"),
+            Err(HttpError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_head_is_rejected() {
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_LINE_BYTES));
+        assert!(matches!(parse(&long), Err(HttpError::HeadersTooLarge)));
+        let many = format!(
+            "GET / HTTP/1.1\r\n{}\r\n",
+            "x: y\r\n".repeat(MAX_HEADERS + 1)
+        );
+        assert!(matches!(parse(&many), Err(HttpError::HeadersTooLarge)));
+    }
+
+    #[test]
+    fn writes_framed_responses() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "{\"a\":1}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 7\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"a\":1}"));
+    }
+}

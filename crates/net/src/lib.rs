@@ -1,0 +1,85 @@
+//! # qrm-net — HTTP front end for the planning service
+//!
+//! Puts [`qrm_server::PlanService`] on the network: a minimal
+//! HTTP/1.1 [`Server`] over `std::net::TcpListener` and a blocking
+//! keep-alive [`Client`], speaking the JSON wire format of
+//! [`qrm_wire`] (schemas in `docs/PROTOCOL.md`).
+//!
+//! ## Endpoints
+//!
+//! | Route | Payload |
+//! |-------|---------|
+//! | `POST /v1/batch`  | [`SubmitBatch`](qrm_server::SubmitBatch) → [`BatchReport`](qrm_server::BatchReport) |
+//! | `GET /v1/stats`   | → [`ServiceStats`](qrm_server::ServiceStats) |
+//! | `GET /v1/healthz` | → [`Health`] |
+//!
+//! Every non-2xx response carries a typed
+//! [`ErrorReply`](qrm_wire::ErrorReply) with a stable machine-readable
+//! code.
+//!
+//! ## Threading
+//!
+//! One dedicated OS thread accepts connections; each connection is a
+//! job on the vendored rayon worker pool, serving keep-alive requests
+//! until the peer closes or [`NetConfig::keep_alive`] expires. The
+//! planning work itself fans out through the same pool
+//! (`Pipeline::run_batch` rounds are pool jobs; blocked scopes help
+//! execute, so connection handlers cannot deadlock the pool they
+//! occupy).
+//!
+//! ## Determinism
+//!
+//! The transport adds no behaviour: a report fetched over HTTP is
+//! **bit-identical** to the same submission served in-process, which
+//! is in turn bit-identical to a direct `Pipeline::run_batch` — the
+//! fourth leg of the workspace's determinism contract, pinned for all
+//! seven planners in `tests/net_service.rs`.
+//!
+//! ## Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use qrm_control::pipeline::PlannerChoice;
+//! use qrm_net::{Client, NetConfig, Server};
+//! use qrm_server::{BatchSpec, PlanService, SubmitBatch};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let service = Arc::new(
+//!     PlanService::builder()
+//!         .register_default("typical", PlannerChoice::Typical, 1)
+//!         .build(),
+//! );
+//! let server = Server::bind("127.0.0.1:0", service, NetConfig::default())?;
+//!
+//! let mut client = Client::connect(server.addr().to_string());
+//! assert_eq!(client.healthz()?.planners, vec!["typical"]);
+//!
+//! let report = client.submit(&SubmitBatch::new("typical", BatchSpec::new(2, 12, 7)))?;
+//! assert_eq!(report.shots(), 2);
+//! assert_eq!(client.stats()?.batches_served, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod http;
+
+mod client;
+mod server;
+
+pub use client::{Client, ClientError};
+#[doc(hidden)]
+pub use server::raw_roundtrip;
+pub use server::{NetConfig, Server};
+
+/// The `GET /v1/healthz` response payload.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Health {
+    /// `"ok"` whenever the service answers at all.
+    pub status: String,
+    /// The registered planner names, sorted.
+    pub planners: Vec<String>,
+}

@@ -1,0 +1,382 @@
+//! The HTTP front end: routing, error mapping, and the accept loop.
+
+use std::io::{BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use qrm_server::{PlanService, ServiceError, SubmitBatch};
+use qrm_wire::{ErrorReply, FromJson, JsonLimits, ToJson, WireError};
+
+use crate::http::{read_request, write_response, HttpError, Request};
+use crate::Health;
+
+/// Configuration of the HTTP front end.
+#[derive(Debug, Clone, Copy)]
+pub struct NetConfig {
+    /// Largest accepted request body (bytes). Requests declaring more
+    /// are refused with `413` before the body is read.
+    pub max_body_bytes: usize,
+    /// How long an idle keep-alive connection may sit between requests
+    /// before the server closes it.
+    pub keep_alive: Duration,
+    /// Once a request's first byte arrives, how long the peer has to
+    /// deliver the complete request. A per-read idle timeout alone
+    /// would let a client trickle one byte per interval and pin a
+    /// worker-pool slot indefinitely; this total deadline — together
+    /// with `keep_alive` for the fully-idle wait — is what bounds a
+    /// connection handler's pool-slot occupancy.
+    pub request_timeout: Duration,
+    /// Largest accepted `spec.shots` in a submission (`422` beyond) —
+    /// a spec is tiny on the wire but expands server-side, so the body
+    /// limit alone cannot bound the workload.
+    pub max_shots: usize,
+    /// Largest accepted `spec.size` in a submission (`422` beyond).
+    pub max_size: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            max_body_bytes: 1 << 20,
+            keep_alive: Duration::from_secs(2),
+            request_timeout: Duration::from_secs(10),
+            max_shots: 4096,
+            max_size: 512,
+        }
+    }
+}
+
+/// Counters the accept loop and connection handlers maintain.
+#[derive(Debug, Default)]
+struct NetCounters {
+    connections: AtomicU64,
+    requests: AtomicU64,
+}
+
+/// A running HTTP front end over a shared [`PlanService`].
+///
+/// Binding spawns **one** dedicated OS thread for the accept loop;
+/// each accepted connection is handled as a job on the vendored
+/// rayon worker pool (no thread per connection), where it serves any
+/// number of keep-alive requests. Because a parked keep-alive
+/// connection occupies a pool slot, that occupancy is bounded from
+/// both sides: [`NetConfig::keep_alive`] closes fully-idle
+/// connections, and [`NetConfig::request_timeout`] gives a started
+/// request a total deadline, so a peer trickling one byte at a time
+/// cannot hold the slot either. Well-behaved clients (the crate's
+/// [`Client`](crate::Client)) transparently reconnect after an idle
+/// close.
+///
+/// Dropping the server stops accepting and joins the accept thread;
+/// connections already being served run to completion on the pool.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    counters: Arc<NetCounters>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts serving `service`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind/configuration failures.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        service: Arc<PlanService>,
+        config: NetConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(NetCounters::default());
+        let accept_thread = {
+            let shutdown = Arc::clone(&shutdown);
+            let counters = Arc::clone(&counters);
+            std::thread::Builder::new()
+                .name("qrm-net-accept".to_string())
+                .spawn(move || accept_loop(&listener, &service, config, &shutdown, &counters))?
+        };
+        Ok(Server {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            counters,
+        })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections accepted so far.
+    pub fn connections_accepted(&self) -> u64 {
+        self.counters.connections.load(Ordering::Relaxed)
+    }
+
+    /// Requests served so far (across all connections, all routes).
+    pub fn requests_served(&self) -> u64 {
+        self.counters.requests.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting new connections and joins the accept thread.
+    /// Idempotent; also invoked by `Drop`.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking `accept` with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    service: &Arc<PlanService>,
+    config: NetConfig,
+    shutdown: &Arc<AtomicBool>,
+    counters: &Arc<NetCounters>,
+) {
+    loop {
+        let Ok((stream, _peer)) = listener.accept() else {
+            if shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            // Transient accept failures (e.g. fd exhaustion) must not
+            // spin the accept thread hot.
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        counters.connections.fetch_add(1, Ordering::Relaxed);
+        let service = Arc::clone(service);
+        let counters = Arc::clone(counters);
+        rayon::spawn(move || handle_connection(stream, &service, &config, &counters));
+    }
+}
+
+/// Read adapter enforcing the two-sided pool-slot occupancy bound:
+/// waiting for a request's **first byte** uses the idle keep-alive
+/// timeout; once a byte arrives, a **total deadline** covers the rest
+/// of the request, shrinking the socket timeout to the time remaining
+/// before every read — so neither a silent peer nor a byte-trickling
+/// one can hold a connection handler past its budget.
+struct DeadlineStream {
+    stream: TcpStream,
+    idle_timeout: Duration,
+    request_timeout: Duration,
+    deadline: Option<Instant>,
+}
+
+impl DeadlineStream {
+    /// Re-arms the idle timeout between keep-alive requests.
+    fn finish_request(&mut self) {
+        self.deadline = None;
+    }
+}
+
+impl Read for DeadlineStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let timeout = match self.deadline {
+            None => self.idle_timeout,
+            Some(deadline) => {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Err(std::io::ErrorKind::TimedOut.into());
+                }
+                remaining
+            }
+        };
+        self.stream.set_read_timeout(Some(timeout))?;
+        let read = self.stream.read(buf)?;
+        if read > 0 && self.deadline.is_none() {
+            self.deadline = Some(Instant::now() + self.request_timeout);
+        }
+        Ok(read)
+    }
+}
+
+/// Serves one connection: any number of keep-alive requests until the
+/// peer closes, a fatal framing error occurs, or a timeout fires.
+fn handle_connection(
+    stream: TcpStream,
+    service: &PlanService,
+    config: &NetConfig,
+    counters: &NetCounters,
+) {
+    let mut reader = BufReader::new(DeadlineStream {
+        stream,
+        idle_timeout: config.keep_alive,
+        request_timeout: config.request_timeout,
+        deadline: None,
+    });
+    loop {
+        match read_request(&mut reader, config.max_body_bytes) {
+            Ok(Some(request)) => {
+                counters.requests.fetch_add(1, Ordering::Relaxed);
+                let keep_alive = request.keep_alive;
+                let (status, body) = route_guarded(&request, service, config);
+                let stream = &mut reader.get_mut().stream;
+                if write_response(stream, status, &body, keep_alive).is_err() {
+                    return;
+                }
+                if !keep_alive {
+                    return;
+                }
+                reader.get_mut().finish_request();
+            }
+            Ok(None) => return,              // peer closed between requests
+            Err(HttpError::Io(_)) => return, // timeout / reset: close quietly
+            Err(err) => {
+                // Framing errors get a best-effort reply, then the
+                // connection closes (the stream position is unknown).
+                let (status, reply) = framing_error_reply(&err);
+                let stream = &mut reader.get_mut().stream;
+                let _ = write_response(stream, status, &reply.to_json(), false);
+                return;
+            }
+        }
+    }
+}
+
+/// [`route`] behind a panic guard. The retry contract of
+/// [`Client`](crate::Client) rests on this server answering **every**
+/// request it reads — a handler panic must therefore surface as a
+/// `500` reply, not as a silent bytes-free close the client would
+/// mistake for an unaccepted request.
+fn route_guarded(request: &Request, service: &PlanService, config: &NetConfig) -> (u16, String) {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        route(request, service, config)
+    }))
+    .unwrap_or_else(|_| {
+        error(
+            500,
+            "internal",
+            "request handling panicked server-side".to_string(),
+        )
+    })
+}
+
+fn framing_error_reply(err: &HttpError) -> (u16, ErrorReply) {
+    let (status, code) = match err {
+        HttpError::BodyTooLarge { .. } => (413, "payload_too_large"),
+        HttpError::LengthRequired => (411, "length_required"),
+        HttpError::UnsupportedTransferEncoding => (501, "unsupported_transfer_encoding"),
+        HttpError::HeadersTooLarge => (400, "headers_too_large"),
+        HttpError::BadRequestLine | HttpError::BadHeader | HttpError::BadContentLength => {
+            (400, "bad_request")
+        }
+        HttpError::Io(_) => (400, "bad_request"), // unreachable: handled above
+    };
+    (status, ErrorReply::new(code, err.to_string()))
+}
+
+/// Dispatches one parsed request to the service and renders the
+/// response body. Infallible by construction: every failure path is a
+/// `(status, ErrorReply)`.
+fn route(request: &Request, service: &PlanService, config: &NetConfig) -> (u16, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/v1/batch") => submit(request, service, config),
+        ("GET", "/v1/stats") => (200, service.stats().to_json()),
+        ("GET", "/v1/healthz") => {
+            let health = Health {
+                status: "ok".to_string(),
+                planners: service.planners().map(str::to_string).collect(),
+            };
+            (200, health.to_json())
+        }
+        (_, "/v1/batch" | "/v1/stats" | "/v1/healthz") => error(
+            405,
+            "method_not_allowed",
+            format!("{} is not allowed on {}", request.method, request.path),
+        ),
+        (_, path) => error(404, "not_found", format!("no route for {path}")),
+    }
+}
+
+fn submit(request: &Request, service: &PlanService, config: &NetConfig) -> (u16, String) {
+    let Ok(text) = std::str::from_utf8(&request.body) else {
+        return error(400, "bad_json", "request body is not UTF-8".to_string());
+    };
+    let limits = JsonLimits {
+        max_bytes: config.max_body_bytes,
+        max_depth: 32,
+    };
+    let submission = match SubmitBatch::from_json_with_limits(text, &limits) {
+        Ok(submission) => submission,
+        Err(WireError::Json(err)) => return error(400, "bad_json", err.to_string()),
+        Err(WireError::Decode(err)) => return error(400, "bad_request", err.to_string()),
+    };
+    if submission.spec.shots > config.max_shots || submission.spec.size > config.max_size {
+        return error(
+            422,
+            "spec_too_large",
+            format!(
+                "spec {}x{} shots={} exceeds the server's limits (size <= {}, shots <= {})",
+                submission.spec.size,
+                submission.spec.size,
+                submission.spec.shots,
+                config.max_size,
+                config.max_shots
+            ),
+        );
+    }
+    // `fill` is a probability: the workload generator *asserts* it is
+    // within [0, 1], so an unchecked remote value would panic a pool
+    // job instead of producing a typed reply. (NaN fails this range
+    // check too.)
+    if !(0.0..=1.0).contains(&submission.spec.fill) {
+        return error(
+            422,
+            "spec_invalid",
+            format!(
+                "spec fill={} is not a probability in [0, 1]",
+                submission.spec.fill
+            ),
+        );
+    }
+    match service.submit(&submission) {
+        Ok(report) => (200, report.to_json()),
+        Err(err) => {
+            let status = match &err {
+                ServiceError::UnknownPlanner(_) => 404,
+                ServiceError::Planning(_) => 422,
+            };
+            error(status, err.code(), err.to_string())
+        }
+    }
+}
+
+fn error(status: u16, code: &str, message: String) -> (u16, String) {
+    (status, ErrorReply::new(code, message).to_json())
+}
+
+/// Serves raw bytes to a one-off stream — test helper for exercising
+/// protocol violations that a well-behaved client cannot produce.
+#[doc(hidden)]
+pub fn raw_roundtrip(addr: SocketAddr, payload: &[u8]) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.write_all(payload)?;
+    let mut response = String::new();
+    use std::io::Read;
+    stream.read_to_string(&mut response)?;
+    Ok(response)
+}

@@ -27,6 +27,7 @@ use qrm_control::pipeline::PipelineReport;
 /// batched pipeline run (each shot then derives its own stream via
 /// `Pipeline::shot_rng`).
 #[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BatchSpec {
     /// Independent shots in the batch.
     pub shots: usize,
@@ -92,6 +93,7 @@ impl BatchSpec {
 /// A batch submission: which registered planner should run which
 /// workload.
 #[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SubmitBatch {
     /// Registration name (chosen at
     /// [`register`](crate::PlanServiceBuilder::register) time).
@@ -119,6 +121,7 @@ impl SubmitBatch {
 /// for every planner). `wall_us` is measurement, not payload — it
 /// varies run to run and is excluded from the equivalence contract.
 #[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BatchReport {
     /// Registration name that served the batch.
     pub planner: String,
@@ -147,6 +150,19 @@ pub enum ServiceError {
     UnknownPlanner(String),
     /// Workload expansion or planning/execution failed.
     Planning(Error),
+}
+
+impl ServiceError {
+    /// Stable machine-readable code for this error, used verbatim as
+    /// the `code` of a wire-level `ErrorReply` (see
+    /// `docs/PROTOCOL.md`). Codes are part of the protocol: existing
+    /// values never change meaning, new variants add new codes.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServiceError::UnknownPlanner(_) => "unknown_planner",
+            ServiceError::Planning(_) => "planning_failed",
+        }
+    }
 }
 
 impl std::fmt::Display for ServiceError {

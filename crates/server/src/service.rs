@@ -297,7 +297,7 @@ impl PlanService {
                 .iter()
                 .map(|(name, reg)| PlannerStats {
                     name: name.clone(),
-                    algorithm: reg.planner.name(),
+                    algorithm: reg.planner.name().to_string(),
                     batches: reg.batches.load(Ordering::Relaxed),
                     shots: reg.shots.load(Ordering::Relaxed),
                     latency: reg

@@ -24,6 +24,7 @@ const BUCKETS: usize = 22;
 /// `[2^i, 2^(i+1))` µs (bucket 0 also catches sub-µs values); the last
 /// bucket is open-ended.
 #[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LatencyHistogram {
     buckets: [u64; BUCKETS],
     count: u64,
@@ -133,11 +134,14 @@ impl LatencyHistogram {
 
 /// Per-registration snapshot inside a [`ServiceStats`].
 #[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PlannerStats {
     /// Registration name.
     pub name: String,
-    /// The planner's self-reported algorithm name.
-    pub algorithm: &'static str,
+    /// The planner's self-reported algorithm name. Owned (not
+    /// `&'static str`) so the snapshot survives a serialization
+    /// round-trip — a remote client's copy has no static source.
+    pub algorithm: String,
     /// Batches this registration served.
     pub batches: u64,
     /// Shots across those batches.
@@ -152,6 +156,7 @@ pub struct PlannerStats {
 /// One consistent snapshot of the whole service, from
 /// [`PlanService::stats`](crate::PlanService::stats).
 #[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ServiceStats {
     /// Submissions currently waiting for admission (queue depth).
     pub queued: usize,

@@ -1,0 +1,188 @@
+//! # qrm-wire — JSON wire codec for the planning service
+//!
+//! The serialization layer between [`qrm_server`]'s typed
+//! request/response surface and any network transport (the workspace's
+//! HTTP front end lives in `qrm-net`). It is **dependency-free**: the
+//! [`json`] module implements the JSON writer and a strict
+//! recursive-descent parser with depth/size limits from scratch, over
+//! the vendored serde subset's self-describing
+//! [`Value`](serde::Value) data model.
+//!
+//! Every type that crosses the wire — [`PlannerChoice`],
+//! [`BatchSpec`], [`SubmitBatch`], [`BatchReport`], [`ServiceStats`],
+//! and the transport-level [`ErrorReply`] — implements [`ToJson`] /
+//! [`FromJson`] (blanket impls over the derived `serde` traits), so
+//! encoding is one method call and decoding returns typed errors,
+//! never panics. The exact schemas are documented field-by-field in
+//! `docs/PROTOCOL.md`.
+//!
+//! ## Determinism
+//!
+//! The codec is part of the workspace's bit-identity contract: floats
+//! are written with shortest round-trip formatting and re-parsed
+//! exactly, map keys keep declaration order, and encoding the same
+//! value twice yields byte-identical text. A [`BatchReport`] that
+//! travels server → JSON → client compares equal to the in-process
+//! original (`tests/net_service.rs` pins this end to end over HTTP).
+//!
+//! ## Example
+//!
+//! ```
+//! use qrm_server::{BatchSpec, SubmitBatch};
+//! use qrm_wire::{FromJson, ToJson};
+//!
+//! let request = SubmitBatch::new("qrm", BatchSpec::new(4, 16, 7));
+//! let text = request.to_json();
+//! assert!(text.starts_with("{\"planner\":\"qrm\""));
+//!
+//! let back = SubmitBatch::from_json(&text).expect("round-trip");
+//! assert_eq!(back, request);
+//!
+//! // Malformed input is a typed error, not a panic.
+//! assert!(SubmitBatch::from_json("{\"planner\":3}").is_err());
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod json;
+
+use std::fmt;
+
+// Re-exported so downstream crates (and doctests) can name every wire
+// type through this crate alone.
+pub use qrm_control::pipeline::PlannerChoice;
+pub use qrm_server::{BatchReport, BatchSpec, ServiceStats, SubmitBatch};
+
+pub use json::{JsonError, JsonErrorKind, JsonLimits};
+
+/// Why a typed decode failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireError {
+    /// The text is not valid JSON (or exceeds the parser limits).
+    Json(JsonError),
+    /// The JSON is well-formed but does not match the target type's
+    /// schema.
+    Decode(serde::Error),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Json(err) => write!(f, "invalid JSON: {err}"),
+            WireError::Decode(err) => write!(f, "schema mismatch: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Json(err) => Some(err),
+            WireError::Decode(err) => Some(err),
+        }
+    }
+}
+
+impl From<JsonError> for WireError {
+    fn from(err: JsonError) -> Self {
+        WireError::Json(err)
+    }
+}
+
+impl From<serde::Error> for WireError {
+    fn from(err: serde::Error) -> Self {
+        WireError::Decode(err)
+    }
+}
+
+/// Encoding to JSON text. Blanket-implemented for every
+/// [`serde::Serialize`] type, so the service types (and yours) get it
+/// from their derive.
+pub trait ToJson {
+    /// The value tree this type serializes to.
+    fn to_json_value(&self) -> serde::Value;
+
+    /// Compact JSON text (no whitespace); deterministic — equal values
+    /// encode to byte-identical text.
+    fn to_json(&self) -> String;
+}
+
+impl<T: serde::Serialize + ?Sized> ToJson for T {
+    fn to_json_value(&self) -> serde::Value {
+        self.serialize()
+    }
+
+    fn to_json(&self) -> String {
+        json::write(&self.serialize())
+    }
+}
+
+/// Decoding from JSON text. Blanket-implemented for every
+/// [`serde::Deserialize`] type.
+pub trait FromJson: Sized {
+    /// Decodes from an already-parsed value tree.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Decode`] when the tree does not match the schema.
+    fn from_json_value(value: &serde::Value) -> Result<Self, WireError>;
+
+    /// Parses and decodes with the default [`JsonLimits`].
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Json`] for malformed text, [`WireError::Decode`]
+    /// for schema mismatches.
+    fn from_json(text: &str) -> Result<Self, WireError> {
+        Self::from_json_with_limits(text, &JsonLimits::default())
+    }
+
+    /// Parses and decodes under explicit limits (servers cap attacker-
+    /// controlled input tighter than the defaults).
+    ///
+    /// # Errors
+    ///
+    /// As [`from_json`](Self::from_json).
+    fn from_json_with_limits(text: &str, limits: &JsonLimits) -> Result<Self, WireError>;
+}
+
+impl<T: serde::Deserialize> FromJson for T {
+    fn from_json_value(value: &serde::Value) -> Result<Self, WireError> {
+        Ok(T::deserialize(value)?)
+    }
+
+    fn from_json_with_limits(text: &str, limits: &JsonLimits) -> Result<Self, WireError> {
+        let value = json::parse_with_limits(text, limits)?;
+        Ok(T::deserialize(&value)?)
+    }
+}
+
+/// The typed error payload every non-2xx response of the HTTP front
+/// end carries (`docs/PROTOCOL.md` lists the codes).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ErrorReply {
+    /// Stable machine-readable code (`"unknown_planner"`,
+    /// `"bad_json"`, …). Codes never change meaning; new failure modes
+    /// add new codes.
+    pub code: String,
+    /// Human-readable description of this particular failure.
+    pub error: String,
+}
+
+impl ErrorReply {
+    /// Creates a reply.
+    pub fn new(code: impl Into<String>, error: impl Into<String>) -> Self {
+        ErrorReply {
+            code: code.into(),
+            error: error.into(),
+        }
+    }
+}
+
+impl fmt::Display for ErrorReply {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.error, self.code)
+    }
+}

@@ -18,6 +18,8 @@
 //! | [`vision`](qrm_vision) | synthetic fluorescence imaging + atom detection |
 //! | [`control`](qrm_control) | AWG tone programs, system budgets, end-to-end pipeline |
 //! | [`server`](qrm_server) | long-lived planning service: planner registry, concurrent batch submissions, service stats |
+//! | [`wire`](qrm_wire) | dependency-free JSON codec for the service's request/response types (`docs/PROTOCOL.md`) |
+//! | [`net`](qrm_net) | HTTP/1.1 front end + blocking client over the planning service |
 //!
 //! ## Quickstart
 //!
@@ -89,8 +91,10 @@ pub use qrm_baselines;
 pub use qrm_control;
 pub use qrm_core;
 pub use qrm_fpga;
+pub use qrm_net;
 pub use qrm_server;
 pub use qrm_vision;
+pub use qrm_wire;
 
 /// One-stop imports for applications.
 pub mod prelude {
@@ -102,6 +106,8 @@ pub mod prelude {
     pub use qrm_fpga::accelerator::{AcceleratorConfig, QrmAccelerator};
     pub use qrm_fpga::latency::LatencyModel;
     pub use qrm_fpga::resources::ResourceModel;
+    pub use qrm_net::{Client, NetConfig, Server};
     pub use qrm_server::{BatchSpec, PlanService, SubmitBatch};
     pub use qrm_vision::prelude::*;
+    pub use qrm_wire::{FromJson, ToJson};
 }

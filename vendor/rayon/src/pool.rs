@@ -58,6 +58,7 @@ pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
 /// once the pool is quiescent: every executed job was taken from exactly
 /// one of the three sources.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PoolStats {
     /// Worker threads serving the pool.
     pub threads: usize,

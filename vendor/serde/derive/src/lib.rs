@@ -1,0 +1,437 @@
+//! Derive macros for the vendored `serde` subset (see
+//! `vendor/README.md`).
+//!
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for named-field
+//! structs and enums (unit, newtype, tuple, and struct variants),
+//! generating impls of the stub's `Value`-tree traits with serde's
+//! externally-tagged layout. The input is parsed directly from the
+//! `proc_macro` token stream — the build environment has no `syn` /
+//! `quote` — so the supported grammar is intentionally narrow:
+//!
+//! * no generic parameters, lifetimes, or `where` clauses;
+//! * no tuple or unit structs (enum tuple variants are fine);
+//! * field/variant attributes (`#[serde(...)]` renames etc.) are
+//!   ignored along with all other attributes.
+//!
+//! Anything outside that grammar fails with a `compile_error!` naming
+//! the restriction rather than generating wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+use std::iter::Peekable;
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Derives the stub `serde::Serialize` (serialization into the
+/// `Value` data model) for a named-field struct or an enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Serialize)
+}
+
+/// Derives the stub `serde::Deserialize` (reconstruction from the
+/// `Value` data model) for a named-field struct or an enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Deserialize)
+}
+
+#[derive(Clone, Copy)]
+enum Trait {
+    Serialize,
+    Deserialize,
+}
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    /// Named-field struct: the field names, in declaration order.
+    Struct(Vec<String>),
+    /// Enum: the variants, in declaration order.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    payload: Payload,
+}
+
+enum Payload {
+    Unit,
+    /// Tuple variant with this many elements.
+    Tuple(usize),
+    /// Struct variant: the field names.
+    Struct(Vec<String>),
+}
+
+fn expand(input: TokenStream, which: Trait) -> TokenStream {
+    let source = match parse_input(input) {
+        Ok(parsed) => match which {
+            Trait::Serialize => generate_serialize(&parsed),
+            Trait::Deserialize => generate_deserialize(&parsed),
+        },
+        Err(message) => format!("::std::compile_error!({message:?});"),
+    };
+    source
+        .parse()
+        .expect("serde_derive generated unparseable Rust")
+}
+
+// ---------------------------------------------------------------------
+// Input parsing
+// ---------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let mut tokens: Tokens = input.into_iter().peekable();
+    skip_attributes(&mut tokens)?;
+    skip_visibility(&mut tokens);
+    let keyword = expect_ident(&mut tokens, "`struct` or `enum`")?;
+    let name = expect_ident(&mut tokens, "type name")?;
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive (vendored subset): generic type `{name}` is not supported"
+        ));
+    }
+    let body = match tokens.next() {
+        Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => group.stream(),
+        _ => {
+            return Err(format!(
+                "serde_derive (vendored subset): `{name}` must be a braced {keyword} \
+                 (tuple/unit structs are not supported)"
+            ))
+        }
+    };
+    let kind = match keyword.as_str() {
+        "struct" => Kind::Struct(parse_named_fields(body)?),
+        "enum" => Kind::Enum(parse_variants(body)?),
+        other => {
+            return Err(format!(
+                "serde_derive (vendored subset): expected struct or enum, found `{other}`"
+            ))
+        }
+    };
+    Ok(Input { name, kind })
+}
+
+/// Consumes any number of leading `#[...]` attributes.
+fn skip_attributes(tokens: &mut Tokens) -> Result<(), String> {
+    while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        tokens.next();
+        match tokens.next() {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Bracket => {}
+            _ => return Err("serde_derive: malformed attribute".to_string()),
+        }
+    }
+    Ok(())
+}
+
+/// Consumes a `pub` / `pub(...)` visibility qualifier if present.
+fn skip_visibility(tokens: &mut Tokens) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            tokens.next();
+        }
+    }
+}
+
+fn expect_ident(tokens: &mut Tokens, what: &str) -> Result<String, String> {
+    match tokens.next() {
+        Some(TokenTree::Ident(ident)) => Ok(ident.to_string()),
+        other => Err(format!(
+            "serde_derive: expected {what}, found {:?}",
+            other.map(|t| t.to_string())
+        )),
+    }
+}
+
+/// Consumes a field's type: every token up to (and including) the next
+/// comma at angle-bracket depth zero. Parens/brackets/braces are whole
+/// token groups, so only `<`/`>` need explicit depth tracking — which
+/// is exactly why `->` (whose `>` is not a closing bracket) cannot be
+/// tracked with a counter and is rejected outright: silently
+/// mis-splitting a field list would drop fields from the wire, and the
+/// crate's contract is `compile_error!`, never wrong code.
+fn skip_type(tokens: &mut Tokens) -> Result<(), String> {
+    let mut angle_depth = 0i64;
+    let mut previous_was_dash = false;
+    while let Some(token) = tokens.peek() {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                ',' if angle_depth == 0 => {
+                    tokens.next();
+                    return Ok(());
+                }
+                '<' => angle_depth += 1,
+                '>' if previous_was_dash => {
+                    return Err(
+                        "serde_derive (vendored subset): function pointer types (`->`) \
+                         are not supported in derived fields"
+                            .to_string(),
+                    );
+                }
+                '>' => {
+                    angle_depth -= 1;
+                    if angle_depth < 0 {
+                        return Err(
+                            "serde_derive (vendored subset): unbalanced `>` in field type"
+                                .to_string(),
+                        );
+                    }
+                }
+                _ => {}
+            }
+            previous_was_dash = p.as_char() == '-';
+        } else {
+            previous_was_dash = false;
+        }
+        tokens.next();
+    }
+    Ok(())
+}
+
+/// Parses `name: Type, ...` named-field lists (struct bodies and
+/// struct-variant bodies).
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut tokens: Tokens = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attributes(&mut tokens)?;
+        skip_visibility(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        let field = expect_ident(&mut tokens, "field name")?;
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("serde_derive: field `{field}` missing `:`")),
+        }
+        skip_type(&mut tokens)?;
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+/// Counts the elements of a tuple-variant payload `(A, B, ...)`.
+fn count_tuple_elements(body: TokenStream) -> Result<usize, String> {
+    let mut tokens: Tokens = body.into_iter().peekable();
+    let mut count = 0;
+    while tokens.peek().is_some() {
+        skip_type(&mut tokens)?;
+        count += 1;
+    }
+    Ok(count)
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut tokens: Tokens = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut tokens)?;
+        if tokens.peek().is_none() {
+            break;
+        }
+        let name = expect_ident(&mut tokens, "variant name")?;
+        let payload = match tokens.peek() {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                let count = count_tuple_elements(group.stream())?;
+                tokens.next();
+                Payload::Tuple(count)
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(group.stream())?;
+                tokens.next();
+                Payload::Struct(fields)
+            }
+            _ => Payload::Unit,
+        };
+        match tokens.next() {
+            None => {
+                variants.push(Variant { name, payload });
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                variants.push(Variant { name, payload });
+            }
+            Some(other) => {
+                return Err(format!(
+                    "serde_derive: unexpected token `{other}` after variant `{name}` \
+                     (explicit discriminants are not supported)"
+                ))
+            }
+        }
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------
+// Code generation (string-built, then reparsed)
+// ---------------------------------------------------------------------
+
+fn impl_header(name: &str, trait_name: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_variables, clippy::all, clippy::pedantic)]\n\
+         impl ::serde::{trait_name} for {name} {{\n"
+    )
+}
+
+fn generate_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let mut out = impl_header(name, "Serialize");
+    out.push_str("fn serialize(&self) -> ::serde::Value {\n");
+    match &input.kind {
+        Kind::Struct(fields) => {
+            out.push_str("::serde::Value::record(::std::vec![\n");
+            for field in fields {
+                out.push_str(&format!(
+                    "({field:?}, ::serde::Serialize::serialize(&self.{field})),\n"
+                ));
+            }
+            out.push_str("])\n");
+        }
+        Kind::Enum(variants) => {
+            out.push_str("match self {\n");
+            for variant in variants {
+                let tag = &variant.name;
+                match &variant.payload {
+                    Payload::Unit => out.push_str(&format!(
+                        "{name}::{tag} => \
+                         ::serde::Value::Str(::std::string::ToString::to_string({tag:?})),\n"
+                    )),
+                    Payload::Tuple(1) => out.push_str(&format!(
+                        "{name}::{tag}(f0) => ::serde::Value::variant({tag:?}, \
+                         ::serde::Serialize::serialize(f0)),\n"
+                    )),
+                    Payload::Tuple(count) => {
+                        let bindings = tuple_bindings(*count).join(", ");
+                        let items: Vec<String> = tuple_bindings(*count)
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b})"))
+                            .collect();
+                        out.push_str(&format!(
+                            "{name}::{tag}({bindings}) => ::serde::Value::variant({tag:?}, \
+                             ::serde::Value::Seq(::std::vec![{}])),\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Payload::Struct(fields) => {
+                        let bindings = fields.join(", ");
+                        let pairs: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("({f:?}, ::serde::Serialize::serialize({f}))"))
+                            .collect();
+                        out.push_str(&format!(
+                            "{name}::{tag} {{ {bindings} }} => ::serde::Value::variant({tag:?}, \
+                             ::serde::Value::record(::std::vec![{}])),\n",
+                            pairs.join(", ")
+                        ));
+                    }
+                }
+            }
+            out.push_str("}\n");
+        }
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
+fn generate_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let mut out = impl_header(name, "Deserialize");
+    out.push_str(
+        "fn deserialize(value: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::Error> {\n",
+    );
+    match &input.kind {
+        Kind::Struct(fields) => {
+            out.push_str(&format!("let map = value.as_map({name:?})?;\n"));
+            out.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
+            for field in fields {
+                out.push_str(&format!(
+                    "{field}: ::serde::field(map, {name:?}, {field:?})?,\n"
+                ));
+            }
+            out.push_str("})\n");
+        }
+        Kind::Enum(variants) => {
+            out.push_str("match value {\n");
+            // Unit variants: the bare variant name as a string.
+            out.push_str("::serde::Value::Str(tag) => match tag.as_str() {\n");
+            for variant in variants {
+                if matches!(variant.payload, Payload::Unit) {
+                    let tag = &variant.name;
+                    out.push_str(&format!(
+                        "{tag:?} => ::std::result::Result::Ok({name}::{tag}),\n"
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "other => ::std::result::Result::Err(\
+                 ::serde::Error::unknown_variant({name:?}, other)),\n}},\n"
+            ));
+            // Payload variants: a single-entry `{ tag: payload }` map.
+            out.push_str(
+                "::serde::Value::Map(pairs) if pairs.len() == 1 => {\n\
+                 let (tag, payload) = &pairs[0];\n\
+                 let _ = payload;\n\
+                 match tag.as_str() {\n",
+            );
+            for variant in variants {
+                let tag = &variant.name;
+                let ctx = format!("{name}::{tag}");
+                match &variant.payload {
+                    Payload::Unit => {}
+                    Payload::Tuple(1) => out.push_str(&format!(
+                        "{tag:?} => ::std::result::Result::Ok({name}::{tag}(\
+                         ::serde::Deserialize::deserialize(payload)?)),\n"
+                    )),
+                    Payload::Tuple(count) => {
+                        let bindings = tuple_bindings(*count).join(", ");
+                        let items: Vec<String> = tuple_bindings(*count)
+                            .iter()
+                            .map(|b| format!("::serde::Deserialize::deserialize({b})?"))
+                            .collect();
+                        out.push_str(&format!(
+                            "{tag:?} => match payload.as_seq({ctx:?})? {{\n\
+                             [{bindings}] => ::std::result::Result::Ok({name}::{tag}({})),\n\
+                             items => ::std::result::Result::Err(::serde::Error::custom(\
+                             ::std::format!(\"{ctx}: expected {count} elements, got {{}}\", \
+                             items.len()))),\n}},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Payload::Struct(fields) => {
+                        let assignments: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::field(map, {ctx:?}, {f:?})?"))
+                            .collect();
+                        out.push_str(&format!(
+                            "{tag:?} => {{\nlet map = payload.as_map({ctx:?})?;\n\
+                             ::std::result::Result::Ok({name}::{tag} {{ {} }})\n}},\n",
+                            assignments.join(", ")
+                        ));
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "other => ::std::result::Result::Err(\
+                 ::serde::Error::unknown_variant({name:?}, other)),\n}}\n}},\n"
+            ));
+            out.push_str(&format!(
+                "other => ::std::result::Result::Err(\
+                 ::serde::Error::invalid_type({name:?}, \"variant\", other)),\n}}\n"
+            ));
+        }
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
+fn tuple_bindings(count: usize) -> Vec<String> {
+    (0..count).map(|i| format!("f{i}")).collect()
+}

@@ -1,0 +1,491 @@
+//! Offline stand-in for the `serde` crate (see `vendor/README.md`).
+//!
+//! Provides the surface this workspace uses: the `Serialize` /
+//! `Deserialize` traits, `#[derive(Serialize, Deserialize)]` for
+//! named-field structs and enums (re-exported from the companion
+//! `serde_derive` proc-macro crate), and impls for the primitive,
+//! container, and array types the derived code needs.
+//!
+//! **Simplified data model.** Real serde drives a visitor-based
+//! `Serializer`/`Deserializer` pair; this subset serializes into (and
+//! deserializes from) a self-describing [`Value`] tree instead — the
+//! role `serde_json::Value` plays in the real ecosystem. Format crates
+//! (the workspace's `qrm-wire` JSON codec) encode and decode `Value`s.
+//! The derive layout matches serde's externally-tagged defaults, so
+//! JSON produced here has the same shape the real `serde_json` would
+//! produce for the same types:
+//!
+//! * named-field struct → map of field name → value, in declaration
+//!   order;
+//! * unit enum variant → the variant name as a string;
+//! * newtype / tuple / struct enum variant → a single-entry map from
+//!   the variant name to the payload (value, sequence, or field map);
+//! * `Option` → `Null` or the inner value; missing map keys also
+//!   deserialize as `None`.
+//!
+//! Unknown map keys are ignored on deserialize (serde's default), and
+//! derived `Deserialize` does not validate cross-field invariants —
+//! a type whose constructor enforces invariants gets them back only if
+//! the input came from a matching `Serialize`.
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing tree of plain data — the stub's serialization
+/// data model (the counterpart of `serde_json::Value`).
+///
+/// Maps preserve insertion order (`Vec` of pairs, not a hash map), so
+/// serializing the same value twice yields byte-identical encodings.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent / JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer outside `i64` range.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered string-keyed map.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The value's kind, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+
+    /// Builds a map value from `(field name, value)` pairs — the shape
+    /// derived struct `Serialize` impls produce.
+    pub fn record(pairs: Vec<(&str, Value)>) -> Value {
+        Value::Map(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Builds the externally-tagged encoding of an enum variant with a
+    /// payload: `{ name: payload }`.
+    pub fn variant(name: &str, payload: Value) -> Value {
+        Value::Map(vec![(name.to_string(), payload)])
+    }
+
+    /// The map entries, or a type error mentioning `expected`.
+    pub fn as_map(&self, expected: &str) -> Result<&[(String, Value)], Error> {
+        match self {
+            Value::Map(pairs) => Ok(pairs),
+            other => Err(Error::invalid_type(expected, "map", other)),
+        }
+    }
+
+    /// The sequence elements, or a type error mentioning `expected`.
+    pub fn as_seq(&self, expected: &str) -> Result<&[Value], Error> {
+        match self {
+            Value::Seq(items) => Ok(items),
+            other => Err(Error::invalid_type(expected, "sequence", other)),
+        }
+    }
+
+    /// Looks up a map key (linear scan; maps here are small).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, accepting any integer representation that
+    /// holds it losslessly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(v) => Some(v),
+            Value::I64(v) => u64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, accepting any integer representation that
+    /// holds it losslessly.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(v) => Some(v),
+            Value::U64(v) => i64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`. Integer values convert; an integer that
+    /// came from [`f64`]'s shortest round-trip formatting (how the
+    /// workspace's JSON codec writes integral floats) converts back to
+    /// the identical float.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::F64(v) => Some(v),
+            Value::I64(v) => Some(v as f64),
+            Value::U64(v) => Some(v as f64),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error: a human-readable message accumulating field
+/// context as it propagates out of nested [`Deserialize`] calls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// An error with a custom message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+
+    /// `expected` needed a `kind` value but `got` something else.
+    pub fn invalid_type(expected: &str, kind: &str, got: &Value) -> Self {
+        Error::custom(format!(
+            "{expected}: expected {kind}, got {}",
+            got.type_name()
+        ))
+    }
+
+    /// A required field was absent from the input map.
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        Error::custom(format!("{ty}: missing field `{field}`"))
+    }
+
+    /// An enum tag matched none of the type's variants.
+    pub fn unknown_variant(ty: &str, tag: &str) -> Self {
+        Error::custom(format!("{ty}: unknown variant `{tag}`"))
+    }
+
+    /// Wraps the error with the field it occurred in.
+    #[must_use]
+    pub fn in_field(self, ty: &str, field: &str) -> Self {
+        Error::custom(format!("{ty}.{field}: {}", self.message))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialization into the stub's [`Value`] data model.
+///
+/// Derivable for named-field structs and enums; the derived layout is
+/// documented on the [crate root](crate).
+pub trait Serialize {
+    /// The value tree representing `self`.
+    fn serialize(&self) -> Value;
+}
+
+/// Deserialization from the stub's [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the tree's shape does not match `Self`.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+
+    /// Called by derived struct impls when a field's key is absent.
+    /// Defaults to an error; `Option<T>` overrides it to `None`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::missing_field`] unless overridden.
+    fn deserialize_missing(ty: &str, field: &str) -> Result<Self, Error> {
+        Err(Error::missing_field(ty, field))
+    }
+}
+
+/// Derive-support helper: deserializes struct field `field` of `ty`
+/// from `map`, tolerating absence for types (like `Option`) that
+/// define a missing-key value.
+///
+/// # Errors
+///
+/// Propagates the field's [`Deserialize`] error, wrapped with the
+/// field's name.
+pub fn field<T: Deserialize>(map: &[(String, Value)], ty: &str, field: &str) -> Result<T, Error> {
+    match map.iter().find(|(k, _)| k == field) {
+        Some((_, value)) => T::deserialize(value).map_err(|e| e.in_field(ty, field)),
+        None => T::deserialize_missing(ty, field),
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::invalid_type("bool", "bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::invalid_type("String", "string", other)),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($ty:ident),*) => {$(
+        impl Serialize for $ty {
+            fn serialize(&self) -> Value {
+                // Small unsigned values fit i64 (the canonical integer
+                // representation); only the u64 overflow range needs U64.
+                match i64::try_from(*self) {
+                    Ok(v) => Value::I64(v),
+                    Err(_) => Value::U64(*self as u64),
+                }
+            }
+        }
+        impl Deserialize for $ty {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                value
+                    .as_u64()
+                    .and_then(|v| $ty::try_from(v).ok())
+                    .ok_or_else(|| {
+                        Error::invalid_type(stringify!($ty), "unsigned integer", value)
+                    })
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($ty:ident),*) => {$(
+        impl Serialize for $ty {
+            fn serialize(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                value
+                    .as_i64()
+                    .and_then(|v| $ty::try_from(v).ok())
+                    .ok_or_else(|| Error::invalid_type(stringify!($ty), "integer", value))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .ok_or_else(|| Error::invalid_type("f64", "number", value))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        f64::deserialize(value).map(|v| v as f32)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(inner) => inner.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+
+    fn deserialize_missing(_ty: &str, _field: &str) -> Result<Self, Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        self.as_slice().serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value.as_seq("Vec")?.iter().map(T::deserialize).collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        self.as_slice().serialize()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let items = value.as_seq("array")?;
+        if items.len() != N {
+            return Err(Error::custom(format!(
+                "array: expected {N} elements, got {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items.iter().map(T::deserialize).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| Error::custom("array: length changed during conversion"))
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self) -> Value {
+        Value::Seq(vec![self.0.serialize(), self.1.serialize()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value.as_seq("tuple")? {
+            [a, b] => Ok((A::deserialize(a)?, B::deserialize(b)?)),
+            other => Err(Error::custom(format!(
+                "tuple: expected 2 elements, got {}",
+                other.len()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_cross_representations() {
+        assert_eq!(7u64.serialize(), Value::I64(7));
+        assert_eq!(u64::MAX.serialize(), Value::U64(u64::MAX));
+        assert_eq!(u64::deserialize(&Value::I64(7)).unwrap(), 7);
+        assert_eq!(u64::deserialize(&Value::U64(u64::MAX)).unwrap(), u64::MAX);
+        assert!(u64::deserialize(&Value::I64(-1)).is_err());
+        assert_eq!(i64::deserialize(&Value::U64(3)).unwrap(), 3);
+        assert!(i64::deserialize(&Value::U64(u64::MAX)).is_err());
+        assert!(usize::deserialize(&Value::F64(1.5)).is_err());
+    }
+
+    #[test]
+    fn floats_accept_integer_values() {
+        assert_eq!(f64::deserialize(&Value::I64(2)).unwrap(), 2.0);
+        assert_eq!(f64::deserialize(&Value::F64(0.55)).unwrap(), 0.55);
+        assert!(f64::deserialize(&Value::Str("x".into())).is_err());
+    }
+
+    #[test]
+    fn options_tolerate_null_and_absence() {
+        assert_eq!(Option::<u64>::deserialize(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u64>::deserialize(&Value::I64(1)).unwrap(), Some(1));
+        let map: &[(String, Value)] = &[];
+        assert_eq!(field::<Option<u64>>(map, "T", "x").unwrap(), None);
+        assert!(field::<u64>(map, "T", "x").is_err());
+    }
+
+    #[test]
+    fn arrays_roundtrip_and_check_length() {
+        let a = [1u64, 2, 3];
+        let v = a.serialize();
+        assert_eq!(<[u64; 3]>::deserialize(&v).unwrap(), a);
+        assert!(<[u64; 4]>::deserialize(&v).is_err());
+    }
+
+    #[test]
+    fn record_and_variant_shapes() {
+        let v = Value::record(vec![("a", Value::I64(1))]);
+        assert_eq!(v.get("a"), Some(&Value::I64(1)));
+        assert_eq!(v.get("b"), None);
+        let t = Value::variant("Tag", Value::Null);
+        assert_eq!(t.as_map("enum").unwrap().len(), 1);
+    }
+}
