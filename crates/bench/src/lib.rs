@@ -32,6 +32,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod trajectory;
+
 use std::collections::BTreeMap;
 use std::time::Instant;
 

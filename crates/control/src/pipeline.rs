@@ -10,7 +10,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 use qrm_baselines::{HybridScheduler, Mta1Scheduler, PscaScheduler, TetrisScheduler};
-use qrm_core::engine::shard_map;
+use qrm_core::engine::{shard_map_granular, ShardGranularity};
 use qrm_core::error::Error;
 use qrm_core::executor::{CollisionPolicy, Executor};
 use qrm_core::geometry::Rect;
@@ -376,8 +376,10 @@ impl Pipeline {
     /// batch-parallel on the persistent worker pool:
     ///
     /// 1. **Image + detect** — each unfinished shot's frame synthesis
-    ///    and detection is one pool job
-    ///    ([`shard_map`], slot-indexed);
+    ///    and detection is one **per-item** pool job
+    ///    ([`shard_map_granular`] with [`ShardGranularity::PerItem`],
+    ///    slot-indexed), so every shot is independently stealable and
+    ///    the pool's lock-free deques do all load balancing;
     /// 2. **Plan** — the detected occupancies go through the planner's
     ///    batched entry point ([`Planner::plan_batch`]) — for QRM and
     ///    the FPGA model the parallel task-graph engine;
@@ -473,9 +475,10 @@ impl Pipeline {
             if active.is_empty() {
                 break;
             }
-            let observed = shard_map(to_observe, workers, |shot| {
-                self.observe(&shot.state, &shot.layout, &mut shot.rng)
-            });
+            let observed =
+                shard_map_granular(to_observe, workers, ShardGranularity::PerItem, |shot| {
+                    self.observe(&shot.state, &shot.layout, &mut shot.rng)
+                });
             let mut jobs: Vec<(AtomGrid, Rect)> = Vec::with_capacity(active.len());
             let mut fidelities: Vec<f64> = Vec::with_capacity(active.len());
             for result in observed {
@@ -501,18 +504,23 @@ impl Pipeline {
                     to_execute.push((shot, plan, fidelity));
                 }
             }
-            let executed = shard_map(to_execute, workers, |(shot, plan, detection_fidelity)| {
-                let round = self.execute_round(
-                    &executor,
-                    &mut shot.state,
-                    target,
-                    plan,
-                    detection_fidelity,
-                    &mut shot.rng,
-                )?;
-                shot.rounds.push(round);
-                Ok::<(), Error>(())
-            });
+            let executed = shard_map_granular(
+                to_execute,
+                workers,
+                ShardGranularity::PerItem,
+                |(shot, plan, detection_fidelity)| {
+                    let round = self.execute_round(
+                        &executor,
+                        &mut shot.state,
+                        target,
+                        plan,
+                        detection_fidelity,
+                        &mut shot.rng,
+                    )?;
+                    shot.rounds.push(round);
+                    Ok::<(), Error>(())
+                },
+            );
             for result in executed {
                 result?;
             }

@@ -78,7 +78,9 @@ use std::sync::{Arc, Condvar, Mutex};
 use crate::error::Error;
 use crate::geometry::Rect;
 use crate::grid::AtomGrid;
-use crate::kernel::{KernelConfig, KernelOutcome, KernelScratch, KernelState, ShiftKernel};
+use crate::kernel::{
+    KernelConfig, KernelOutcome, KernelScratch, KernelState, PassScratch, ShiftKernel,
+};
 use crate::merge::{merge_outcomes, MergeConfig, MergeOutput};
 use crate::quadrant::QuadrantMap;
 use crate::scheduler::{Plan, QrmConfig};
@@ -108,9 +110,28 @@ pub struct QuadrantWork {
 /// Returns [`Error::OddDimensions`] / [`Error::InvalidTarget`] for
 /// arrays and targets QRM cannot decompose.
 pub fn decompose(grid: &AtomGrid, target: &Rect) -> Result<QuadrantWork, Error> {
+    decompose_in(grid, target, &PlanContext::new())
+}
+
+/// [`decompose`] drawing the four quadrant grids from `ctx`'s recycled
+/// grid pool (see [`PlanContext`]) instead of allocating fresh ones —
+/// with a warm pool the decomposition allocates only the four `Arc`
+/// headers. Identical output either way
+/// ([`QuadrantMap::split_into`] reproduces [`QuadrantMap::split`]
+/// exactly).
+///
+/// # Errors
+///
+/// Returns [`Error::OddDimensions`] / [`Error::InvalidTarget`] for
+/// arrays and targets QRM cannot decompose.
+pub fn decompose_in(
+    grid: &AtomGrid,
+    target: &Rect,
+    ctx: &PlanContext,
+) -> Result<QuadrantWork, Error> {
     let map = QuadrantMap::new(grid.height(), grid.width())?;
     let (target_height, target_width) = map.quadrant_target(target)?;
-    let quadrants = map.split(grid)?.map(Arc::new);
+    let quadrants = map.split_into(grid, ctx.take_grids())?.map(Arc::new);
     Ok(QuadrantWork {
         map,
         target_height,
@@ -138,12 +159,25 @@ pub struct BatchShot<'a> {
 ///
 /// Returns the first decomposition error in input order.
 pub fn decompose_batch(jobs: &[(AtomGrid, Rect)]) -> Result<Vec<BatchShot<'_>>, Error> {
+    decompose_batch_in(jobs, &PlanContext::new())
+}
+
+/// [`decompose_batch`] drawing quadrant grids from `ctx`'s recycled
+/// pool — see [`decompose_in`].
+///
+/// # Errors
+///
+/// Returns the first decomposition error in input order.
+pub fn decompose_batch_in<'a>(
+    jobs: &'a [(AtomGrid, Rect)],
+    ctx: &PlanContext,
+) -> Result<Vec<BatchShot<'a>>, Error> {
     jobs.iter()
         .map(|(grid, target)| {
             Ok(BatchShot {
                 grid,
                 target,
-                work: decompose(grid, target)?,
+                work: decompose_in(grid, target, ctx)?,
             })
         })
         .collect()
@@ -604,12 +638,51 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    shard_map_granular(items, workers, ShardGranularity::LoopJobs, f)
+}
+
+/// How [`shard_map_granular`] carves a batch into pool jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardGranularity {
+    /// `workers` long-lived loop-jobs pulling `(index, item)` pairs from
+    /// a shared queue (`rayon::par_map_with`): minimal spawn overhead,
+    /// but a loop-job that landed on a slow item holds its worker.
+    #[default]
+    LoopJobs,
+    /// One job per item (`rayon::par_map_items`): every item is
+    /// independently stealable, so the pool's work-stealing deques do
+    /// all load balancing — the right shape for coarse, uneven items
+    /// (e.g. whole pipeline shots). Slightly more spawn overhead per
+    /// item.
+    PerItem,
+}
+
+/// [`shard_map`] with an explicit job [`ShardGranularity`]. Output order
+/// and values are identical for either granularity (results are
+/// slot-indexed; `f` runs per item either way) — only the scheduling
+/// shape differs. With `workers <= 1` or fewer than two items both
+/// granularities run inline on the caller.
+pub fn shard_map_granular<T, R, F>(
+    items: Vec<T>,
+    workers: usize,
+    granularity: ShardGranularity,
+    f: F,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
     let workers = if workers == 0 {
         rayon::current_num_threads()
     } else {
         workers
     };
-    rayon::par_map_with(items, workers, f)
+    match granularity {
+        ShardGranularity::LoopJobs => rayon::par_map_with(items, workers, f),
+        ShardGranularity::PerItem if workers <= 1 => items.into_iter().map(f).collect(),
+        ShardGranularity::PerItem => rayon::par_map_items(items, f),
+    }
 }
 
 /// Reusable scratch for repeated batched planning: the slot-indexed
@@ -629,6 +702,12 @@ where
 pub struct PlanContext {
     /// Recycled kernel scratch, shared with in-flight tasks.
     states: Mutex<Vec<KernelScratch>>,
+    /// Recycled per-pass working buffers (transposed views), shared with
+    /// in-flight tasks — see [`PassScratch`].
+    pass_scratch: Mutex<Vec<PassScratch>>,
+    /// Recycled quadrant grids for [`decompose_in`], reclaimed from
+    /// consumed [`QuadrantWork`]s after each batch.
+    grids: Mutex<Vec<AtomGrid>>,
     /// Recycled result-slot buffer for [`run_task_graph_in`].
     slots: Vec<Mutex<Option<Plan>>>,
 }
@@ -644,6 +723,47 @@ impl PlanContext {
     /// the next batch will reuse rather than allocate).
     pub fn idle_states(&self) -> usize {
         self.states.lock().expect("plan context poisoned").len()
+    }
+
+    /// Number of recycled per-pass working buffers currently parked
+    /// (diagnostics, like [`idle_states`](Self::idle_states)).
+    pub fn idle_pass_scratch(&self) -> usize {
+        self.pass_scratch
+            .lock()
+            .expect("plan context poisoned")
+            .len()
+    }
+
+    /// Number of recycled quadrant grids currently parked for
+    /// [`decompose_in`] (diagnostics, like
+    /// [`idle_states`](Self::idle_states)).
+    pub fn idle_grids(&self) -> usize {
+        self.grids.lock().expect("plan context poisoned").len()
+    }
+
+    /// Pops four recycled quadrant grids (placeholders where the pool
+    /// runs dry) for [`QuadrantMap::split_into`].
+    fn take_grids(&self) -> [AtomGrid; 4] {
+        let mut pool = self.grids.lock().expect("plan context poisoned");
+        std::array::from_fn(|_| {
+            pool.pop()
+                .unwrap_or_else(|| AtomGrid::new(1, 1).expect("1x1 placeholder grid"))
+        })
+    }
+
+    /// Parks the quadrant grids of consumed shots back into the pool.
+    /// Only grids no longer shared survive the `Arc` unwrap — exactly
+    /// the steady-state case, where every in-flight kernel has finished
+    /// with its quadrant by the time its batch returns.
+    fn recycle_shots(&self, shots: Vec<BatchShot<'_>>) {
+        let mut pool = self.grids.lock().expect("plan context poisoned");
+        for shot in shots {
+            for quadrant in shot.work.quadrants {
+                if let Ok(grid) = Arc::try_unwrap(quadrant) {
+                    pool.push(grid);
+                }
+            }
+        }
     }
 }
 
@@ -722,19 +842,28 @@ impl Clone for PlanEngine {
 }
 
 /// A [`QuadrantTask`] running the software shift kernel one iteration
-/// per step.
-struct KernelTask {
+/// per step. Holds the owning context's pass-scratch pool so the run's
+/// working buffer goes straight back into circulation at `Done` —
+/// [`KernelOutcome`] itself cannot carry it (see
+/// [`ShiftKernel::finish_split`]).
+struct KernelTask<'a> {
     kernel: ShiftKernel,
     state: Option<KernelState>,
+    pass_pool: &'a Mutex<Vec<PassScratch>>,
 }
 
-impl QuadrantTask for KernelTask {
+impl QuadrantTask for KernelTask<'_> {
     type Out = KernelOutcome;
 
     fn step(&mut self) -> Result<Step<KernelOutcome>, Error> {
         let mut state = self.state.take().expect("kernel task stepped after done");
         if self.kernel.step(&mut state)? {
-            Ok(Step::Done(self.kernel.finish(state)?))
+            let (outcome, pass) = self.kernel.finish_split(state)?;
+            self.pass_pool
+                .lock()
+                .expect("plan context poisoned")
+                .push(pass);
+            Ok(Step::Done(outcome))
         } else {
             self.state = Some(state);
             Ok(Step::Continue)
@@ -824,6 +953,22 @@ impl PlanEngine {
         self.lock_ctxs().iter().map(PlanContext::idle_states).sum()
     }
 
+    /// Total recycled per-pass working buffers across all parked
+    /// contexts (diagnostics; not part of the wire-level
+    /// [`ContextPoolStats`]).
+    pub fn warm_pass_scratch(&self) -> usize {
+        self.lock_ctxs()
+            .iter()
+            .map(PlanContext::idle_pass_scratch)
+            .sum()
+    }
+
+    /// Total recycled quadrant grids across all parked contexts
+    /// (diagnostics; not part of the wire-level [`ContextPoolStats`]).
+    pub fn warm_grids(&self) -> usize {
+        self.lock_ctxs().iter().map(PlanContext::idle_grids).sum()
+    }
+
     /// One-call snapshot of the engine's context pool —
     /// [`idle_contexts`](Self::idle_contexts) and
     /// [`warm_states`](Self::warm_states) taken under a single lock, so
@@ -852,18 +997,21 @@ impl PlanEngine {
         ctx: &mut PlanContext,
         jobs: &[(AtomGrid, Rect)],
     ) -> Result<Vec<Plan>, Error> {
-        let shots = decompose_batch(jobs)?;
+        let shots = decompose_batch_in(jobs, ctx)?;
         let states = &ctx.states;
+        let pass_pool = &ctx.pass_scratch;
 
-        let tasks: Vec<[KernelTask; 4]> = shots
+        let tasks: Vec<[KernelTask<'_>; 4]> = shots
             .iter()
             .map(|shot| {
                 let kernel = ShiftKernel::new(self.kernel_config(&shot.work));
-                let mk = |quadrant: &Arc<AtomGrid>| -> Result<KernelTask, Error> {
+                let mk = |quadrant: &Arc<AtomGrid>| -> Result<KernelTask<'_>, Error> {
                     let recycled = states.lock().expect("plan context poisoned").pop();
+                    let pass = pass_pool.lock().expect("plan context poisoned").pop();
                     Ok(KernelTask {
-                        state: Some(kernel.start_in(quadrant, recycled)?),
+                        state: Some(kernel.start_with(quadrant, recycled, pass)?),
                         kernel: kernel.clone(),
+                        pass_pool,
                     })
                 };
                 Ok([
@@ -880,7 +1028,7 @@ impl PlanEngine {
         };
         let workers = resolve_workers(self.workers, shots.len());
 
-        run_task_graph_in(
+        let result = run_task_graph_in(
             tasks,
             workers,
             |shot_idx, outcomes: [KernelOutcome; 4]| {
@@ -898,7 +1046,11 @@ impl PlanEngine {
                 validate_shot(shots[shot_idx].target, merged, iterations)
             },
             &mut ctx.slots,
-        )
+        );
+        // Every kernel has finished with its quadrant grid; park the
+        // grids for the next batch's `decompose_in`.
+        ctx.recycle_shots(shots);
+        result
     }
 }
 
@@ -951,6 +1103,40 @@ mod tests {
     fn empty_batch_is_fine() {
         let engine = PlanEngine::new(QrmConfig::default());
         assert!(engine.plan_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn steady_state_batches_recycle_all_scratch() {
+        // After one warm-up batch every scratch pool is populated, and
+        // identical follow-up batches neither grow nor drain them: all
+        // hot-path buffers (kernel states, pass views, quadrant grids)
+        // are recycled rather than allocated.
+        let batch = jobs(4, 20, 11);
+        let engine = PlanEngine::new(QrmConfig::default()).with_workers(2);
+        let mut ctx = PlanContext::new();
+        let first = engine.plan_batch_in(&mut ctx, &batch).unwrap();
+        let warm = (ctx.idle_states(), ctx.idle_pass_scratch(), ctx.idle_grids());
+        assert_eq!(warm, (16, 16, 16), "4 shots x 4 quadrants parked");
+        for round in 0..3 {
+            let again = engine.plan_batch_in(&mut ctx, &batch).unwrap();
+            assert_eq!(again, first, "round {round}: warm plans diverged");
+            assert_eq!(
+                (ctx.idle_states(), ctx.idle_pass_scratch(), ctx.idle_grids()),
+                warm,
+                "round {round}: steady-state batch grew or leaked a scratch pool"
+            );
+        }
+    }
+
+    #[test]
+    fn per_item_granularity_matches_loop_jobs() {
+        let items: Vec<usize> = (0..37).collect();
+        let f = |x: usize| x * 3 + 1;
+        let loops = shard_map_granular(items.clone(), 4, ShardGranularity::LoopJobs, f);
+        let per_item = shard_map_granular(items.clone(), 4, ShardGranularity::PerItem, f);
+        assert_eq!(loops, per_item);
+        let inline = shard_map_granular(items, 1, ShardGranularity::PerItem, f);
+        assert_eq!(inline, per_item);
     }
 
     #[test]
@@ -1011,11 +1197,13 @@ mod tests {
                 .with_strategy(QrmConfig::default().strategy)
                 .with_max_iterations(QrmConfig::default().max_iterations),
         );
+        let pass_pool = Mutex::new(Vec::new());
         for quadrant in &work.quadrants {
             let direct = kernel.run(quadrant).unwrap();
             let mut task = KernelTask {
                 state: Some(kernel.start(quadrant).unwrap()),
                 kernel: kernel.clone(),
+                pass_pool: &pass_pool,
             };
             let mut steps = 0;
             let stepped = loop {

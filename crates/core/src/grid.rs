@@ -423,6 +423,49 @@ impl AtomGrid {
         out
     }
 
+    /// In-place variant of [`transpose`](Self::transpose): writes the
+    /// transposed grid into `out`, reshaping it and reusing its word
+    /// buffer. The planning kernel's column passes lean on this to stay
+    /// allocation-free once their scratch is warm; contents of `out`
+    /// are discarded. Produces exactly the grid
+    /// [`transpose`](Self::transpose) returns.
+    pub fn transpose_into(&self, out: &mut AtomGrid) {
+        out.reshape(self.width, self.height);
+        for r in 0..self.height {
+            for c in 0..self.width {
+                if self.get_unchecked(r, c) {
+                    out.set_unchecked(c, r, true);
+                }
+            }
+        }
+    }
+
+    /// Reinitialises the grid to an **empty** `height x width`, reusing
+    /// the word buffer when its capacity suffices. The recycled-scratch
+    /// twin of [`AtomGrid::new`]; dimensions must be nonzero (internal
+    /// callers guarantee it).
+    pub(crate) fn reshape(&mut self, height: usize, width: usize) {
+        debug_assert!(height > 0 && width > 0, "reshape to empty grid");
+        self.height = height;
+        self.width = width;
+        self.stride = width.div_ceil(WORD_BITS);
+        self.words.clear();
+        self.words.resize(self.stride * height, 0);
+    }
+
+    /// Mutable word view of row `row`, for in-place line edits by the
+    /// shift kernel. Callers must preserve the invariant that bits at or
+    /// above `width` stay zero (the kernel only ever shifts bits toward
+    /// column 0, which cannot violate it).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row >= height`.
+    pub(crate) fn row_bits_mut(&mut self, row: usize) -> &mut [u64] {
+        assert!(row < self.height, "row {row} out of bounds");
+        &mut self.words[row * self.stride..(row + 1) * self.stride]
+    }
+
     /// Extracts a copy of the sites inside `rect`.
     ///
     /// # Errors
@@ -595,6 +638,26 @@ mod tests {
         assert_eq!(g.col_count(64), 1);
         assert_eq!(g.row_bits(0).len(), 2);
         assert!(g.get_unchecked(1, 89));
+    }
+
+    #[test]
+    fn transpose_into_matches_transpose_for_any_scratch_shape() {
+        let mut rng = StdRng::seed_from_u64(12);
+        // Deliberately mis-shaped scratch with stale contents.
+        let mut out = AtomGrid::random(3, 70, 0.5, &mut rng);
+        for (h, w) in [(9, 14), (70, 3), (1, 1), (5, 64), (2, 65)] {
+            let g = AtomGrid::random(h, w, 0.4, &mut rng);
+            g.transpose_into(&mut out);
+            assert_eq!(out, g.transpose(), "{h}x{w}");
+        }
+    }
+
+    #[test]
+    fn row_bits_mut_edits_land_in_the_grid() {
+        let mut g = AtomGrid::new(2, 90).unwrap();
+        g.row_bits_mut(1)[1] = 1 << (89 - 64);
+        assert!(g.get_unchecked(1, 89));
+        assert_eq!(g.atom_count(), 1);
     }
 
     #[test]

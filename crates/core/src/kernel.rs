@@ -193,6 +193,7 @@ impl KernelOutcome {
 pub struct KernelState {
     grid: AtomGrid,
     passes: Vec<LocalPass>,
+    scratch: PassScratch,
     iterations: usize,
     done: bool,
 }
@@ -229,6 +230,35 @@ impl KernelScratch {
             grid: outcome.final_grid,
             passes: outcome.passes,
         }
+    }
+}
+
+/// Recycled per-pass working buffer: the transposed view a column pass
+/// scans in place of the grid. A warm `PassScratch` makes
+/// [`run_pass_in`] (and therefore [`ShiftKernel::step`]) allocation-free
+/// in steady state; results are bit-identical to a cold one. Recovered
+/// from a finished run with [`ShiftKernel::finish_split`] and fed back
+/// in through [`ShiftKernel::start_with`] — the engine's
+/// [`PlanContext`](crate::engine::PlanContext) pools these alongside
+/// [`KernelScratch`].
+#[derive(Debug, Clone)]
+pub struct PassScratch {
+    view: AtomGrid,
+}
+
+impl PassScratch {
+    /// A cold scratch (placeholder buffers; grown on first use).
+    #[must_use]
+    pub fn new() -> PassScratch {
+        PassScratch {
+            view: AtomGrid::new(1, 1).expect("1x1 placeholder grid"),
+        }
+    }
+}
+
+impl Default for PassScratch {
+    fn default() -> Self {
+        PassScratch::new()
     }
 }
 
@@ -309,6 +339,26 @@ impl ShiftKernel {
         quadrant: &AtomGrid,
         recycled: Option<KernelScratch>,
     ) -> Result<KernelState, Error> {
+        self.start_with(quadrant, recycled, None)
+    }
+
+    /// [`start_in`](Self::start_in) that additionally accepts a recycled
+    /// per-pass working buffer (see [`PassScratch`]), completing the
+    /// allocation-free steady state: with both scratches warm, the whole
+    /// start/step/finish cycle reuses previously allocated memory.
+    /// Behaviour is bit-identical regardless of which scratches are
+    /// supplied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidTarget`] when the target extent exceeds the
+    /// quadrant or is zero.
+    pub fn start_with(
+        &self,
+        quadrant: &AtomGrid,
+        recycled: Option<KernelScratch>,
+        pass: Option<PassScratch>,
+    ) -> Result<KernelState, Error> {
         let (qh, qw) = quadrant.dims();
         let (th, tw) = (self.config.target_height, self.config.target_width);
         if th > qh || tw > qw {
@@ -332,6 +382,7 @@ impl ShiftKernel {
         Ok(KernelState {
             grid,
             passes,
+            scratch: pass.unwrap_or_default(),
             iterations: 0,
             done: self.config.max_iterations == 0,
         })
@@ -359,18 +410,20 @@ impl ShiftKernel {
         let (th, tw) = (self.config.target_height, self.config.target_width);
         state.iterations += 1;
         let row_limits = self.row_limits(&state.grid, qw, th, tw);
-        let row_pass = run_pass(
+        let row_pass = run_pass_in(
             &mut state.grid,
             Axis::Row,
             &row_limits,
             self.config.row_enable.as_deref(),
+            &mut state.scratch,
         );
         let col_limits = self.col_limits(qh, qw, th);
-        let col_pass = run_pass(
+        let col_pass = run_pass_in(
             &mut state.grid,
             Axis::Col,
             &col_limits,
             self.config.col_enable.as_deref(),
+            &mut state.scratch,
         );
         let progressed = row_pass.shift_count() + col_pass.shift_count() > 0;
         state.passes.push(row_pass);
@@ -390,14 +443,32 @@ impl ShiftKernel {
     /// Propagates fill-check failures (impossible for states produced by
     /// [`start`](Self::start)).
     pub fn finish(&self, state: KernelState) -> Result<KernelOutcome, Error> {
+        self.finish_split(state).map(|(outcome, _)| outcome)
+    }
+
+    /// [`finish`](Self::finish) that also hands back the run's per-pass
+    /// working buffer for recycling into a later
+    /// [`start_with`](Self::start_with) — the outcome itself cannot
+    /// carry it ([`KernelOutcome`] is a plain value type compared
+    /// structurally by tests and constructed literally by the FPGA
+    /// model).
+    ///
+    /// # Errors
+    ///
+    /// Propagates fill-check failures (impossible for states produced by
+    /// [`start`](Self::start)).
+    pub fn finish_split(&self, state: KernelState) -> Result<(KernelOutcome, PassScratch), Error> {
         let target = Rect::new(0, 0, self.config.target_height, self.config.target_width);
         let filled = state.grid.is_filled(&target)?;
-        Ok(KernelOutcome {
-            passes: state.passes,
-            final_grid: state.grid,
-            iterations: state.iterations,
-            filled,
-        })
+        Ok((
+            KernelOutcome {
+                passes: state.passes,
+                final_grid: state.grid,
+                iterations: state.iterations,
+                filled,
+            },
+            state.scratch,
+        ))
     }
 
     fn row_limits(&self, grid: &AtomGrid, qw: usize, th: usize, tw: usize) -> Vec<(usize, usize)> {
@@ -562,18 +633,46 @@ pub fn run_pass(
     limits: &[(usize, usize)],
     enable: Option<&[bool]>,
 ) -> LocalPass {
-    // Work on lines along the pass axis: rows directly (taking the grid
-    // to avoid a copy), or columns via a transposed copy (the hardware
-    // "column stream to row stream" trick).
-    let transposed = matches!(axis, Axis::Col);
-    let mut view = if transposed {
-        grid.transpose()
-    } else {
-        std::mem::replace(grid, AtomGrid::new(1, 1).expect("placeholder"))
-    };
-    let (nlines, linelen) = (view.height(), view.width());
-    let mut lines: Vec<Vec<u64>> = (0..nlines).map(|l| view.row_bits(l).to_vec()).collect();
+    run_pass_in(grid, axis, limits, enable, &mut PassScratch::new())
+}
 
+/// [`run_pass`] with a caller-owned [`PassScratch`]: a warm scratch makes
+/// the pass allocation-free (row passes mutate the grid's rows in place;
+/// column passes transpose into the scratch view and back, reusing both
+/// word buffers). Bit-identical to [`run_pass`] for any scratch state.
+pub fn run_pass_in(
+    grid: &mut AtomGrid,
+    axis: Axis,
+    limits: &[(usize, usize)],
+    enable: Option<&[bool]>,
+    scratch: &mut PassScratch,
+) -> LocalPass {
+    // Work on lines along the pass axis: rows directly in place, or
+    // columns via the scratch-held transposed view (the hardware "column
+    // stream to row stream" trick).
+    match axis {
+        Axis::Row => pass_over_lines(grid, axis, limits, enable),
+        Axis::Col => {
+            grid.transpose_into(&mut scratch.view);
+            let pass = pass_over_lines(&mut scratch.view, axis, limits, enable);
+            scratch.view.transpose_into(grid);
+            pass
+        }
+    }
+}
+
+/// The single pipelined traversal of [`run_pass`], scanning and shifting
+/// the rows of `view` in place. Safe to apply in place because
+/// [`bitline::suffix_shift`] preserves the grid's zero-tail word
+/// invariant, so the mutated rows are exactly what the former
+/// copy-mutate-write-back sequence produced.
+fn pass_over_lines(
+    view: &mut AtomGrid,
+    axis: Axis,
+    limits: &[(usize, usize)],
+    enable: Option<&[bool]>,
+) -> LocalPass {
+    let (nlines, linelen) = (view.height(), view.width());
     let scan_end = limits
         .iter()
         .map(|&(_, hi)| hi)
@@ -583,7 +682,7 @@ pub fn run_pass(
     let mut waves = Vec::new();
     for k in 0..scan_end {
         let mut wave = LocalWave::default();
-        for (line, bits) in lines.iter_mut().enumerate() {
+        for line in 0..nlines {
             if let Some(en) = enable {
                 if !en.get(line).copied().unwrap_or(true) {
                     continue;
@@ -593,6 +692,7 @@ pub fn run_pass(
             if k < floor || k >= limit.min(linelen) {
                 continue;
             }
+            let bits = view.row_bits_mut(line);
             if !bitline::get(bits, k) && bitline::highest_one(bits).is_some_and(|top| top > k) {
                 bitline::suffix_shift(bits, k, linelen);
                 wave.shifts.push(LocalShift { line, hole: k });
@@ -603,11 +703,6 @@ pub fn run_pass(
     while waves.last().is_some_and(LocalWave::is_empty) {
         waves.pop();
     }
-
-    for (l, bits) in lines.iter().enumerate() {
-        view.set_row_bits(l, bits);
-    }
-    *grid = if transposed { view.transpose() } else { view };
     LocalPass { axis, waves }
 }
 
@@ -857,5 +952,37 @@ mod tests {
             within_four * 2 >= tried,
             "only {within_four}/{tried} finished within 4 iterations"
         );
+    }
+
+    #[test]
+    fn warm_scratch_runs_are_bit_identical_to_fresh() {
+        // Chain scratches across runs of *different* grids and
+        // strategies so warm buffers always carry stale contents in, and
+        // compare against a cold run of the same input.
+        let mut rng = seeded_rng(4242);
+        let mut warm: Option<(KernelScratch, PassScratch)> = None;
+        for case in 0..6 {
+            for strategy in [
+                KernelStrategy::Greedy,
+                KernelStrategy::GreedyTargetOnly,
+                KernelStrategy::Balanced,
+            ] {
+                let g = AtomGrid::random(12, 10, 0.55, &mut rng);
+                let kernel = ShiftKernel::new(KernelConfig::new(4, 4).with_strategy(strategy));
+                let fresh = kernel.run(&g).unwrap();
+                let (recycled, pass) = match warm.take() {
+                    Some((k, p)) => (Some(k), Some(p)),
+                    None => (None, None),
+                };
+                let mut state = kernel.start_with(&g, recycled, pass).unwrap();
+                while !kernel.step(&mut state).unwrap() {}
+                let (out, pass) = kernel.finish_split(state).unwrap();
+                assert_eq!(
+                    out, fresh,
+                    "case {case}/{strategy:?}: warm-scratch outcome diverged from fresh"
+                );
+                warm = Some((KernelScratch::reclaim(out), pass));
+            }
+        }
     }
 }

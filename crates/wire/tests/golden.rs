@@ -1,0 +1,134 @@
+//! Golden-corpus wire tests: checked-in v1 encodings of every service
+//! type must stay **decodable** and must **re-encode byte-identically**
+//! for as long as the `/v1` protocol exists.
+//!
+//! The fixtures under `tests/golden/` were produced by this crate's own
+//! encoder (see [`regenerate_fixtures`]) and frozen. The round-trip
+//! tests in `roundtrip.rs` only prove that *today's* encoder and
+//! decoder agree with each other; these tests prove that today's
+//! decoder still agrees with *yesterday's* encoder — a field rename, a
+//! serde-derive change, or a float-formatting tweak that silently
+//! breaks deployed clients fails here first.
+//!
+//! When the protocol legitimately grows a `/v2`, add new fixtures; the
+//! v1 files stay until v1 support is dropped (`docs/PROTOCOL.md`).
+
+use qrm_server::{BatchReport, BatchSpec, ServiceStats, SubmitBatch};
+use qrm_wire::{ErrorReply, FromJson, ToJson};
+
+/// Decodes `fixture` as `T` and proves the decode→encode round trip
+/// reproduces the checked-in bytes exactly (modulo the trailing
+/// newline the files carry for POSIX hygiene).
+fn assert_golden<T: FromJson + ToJson>(name: &str, fixture: &str) -> T {
+    let text = fixture.trim_end_matches('\n');
+    let value = T::from_json(text)
+        .unwrap_or_else(|e| panic!("golden fixture {name} stopped decoding: {e}"));
+    assert_eq!(
+        value.to_json(),
+        text,
+        "golden fixture {name} no longer re-encodes byte-identically"
+    );
+    value
+}
+
+#[test]
+fn batch_spec_v1_stays_decodable() {
+    let spec: BatchSpec = assert_golden("batch_spec.v1", include_str!("golden/batch_spec.v1.json"));
+    assert_eq!((spec.shots, spec.size, spec.seed), (4, 16, 7));
+}
+
+#[test]
+fn submit_batch_v1_stays_decodable() {
+    let request: SubmitBatch = assert_golden(
+        "submit_batch.v1",
+        include_str!("golden/submit_batch.v1.json"),
+    );
+    assert_eq!(request.planner, "qrm");
+    assert_eq!(request.spec, BatchSpec::new(4, 16, 7));
+}
+
+#[test]
+fn batch_report_v1_stays_decodable() {
+    let report: BatchReport = assert_golden(
+        "batch_report.v1",
+        include_str!("golden/batch_report.v1.json"),
+    );
+    // The payload fields (everything except wall-clock timing) came
+    // from a deterministic seeded run; spot-check them so a decoder
+    // that silently zeroes fields cannot pass the byte identity alone.
+    assert_eq!(report.planner, "qrm");
+    assert_eq!(report.shots(), 4);
+    assert_eq!(
+        report.filled(),
+        report.reports.iter().filter(|r| r.filled).count()
+    );
+    assert!(report.wall_us > 0.0);
+}
+
+#[test]
+fn service_stats_v1_stays_decodable() {
+    let stats: ServiceStats = assert_golden(
+        "service_stats.v1",
+        include_str!("golden/service_stats.v1.json"),
+    );
+    assert_eq!(stats.batches_served, 1);
+    assert_eq!(stats.shots_served, 4);
+    let planner = stats
+        .planners
+        .iter()
+        .find(|p| p.name == "qrm")
+        .expect("qrm registration present in fixture");
+    assert_eq!(planner.batches, 1);
+    assert!(planner.contexts.is_some(), "QRM pools contexts");
+}
+
+#[test]
+fn error_reply_v1_stays_decodable() {
+    let reply: ErrorReply =
+        assert_golden("error_reply.v1", include_str!("golden/error_reply.v1.json"));
+    assert_eq!(reply.code, "unknown_planner");
+}
+
+/// Fixture (re)generator — run explicitly with
+/// `cargo test -p qrm-wire --test golden -- --ignored` **only** when a
+/// deliberate protocol revision requires new goldens; a regeneration
+/// that changes existing files is a wire-format break and must be
+/// called out as such in the PR that commits it.
+#[test]
+#[ignore = "writes tests/golden/*.json; run only for a deliberate protocol revision"]
+fn regenerate_fixtures() {
+    use qrm_control::pipeline::{PipelineConfig, PlannerChoice};
+    use qrm_core::scheduler::QrmConfig;
+
+    let spec = BatchSpec::new(4, 16, 7);
+    let request = SubmitBatch::new("qrm", spec.clone());
+
+    // One deterministic submission so the report/stats fixtures carry
+    // realistic nested payloads (histograms, context pools, per-shot
+    // pipeline reports) rather than hand-minimised ones.
+    let service = qrm_server::PlanService::builder()
+        .register(
+            "qrm",
+            PlannerChoice::Software(QrmConfig::paper()),
+            PipelineConfig {
+                workers: 1,
+                max_rounds: 2,
+                ..PipelineConfig::default()
+            },
+        )
+        .build();
+    let report = service.submit(&request).expect("fixture submission");
+    let stats = service.stats();
+    let reply = ErrorReply::new("unknown_planner", "no planner registered as \"nope\"");
+
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    std::fs::create_dir_all(&dir).expect("create fixture dir");
+    let write = |name: &str, text: String| {
+        std::fs::write(dir.join(name), text + "\n").expect("write fixture");
+    };
+    write("batch_spec.v1.json", spec.to_json());
+    write("submit_batch.v1.json", request.to_json());
+    write("batch_report.v1.json", report.to_json());
+    write("service_stats.v1.json", stats.to_json());
+    write("error_reply.v1.json", reply.to_json());
+}

@@ -55,19 +55,27 @@ impl Bencher {
         }
     }
 
-    fn report(&self, name: &str) {
+    /// The median of the collected samples, in seconds per iteration
+    /// (`None` before the first [`iter`](Self::iter) call). This is the
+    /// same statistic the per-benchmark report line prints; harnesses
+    /// that persist results (e.g. the repo's `BENCH_<pr>.json`
+    /// trajectory) read it from here so printed and recorded numbers
+    /// cannot diverge.
+    pub fn median(&self) -> Option<f64> {
         let mut sorted = self.samples.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
-        if sorted.is_empty() {
-            println!("{name}: no samples");
-            return;
+        sorted.get(sorted.len() / 2).copied()
+    }
+
+    fn report(&self, name: &str) {
+        match self.median() {
+            None => println!("{name}: no samples"),
+            Some(median) => println!(
+                "{name}: median {} ({} samples)",
+                HumanTime(median),
+                self.samples.len()
+            ),
         }
-        let median = sorted[sorted.len() / 2];
-        println!(
-            "{name}: median {} ({} samples)",
-            HumanTime(median),
-            sorted.len()
-        );
     }
 }
 
@@ -160,6 +168,23 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Benchmarks a closure under the given name and returns the median
+    /// seconds/iteration (the statistic the report line prints; `None`
+    /// when the closure never called [`Bencher::iter`]). This is the
+    /// programmatic entry point for harnesses that persist medians.
+    pub fn bench_median(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> Option<f64> {
+        let mut median = None;
+        self.run(id.to_string(), |b| {
+            f(b);
+            median = b.median();
+        });
+        median
+    }
+
     /// Benchmarks a closure parameterised by `input`.
     pub fn bench_with_input<I: ?Sized>(
         &mut self,
@@ -241,5 +266,21 @@ mod tests {
         });
         group.finish();
         assert!(count > 0);
+    }
+
+    #[test]
+    fn bench_median_returns_the_reported_statistic() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("median");
+        group
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2));
+        let median = group
+            .bench_median("noop", |b| b.iter(|| black_box(1u64) + 1))
+            .expect("iter was called");
+        assert!(median.is_finite() && median > 0.0);
+        assert!(group.bench_median("empty", |_| {}).is_none());
+        group.finish();
     }
 }

@@ -1,0 +1,126 @@
+//! Microbenchmark access to the pool's deque internals.
+//!
+//! The `experiments bench-trajectory` harness (crate `qrm-bench`)
+//! measures owner push/pop latency and contended steal throughput of
+//! the production [Chase-Lev deque](crate::pool) and compares it
+//! against the mutex-protected `VecDeque` design it replaced. The old
+//! design is preserved here — and only here — as [`MutexDeque`], so the
+//! comparison in `BENCH_<pr>.json` is measured, not remembered.
+//!
+//! Nothing in this module is part of the crate's emulated rayon API;
+//! the planning stack never touches it.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use crate::pool::{Job, WorkerDeque};
+
+/// Operations shared by both deque flavours so the microbench harness
+/// drives them through one code path.
+pub trait StealableDeque: Send + Sync {
+    /// Owner-side push of a job (the hot end).
+    fn push(&self, job: Job);
+    /// Owner-side pop (LIFO). Returns whether a job was claimed; the
+    /// claimed job is dropped unexecuted (microbench payloads are
+    /// no-ops).
+    fn pop(&self) -> bool;
+    /// Thief-side steal (FIFO, from the cold end). Returns whether a
+    /// job was claimed.
+    fn steal(&self) -> bool;
+}
+
+/// The production lock-free Chase-Lev deque, exposed for measurement.
+///
+/// The single-owner contract of the underlying deque applies: exactly
+/// one thread may call [`StealableDeque::push`]/[`StealableDeque::pop`];
+/// any number may call [`StealableDeque::steal`].
+#[derive(Default)]
+pub struct ChaseLevDeque {
+    inner: WorkerDeque,
+}
+
+impl StealableDeque for ChaseLevDeque {
+    fn push(&self, job: Job) {
+        self.inner.push(job);
+    }
+
+    fn pop(&self) -> bool {
+        self.inner.pop_local().is_some()
+    }
+
+    fn steal(&self) -> bool {
+        self.inner.steal().is_some()
+    }
+}
+
+/// The pre-Chase-Lev worker deque: a mutex around a `VecDeque`, owner
+/// at the back, thieves at the front through `try_lock` (a busy owner
+/// makes the thief move on rather than block — mirroring the lock-free
+/// steal's lost-CAS behaviour). Kept verbatim as the measured baseline
+/// for the benchmark trajectory.
+#[derive(Default)]
+pub struct MutexDeque {
+    jobs: Mutex<VecDeque<Job>>,
+}
+
+impl StealableDeque for MutexDeque {
+    fn push(&self, job: Job) {
+        self.jobs
+            .lock()
+            .expect("bench deque poisoned")
+            .push_back(job);
+    }
+
+    fn pop(&self) -> bool {
+        self.jobs
+            .lock()
+            .expect("bench deque poisoned")
+            .pop_back()
+            .is_some()
+    }
+
+    fn steal(&self) -> bool {
+        match self.jobs.try_lock() {
+            Ok(mut jobs) => jobs.pop_front().is_some(),
+            Err(_) => false,
+        }
+    }
+}
+
+/// A minimal no-op job for deque microbenchmarks, going through the
+/// production type-erased path (boxed closure) so push latency includes
+/// the real per-job cost.
+#[must_use]
+pub fn noop_job() -> Job {
+    Box::new(|| {})
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(deque: &dyn StealableDeque) {
+        assert!(!deque.pop());
+        assert!(!deque.steal());
+        for _ in 0..10 {
+            deque.push(noop_job());
+        }
+        let mut popped = 0;
+        let mut stolen = 0;
+        while deque.pop() {
+            popped += 1;
+        }
+        deque.push(noop_job());
+        while deque.steal() {
+            stolen += 1;
+        }
+        assert_eq!(popped, 10);
+        assert_eq!(stolen, 1);
+    }
+
+    #[test]
+    fn both_flavours_honour_the_same_contract() {
+        exercise(&ChaseLevDeque::default());
+        exercise(&MutexDeque::default());
+    }
+}

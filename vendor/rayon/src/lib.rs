@@ -8,12 +8,14 @@
 //! (lazily, on first use) and every later parallel region only enqueues
 //! jobs, which [`global_pool_stats`] makes observable. Work distribution
 //! is **work stealing**: every worker (and every thread inside a
-//! [`scope`]) owns a deque it pushes and pops LIFO, idle threads steal
-//! FIFO from each other, and a shared injector catches submissions from
-//! unregistered threads — see [`pool`] for the full protocol and the
-//! per-path counters. Results are written into pre-assigned slots, so
-//! `collect()` is deterministic regardless of which thread runs which
-//! job. See `vendor/README.md` for scope and caveats.
+//! [`scope`]) owns a lock-free Chase-Lev deque it pushes and pops LIFO,
+//! idle threads steal FIFO from the cold end by CAS, and a shared
+//! mutex-protected injector catches submissions from unregistered
+//! threads — see [`pool`] for the full protocol, the memory-ordering
+//! contract, and the per-path counters. Results are written into
+//! pre-assigned slots, so `collect()` is deterministic regardless of
+//! which thread runs which job. See `vendor/README.md` for scope and
+//! caveats.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,6 +26,7 @@ use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 
+pub mod bench_support;
 pub mod pool;
 
 pub use pool::{PoolStats, ThreadPool};
@@ -138,7 +141,8 @@ impl std::fmt::Debug for Scope<'_, '_> {
 /// Erases the `'scope` lifetime bound so a scoped job can sit in the
 /// 'static pool queue.
 ///
-/// SAFETY argument (the only unsafe in this crate): every erased job is
+/// SAFETY argument (the crate's only unsafe outside the deque internals
+/// in [`pool`]): every erased job is
 /// registered in its scope's `pending` count *before* injection, and
 /// [`scope`] does not return — not even when unwinding — until `pending`
 /// is zero, i.e. until the job has finished running. The borrows the job
@@ -286,6 +290,43 @@ pub fn par_map_with<T: Send, R: Send>(
         .collect()
 }
 
+/// Order-preserving parallel map over owned items with **one scope job
+/// per item**: slot `i` is written by its own spawned job, and the
+/// pool's work stealing does all load balancing — no shared input queue,
+/// no fixed worker loops. The right granularity when every item is
+/// coarse (milliseconds, not microseconds): a thread stuck on a slow
+/// item never holds back the queue of remaining ones, because the
+/// remaining ones sit on stealable deques instead of behind a lock.
+///
+/// Like [`par_map_with`] this is not part of real rayon's API; it is the
+/// per-item granularity the planning stack's `shard_map` selects for
+/// coarse shards. Single-item (or empty) inputs run inline. Output order
+/// and values are interleaving-independent for per-item deterministic
+/// `f`, exactly as with [`par_map_with`].
+pub fn par_map_items<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    let n = items.len();
+    if n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let output: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let f = &f;
+    scope(|s| {
+        for (slot, item) in output.iter().zip(items) {
+            s.spawn(move |_| {
+                *slot.lock().expect("rayon slot poisoned") = Some(f(item));
+            });
+        }
+    });
+    output
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("rayon slot poisoned")
+                .expect("every slot filled")
+        })
+        .collect()
+}
+
 /// Order-preserving parallel map over owned items, one worker job per
 /// pool thread ([`par_map_with`] with the automatic cap).
 fn par_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
@@ -370,7 +411,32 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
-    use super::{global_pool_stats, join, scope};
+    use super::{global_pool_stats, join, par_map_items, par_map_with, scope};
+
+    #[test]
+    fn per_item_map_matches_looped_map() {
+        let items: Vec<usize> = (0..67).collect();
+        let per_item = par_map_items(items.clone(), |x| x * x + 1);
+        let looped = par_map_with(items.clone(), 4, |x| x * x + 1);
+        let inline: Vec<usize> = items.into_iter().map(|x| x * x + 1).collect();
+        assert_eq!(per_item, inline, "per-item jobs preserve slot order");
+        assert_eq!(looped, inline);
+    }
+
+    #[test]
+    fn per_item_map_handles_tiny_inputs_inline() {
+        let before = global_pool_stats();
+        assert_eq!(
+            par_map_items(Vec::<usize>::new(), |x| x),
+            Vec::<usize>::new()
+        );
+        assert_eq!(par_map_items(vec![7usize], |x| x * 2), vec![14]);
+        let after = global_pool_stats();
+        assert_eq!(
+            before.jobs_executed, after.jobs_executed,
+            "tiny inputs run inline without touching the pool"
+        );
+    }
 
     #[test]
     fn map_preserves_order() {

@@ -30,24 +30,47 @@
 //!
 //! Each distribution path has a dedicated counter (`local_hits`,
 //! `injector_hits`, `steals` in [`PoolStats`]); at quiescence their sum
-//! equals `jobs_executed`, which the pool stress suite asserts. The
-//! deques themselves are small mutex-protected `VecDeque`s rather than
-//! lock-free Chase-Lev buffers — per-deque locks already remove the
-//! global contention point, and the vendored crate forbids the unsafe
-//! code a lock-free deque needs.
+//! equals `jobs_executed`, which the pool stress suite asserts.
+//!
+//! ## The deques are lock-free Chase-Lev buffers
+//!
+//! Each [`WorkerDeque`] is a Chase-Lev deque (Chase & Lev, *Dynamic
+//! Circular Work-Stealing Deque*; orderings per Lê et al., *Correct and
+//! Efficient Work-Stealing for Weak Memory Models*): a growable circular
+//! buffer indexed by two atomic counters, `bottom` (the hot end, touched
+//! only by the owner) and `top` (the cold end, advanced by CAS). The
+//! owner pushes and pops LIFO at `bottom` with **no CAS on the fast
+//! path** — a CAS appears only when popping the last element, where the
+//! owner races thieves; thieves CAS `top` forward to claim the oldest
+//! job. The memory-ordering contract is documented on [`WorkerDeque`].
+//! The shared **injector stays a mutex-protected queue** on purpose: it
+//! is the cold overflow path for unregistered submitters, touched once
+//! per external submission rather than once per job, so a lock there
+//! costs nothing measurable while keeping multi-producer FIFO semantics
+//! trivially correct.
+//!
+//! This module is the one place in the workspace that needs `unsafe`
+//! beyond the scope-lifetime erasure in `lib.rs`: jobs park as raw
+//! pointers in atomic slots while ownership passes from pusher to
+//! popper/thief. Every `unsafe` block carries its SAFETY argument, and
+//! the deque's single-owner contract is spelled out on each owner-side
+//! method.
 //!
 //! Results stay deterministic regardless of who runs a job: all
 //! workspace consumers write into pre-assigned slots, so stealing
 //! changes *where* a job runs, never *what* it computes.
 
-use std::cell::RefCell;
+use std::cell::{RefCell, UnsafeCell};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::mem::MaybeUninit;
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Duration;
 
-/// A type-erased unit of pool work.
-pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+/// A type-erased unit of pool work. Public only so the microbench
+/// surface in [`crate::bench_support`] can push production-shaped jobs;
+/// the emulated rayon API never exposes it.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// Counters describing a pool's lifetime activity.
 ///
@@ -98,43 +121,325 @@ impl PoolStats {
     }
 }
 
-/// One thread's stealable job deque. The owner pushes and pops at the
-/// back (LIFO); thieves take from the front (FIFO), so the oldest —
-/// coldest — work migrates first, exactly like crossbeam's worker/
-/// stealer split.
-#[derive(Default)]
-struct WorkerDeque {
-    jobs: Mutex<VecDeque<Job>>,
+/// Initial circular-buffer capacity of a [`WorkerDeque`]; must be a
+/// power of two so index wrapping is a mask.
+const INITIAL_DEQUE_CAPACITY: usize = 64;
+
+/// A heap cell a [`Job`] is parked in while it sits in a deque slot: a
+/// `Job` is a fat `Box<dyn FnOnce>` pointer, so it is parked in one
+/// more (thin-pointered) allocation to fit an `AtomicPtr` slot. The
+/// `MaybeUninit` is what lets the owner *recycle* these cells instead
+/// of round-tripping the allocator on every push/pop (see
+/// [`WorkerDeque::shells`]): an emptied shell stays allocated, its
+/// content logically moved out.
+type Shell = MaybeUninit<Job>;
+
+/// The circular slot array of a [`WorkerDeque`]. Slots hold raw
+/// pointers to heap-parked jobs ([`Shell`]s).
+/// Indices are *logical* — monotonically increasing `isize` values,
+/// wrapped by the power-of-two mask — so a slot's content is only
+/// meaningful for indices in the owner's live `top..bottom` window.
+struct DequeBuffer {
+    slots: Box<[AtomicPtr<Shell>]>,
 }
 
+impl DequeBuffer {
+    fn new(capacity: usize) -> DequeBuffer {
+        debug_assert!(capacity.is_power_of_two());
+        DequeBuffer {
+            slots: (0..capacity)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect(),
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The slot backing logical index `index`. Only called with
+    /// non-negative indices (the owner restores `bottom` before any
+    /// slot access when a speculative decrement went below `top`).
+    fn slot(&self, index: isize) -> &AtomicPtr<Shell> {
+        &self.slots[index as usize & (self.slots.len() - 1)]
+    }
+}
+
+/// One thread's stealable job deque — a lock-free Chase-Lev deque.
+///
+/// The owner pushes and pops at `bottom` (LIFO, the cache-hot end);
+/// thieves CAS `top` forward (FIFO, the cold end), so the oldest work
+/// migrates first, exactly like crossbeam's worker/stealer split.
+///
+/// ## Single-owner contract
+///
+/// [`push`](Self::push), [`pop_local`](Self::pop_local), and
+/// [`drain`](Self::drain) must only be called from the thread the deque
+/// is registered to (its worker thread, or the guest thread that
+/// created it — see `LocalQueue`): they manipulate `bottom` and the
+/// buffer without synchronising against a second owner. Every call site
+/// reaches the deque through the thread-local `LOCAL` registration, so
+/// the contract holds by construction. [`steal`](Self::steal) is the
+/// only cross-thread entry point.
+///
+/// ## Memory-ordering contract (after Lê et al.)
+///
+/// * `push`: write the slot `Relaxed`, then publish with a `Release`
+///   store of `bottom` — a thief that `Acquire`-loads the new `bottom`
+///   sees the slot write.
+/// * `pop_local`: speculatively decrement `bottom` (`Relaxed`), then a
+///   `SeqCst` fence before reading `top`. The fence pairs with the one
+///   in `steal`: either the thief sees the decremented `bottom` and
+///   backs off, or the owner sees the advanced `top` and takes the
+///   last-element CAS path.
+/// * last element (owner) / every element (thief): claim by `SeqCst`
+///   CAS on `top`; exactly one contender wins, and the winner takes
+///   ownership of the parked job.
+/// * buffer growth: the owner copies the live window into a buffer of
+///   twice the capacity and publishes it with a `Release` swap; thieves
+///   `Acquire`-load the buffer pointer *after* `Acquire`-loading `top`,
+///   and a successful CAS on `top` proves the slot they read from the
+///   (possibly stale) buffer was still the live one. Retired buffers
+///   are only freed when the deque drops, so a lagging thief never
+///   reads freed memory — no epoch/hazard machinery needed, and the
+///   retained memory is bounded by twice the largest buffer (the sum of
+///   the smaller powers of two).
+pub(crate) struct WorkerDeque {
+    /// Hot end: next logical slot the owner will push into. Only the
+    /// owner writes it (a speculative decrement in `pop_local`, restored
+    /// on the empty/lost paths).
+    bottom: AtomicIsize,
+    /// Cold end: logical index of the oldest queued job; advanced by
+    /// the claiming CAS of thieves (and of the owner, for the last
+    /// element).
+    top: AtomicIsize,
+    /// Current circular buffer; replaced (never mutated in place, other
+    /// than slot stores) on growth.
+    buffer: AtomicPtr<DequeBuffer>,
+    /// Buffers retired by growth, freed on drop (see the ordering
+    /// contract above). A mutex is fine here: growth is rare and
+    /// owner-side only.
+    retired: Mutex<Vec<*mut DequeBuffer>>,
+    /// Owner-local freelist of emptied [`Shell`] allocations. `push`
+    /// reuses one instead of allocating; `pop_local` returns the shell
+    /// it just emptied. At steady state the owner's push/pop hot path
+    /// therefore performs **zero** allocator calls — only stolen jobs
+    /// free their shell (on the thief's thread). Plain `UnsafeCell`,
+    /// not a lock: the single-owner contract already restricts `push`
+    /// and `pop_local` to one thread, and no other method touches it
+    /// (`drop` has `&mut self`).
+    shells: UnsafeCell<Vec<*mut Shell>>,
+}
+
+// SAFETY: the raw buffer pointers make the type neither Send nor Sync
+// automatically, but all shared access is synchronised: the live buffer
+// is reached through atomics under the ordering contract above,
+// `retired` is both mutex-guarded and only touched by the owner (grow)
+// and by drop (exclusive `&mut self`), and `shells` is only touched by
+// the owner thread (`push`/`pop_local`, per the single-owner contract)
+// and by drop. Jobs are `Send` by the `Job` type alias.
+#[allow(unsafe_code)]
+unsafe impl Send for WorkerDeque {}
+#[allow(unsafe_code)]
+unsafe impl Sync for WorkerDeque {}
+
+impl Default for WorkerDeque {
+    fn default() -> WorkerDeque {
+        WorkerDeque {
+            bottom: AtomicIsize::new(0),
+            top: AtomicIsize::new(0),
+            buffer: AtomicPtr::new(Box::into_raw(Box::new(DequeBuffer::new(
+                INITIAL_DEQUE_CAPACITY,
+            )))),
+            retired: Mutex::new(Vec::new()),
+            shells: UnsafeCell::new(Vec::new()),
+        }
+    }
+}
+
+#[allow(unsafe_code)]
 impl WorkerDeque {
-    fn push(&self, job: Job) {
-        self.jobs
-            .lock()
-            .expect("worker deque poisoned")
-            .push_back(job);
+    /// Owner-side push at the hot end. Lock-free and CAS-free.
+    pub(crate) fn push(&self, job: Job) {
+        // Park the job in a shell: `Job` is a fat pointer, the shell
+        // makes it thin enough for an `AtomicPtr` slot. Ownership
+        // conceptually moves into the deque here and comes back out in
+        // exactly one of `pop_local`, `steal`, or `drop`.
+        // SAFETY (freelist): owner-side call, per the single-owner
+        // contract — no other thread touches `shells`.
+        let parked = match unsafe { (*self.shells.get()).pop() } {
+            // SAFETY: a recycled shell is a live allocation whose job
+            // was moved out; `MaybeUninit` assignment never drops.
+            Some(shell) => unsafe {
+                *shell = MaybeUninit::new(job);
+                shell
+            },
+            None => Box::into_raw(Box::new(MaybeUninit::new(job))),
+        };
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        // SAFETY: the buffer pointer is always valid (installed at
+        // construction or by `grow`, freed only on drop), and the owner
+        // is the only thread that replaces it.
+        let mut buffer = unsafe { &*self.buffer.load(Ordering::Relaxed) };
+        if b - t >= buffer.capacity() as isize {
+            buffer = self.grow(buffer, t, b);
+        }
+        buffer.slot(b).store(parked, Ordering::Relaxed);
+        // Publish: pairs with the Acquire load of `bottom` in `steal`.
+        self.bottom.store(b + 1, Ordering::Release);
     }
 
-    /// Owner-side pop: newest job first.
-    fn pop_local(&self) -> Option<Job> {
-        self.jobs.lock().expect("worker deque poisoned").pop_back()
+    /// Owner-side pop at the hot end: newest job first. CAS-free except
+    /// when taking the last element, where the owner races thieves.
+    pub(crate) fn pop_local(&self) -> Option<Job> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        // SAFETY: see `push` — valid until drop, only the owner swaps it.
+        let buffer = unsafe { &*self.buffer.load(Ordering::Relaxed) };
+        // Speculatively claim the slot by lowering `bottom`…
+        self.bottom.store(b, Ordering::Relaxed);
+        // …and only then look at `top` (the SeqCst fence pairs with the
+        // fence in `steal`: one total order decides who backs off).
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t <= b {
+            let parked = buffer.slot(b).load(Ordering::Relaxed);
+            if t == b {
+                // Last element: race thieves for it with the same CAS
+                // they use. Win or lose, the deque ends empty with
+                // `bottom == top == b + 1`.
+                let won = self
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.bottom.store(b + 1, Ordering::Relaxed);
+                if !won {
+                    // A thief claimed it first and now owns the parked
+                    // job; the speculative `bottom` decrement is undone.
+                    return None;
+                }
+            }
+            // SAFETY: we won the slot — either `top < b` (thieves can
+            // never advance `top` past `bottom`, which we hold at `b`)
+            // or the CAS above succeeded. The shell was parked by
+            // `push` and its job is moved out exactly once, here; the
+            // emptied shell goes back on the owner's freelist instead
+            // of to the allocator (owner-side call, single-owner
+            // contract).
+            unsafe {
+                let job = std::ptr::read(parked).assume_init();
+                (*self.shells.get()).push(parked);
+                Some(job)
+            }
+        } else {
+            // Empty: undo the speculative decrement.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
     }
 
-    /// Thief-side pop: oldest job first. Uses `try_lock` so a thief
-    /// never blocks behind a busy owner — it just moves to the next
-    /// victim.
-    fn steal(&self) -> Option<Job> {
-        self.jobs.try_lock().ok()?.pop_front()
+    /// Thief-side pop at the cold end: oldest job first. A thief that
+    /// loses the claiming CAS reports `None` and simply moves to the
+    /// next victim — the same non-blocking behaviour the old
+    /// `try_lock`-based steal had.
+    pub(crate) fn steal(&self) -> Option<Job> {
+        let t = self.top.load(Ordering::Acquire);
+        // Pairs with the fence in `pop_local` (see the contract above).
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t < b {
+            // SAFETY: valid buffer (freed only on drop, and a deque is
+            // never dropped while registered as stealable). The Acquire
+            // load orders it after the `top` read; staleness is
+            // tolerated because the claiming CAS below fails if the
+            // window moved.
+            let buffer = unsafe { &*self.buffer.load(Ordering::Acquire) };
+            let parked = buffer.slot(t).load(Ordering::Relaxed);
+            if self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                // SAFETY: the CAS claimed logical index `t` for this
+                // thief exclusively, and proves the slot read above was
+                // from the live window (the owner had not recycled index
+                // `t`: it only reuses a slot `capacity` indices later,
+                // and `push` never catches up to an unclaimed `top`).
+                // The thief cannot return the shell to the owner-local
+                // freelist, so it frees it: dropping a
+                // `Box<MaybeUninit<Job>>` releases the allocation
+                // without dropping the (moved-out) job.
+                return Some(unsafe {
+                    let job = std::ptr::read(parked).assume_init();
+                    drop(Box::from_raw(parked));
+                    job
+                });
+            }
+        }
+        None
     }
 
     /// Empties the deque (used when a guest deregisters with detached
-    /// jobs still queued; they move to the injector).
+    /// jobs still queued; they move to the injector). Owner-side, but
+    /// drains through [`steal`](Self::steal) so the jobs come out FIFO —
+    /// the order the injector should see them in.
     fn drain(&self) -> Vec<Job> {
-        self.jobs
+        let mut jobs = Vec::new();
+        loop {
+            if let Some(job) = self.steal() {
+                jobs.push(job);
+            } else if self.top.load(Ordering::SeqCst) >= self.bottom.load(Ordering::SeqCst) {
+                // `steal` also returns None on a lost race; only an
+                // actually-empty window ends the drain. The owner isn't
+                // pushing (it is here), so emptiness is stable.
+                return jobs;
+            }
+        }
+    }
+
+    /// Owner-side growth: double the capacity, copy the live window,
+    /// publish, retire the old buffer.
+    fn grow(&self, old: &DequeBuffer, top: isize, bottom: isize) -> &DequeBuffer {
+        let grown = Box::new(DequeBuffer::new(old.capacity() * 2));
+        for index in top..bottom {
+            grown
+                .slot(index)
+                .store(old.slot(index).load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        let grown = Box::into_raw(grown);
+        // Release: a thief Acquire-loading the new pointer sees the
+        // copied slots.
+        let old = self.buffer.swap(grown, Ordering::Release);
+        self.retired
             .lock()
-            .expect("worker deque poisoned")
-            .drain(..)
-            .collect()
+            .expect("deque retired-buffer list poisoned")
+            .push(old);
+        // SAFETY: just installed above; freed only on drop.
+        unsafe { &*grown }
+    }
+}
+
+#[allow(unsafe_code)]
+impl Drop for WorkerDeque {
+    fn drop(&mut self) {
+        // `&mut self`: no other thread can touch the deque any more.
+        // Drop still-queued jobs (detached semantics: never-run payloads
+        // are simply discarded), then free the live and retired buffers.
+        while self.pop_local().is_some() {}
+        // SAFETY: exclusive access; these pointers were created by
+        // `Box::into_raw` in `Default::default`/`grow` and are freed
+        // exactly once, here.
+        unsafe {
+            drop(Box::from_raw(*self.buffer.get_mut()));
+            for retired in self.retired.get_mut().expect("poisoned").drain(..) {
+                drop(Box::from_raw(retired));
+            }
+            // Freelist shells hold no job (each was moved out by
+            // `pop_local`); freeing the `MaybeUninit` box drops nothing.
+            for shell in self.shells.get_mut().drain(..) {
+                drop(Box::from_raw(shell));
+            }
+        }
     }
 }
 
@@ -591,6 +896,175 @@ mod tests {
             stats.jobs_executed
         );
         assert_eq!(stats.threads_spawned, 2, "stealing spawned no threads");
+    }
+
+    #[test]
+    fn empty_deque_yields_to_neither_owner_nor_thief() {
+        // Empty-steal race shape: owner pops and thief steals on an
+        // empty deque, interleaved with pushes that are consumed again
+        // immediately. The speculative bottom decrement in `pop_local`
+        // must always be undone, so emptiness is stable and no index
+        // drifts.
+        let deque = Arc::new(WorkerDeque::default());
+        assert!(deque.pop_local().is_none());
+        assert!(deque.steal().is_none());
+        for _ in 0..100 {
+            assert!(deque.pop_local().is_none(), "empty pop must stay empty");
+            assert!(deque.steal().is_none(), "empty steal must stay empty");
+        }
+        let ran = Arc::new(AtomicU64::new(0));
+        for _ in 0..10 {
+            let r = Arc::clone(&ran);
+            deque.push(Box::new(move || {
+                r.fetch_add(1, Ordering::SeqCst);
+            }));
+            deque.pop_local().expect("just pushed")();
+            assert!(deque.pop_local().is_none());
+            assert!(deque.steal().is_none());
+        }
+        assert_eq!(ran.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn buffer_grows_under_concurrent_steals_without_losing_jobs() {
+        // Push far past the initial capacity while a thief steals
+        // concurrently, forcing `grow` to race in-flight steals. Every
+        // job must run exactly once: none lost with a retired buffer,
+        // none double-claimed across the buffer swap.
+        const JOBS: u64 = 10 * INITIAL_DEQUE_CAPACITY as u64;
+        let deque = Arc::new(WorkerDeque::default());
+        let ran = Arc::new(AtomicU64::new(0));
+        let done_pushing = Arc::new(AtomicBool::new(false));
+
+        let thief = {
+            let deque = Arc::clone(&deque);
+            let done = Arc::clone(&done_pushing);
+            std::thread::spawn(move || {
+                let mut stolen = 0u64;
+                loop {
+                    if let Some(job) = deque.steal() {
+                        job();
+                        stolen += 1;
+                    } else if done.load(Ordering::SeqCst) {
+                        match deque.steal() {
+                            Some(job) => {
+                                job();
+                                stolen += 1;
+                            }
+                            None => return stolen,
+                        }
+                    }
+                }
+            })
+        };
+
+        // Owner: push everything, popping only occasionally so the live
+        // window stays wide and growth happens while the thief works.
+        let mut popped = 0u64;
+        for i in 0..JOBS {
+            let r = Arc::clone(&ran);
+            deque.push(Box::new(move || {
+                r.fetch_add(1, Ordering::SeqCst);
+            }));
+            if i % 16 == 0 {
+                if let Some(job) = deque.pop_local() {
+                    job();
+                    popped += 1;
+                }
+            }
+        }
+        done_pushing.store(true, Ordering::SeqCst);
+        // Owner helps finish the backlog, racing the thief for the tail.
+        while let Some(job) = deque.pop_local() {
+            job();
+            popped += 1;
+        }
+        let stolen = thief.join().expect("thief panicked");
+        // The thief may still have been mid-steal when the owner saw
+        // empty; wait for its count to land, then check exact totals.
+        assert_eq!(
+            ran.load(Ordering::SeqCst),
+            JOBS,
+            "every job ran exactly once across the buffer growths"
+        );
+        assert_eq!(popped + stolen, JOBS, "every job was claimed exactly once");
+        assert!(
+            deque.retired.lock().unwrap().len() >= 3,
+            "the test must actually have grown the buffer several times"
+        );
+        assert!(deque.pop_local().is_none());
+    }
+
+    #[test]
+    fn last_element_is_claimed_exactly_once_under_owner_thief_races() {
+        // Owner-vs-thief last-element interleaving, brute-forced: one
+        // element in the deque, both sides try to take it at once. The
+        // CAS on `top` must hand it to exactly one of them, every time.
+        let deque = Arc::new(WorkerDeque::default());
+        let ran = Arc::new(AtomicU64::new(0));
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        const ROUNDS: u64 = 2_000;
+
+        let thief = {
+            let deque = Arc::clone(&deque);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut stolen = 0u64;
+                for _ in 0..ROUNDS {
+                    barrier.wait();
+                    if let Some(job) = deque.steal() {
+                        job();
+                        stolen += 1;
+                    }
+                    barrier.wait();
+                }
+                stolen
+            })
+        };
+
+        let mut popped = 0u64;
+        for _ in 0..ROUNDS {
+            let r = Arc::clone(&ran);
+            deque.push(Box::new(move || {
+                r.fetch_add(1, Ordering::SeqCst);
+            }));
+            barrier.wait();
+            if let Some(job) = deque.pop_local() {
+                job();
+                popped += 1;
+            }
+            // Synchronise before the next round so a slow thief can
+            // never see two elements queued.
+            barrier.wait();
+            // Whoever won, the deque must now be empty.
+            assert!(deque.steal().is_none());
+        }
+        let stolen = thief.join().expect("thief panicked");
+        assert_eq!(popped + stolen, ROUNDS, "each element claimed exactly once");
+        assert_eq!(ran.load(Ordering::SeqCst), ROUNDS);
+        assert!(popped > 0, "owner should win at least sometimes");
+    }
+
+    #[test]
+    fn dropping_a_deque_frees_queued_jobs_and_retired_buffers() {
+        // Jobs still queued at drop are discarded (detached semantics)
+        // but their payloads must be freed — including payloads living
+        // in slots that were copied across a growth.
+        let deque = WorkerDeque::default();
+        let payload = Arc::new(());
+        for _ in 0..3 * INITIAL_DEQUE_CAPACITY {
+            let p = Arc::clone(&payload);
+            deque.push(Box::new(move || {
+                let _ = &p;
+            }));
+        }
+        assert!(!deque.retired.lock().unwrap().is_empty());
+        drop(deque);
+        assert_eq!(
+            Arc::strong_count(&payload),
+            1,
+            "all queued job closures were dropped"
+        );
     }
 
     #[test]
