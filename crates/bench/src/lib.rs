@@ -590,6 +590,22 @@ pub fn engine_workload(size: usize, shots: usize) -> Vec<(AtomGrid, Rect)> {
         .collect()
 }
 
+/// A deliberately *skewed* batch for the dataflow-scheduler benchmark:
+/// every fourth shot (starting with shot 0, so the straggler leads the
+/// batch) is a `large x large` instance, the rest are `small x small`.
+/// Under the old stage barriers every small shot's round waited for
+/// the stragglers; the shot-level dataflow scheduler lets small shots
+/// run ahead, which `bench-trajectory` measures as the median per-shot
+/// completion time (`pipeline_skewed` vs `pipeline_skewed_barriered`).
+pub fn skewed_workload(shots: usize, small: usize, large: usize) -> Vec<(AtomGrid, Rect)> {
+    (0..shots)
+        .map(|i| {
+            let size = if i % 4 == 0 { large } else { small };
+            paper_instance(size, 8100 + i as u64)
+        })
+        .collect()
+}
+
 /// One row of the engine-scaling study (E-x5).
 #[derive(Debug, Clone, Copy)]
 pub struct EngineRow {

@@ -35,10 +35,16 @@ use crate::{build_service, engine_workload, paper_instance, wait_for_server, Ser
 pub const TRAJECTORY_SCHEMA: &str = "qrm-bench-trajectory/v1";
 
 /// PR number stamped into the default snapshot (`BENCH_<pr>.json`).
-pub const TRAJECTORY_PR: u64 = 6;
+pub const TRAJECTORY_PR: u64 = 7;
 
 /// Jobs the owner pushes per push/pop batch and per steal round.
 const DEQUE_BATCH: usize = 256;
+
+/// Jobs in the measured spawn chain (each spawning its successor).
+const SPAWN_CHAIN_DEPTH: usize = 256;
+
+/// Shots in the skewed-pipeline workload.
+const SKEWED_SHOTS: usize = 8;
 
 /// Measurement settings of a trajectory run.
 #[derive(Debug, Clone, Copy)]
@@ -105,6 +111,17 @@ pub struct Trajectory {
     pub service_us: f64,
     /// Median µs for one `qrm_net::Client::submit` over loopback HTTP.
     pub http_us: f64,
+    /// Median per-shot completion µs of the skewed workload
+    /// ([`crate::skewed_workload`]) under the shot-level dataflow
+    /// scheduler.
+    pub pipeline_skewed_us: f64,
+    /// The same workload, same run, through the preserved stage-barrier
+    /// baseline (`Pipeline::run_shots_barriered`).
+    pub pipeline_skewed_barriered_us: f64,
+    /// Per-hand-off cost (ns) of a 256-deep spawn chain on the pool —
+    /// the primitive a dataflow shot's observe→plan→execute task chain
+    /// is built from.
+    pub spawn_chain_ns: f64,
     /// Production Chase-Lev deque microbench.
     pub chase_lev: DequeRow,
     /// Mutex-`VecDeque` baseline microbench.
@@ -206,6 +223,58 @@ pub fn measure(config: &TrajectoryConfig) -> Trajectory {
             })
             .expect("http median");
     server.shutdown();
+    // Dropping the client matters, not just hygiene: its keep-alive
+    // connection's handler runs as a *pool job* blocked on the socket,
+    // occupying a pool worker until the client hangs up. Left alive, it
+    // would starve the dataflow measurement below of its pool worker
+    // (the caller alone drains spawns FIFO through the injector, which
+    // degrades the scheduler to breadth-first order).
+    drop(client);
+
+    // Skewed-pipeline layer: the dataflow scheduler vs the preserved
+    // stage-barrier baseline, same workload, same planner, same run.
+    // The metric is the median *per-shot completion* time — on a
+    // one-core host total wall time cannot improve, but small shots no
+    // longer wait for the straggler's rounds, so their completion
+    // distribution does.
+    let skewed_config = PipelineConfig {
+        planner: PlannerChoice::Software(QrmConfig::paper()),
+        workers: 4,
+        max_rounds: 3,
+        ..PipelineConfig::default()
+    };
+    let skewed_planner = skewed_config.planner.resolve(skewed_config.workers);
+    let skewed_pipeline = Pipeline::new(skewed_config);
+    let skewed_jobs = crate::skewed_workload(SKEWED_SHOTS, 12, 24);
+    let reps = config.sample_size.max(2);
+    let mut dataflow_completions = Vec::new();
+    let mut barriered_completions = Vec::new();
+    for _ in 0..reps {
+        let run = skewed_pipeline
+            .run_shots_with(&*skewed_planner, &skewed_jobs, 4242)
+            .expect("skewed dataflow batch");
+        dataflow_completions.extend(run.completion_us);
+        let run = skewed_pipeline
+            .run_shots_barriered(&*skewed_planner, &skewed_jobs, 4242)
+            .expect("skewed barriered batch");
+        barriered_completions.extend(run.completion_us);
+    }
+    let pipeline_skewed_us = median(dataflow_completions);
+    let pipeline_skewed_barriered_us = median(barriered_completions);
+    println!(
+        "trajectory/pipeline_skewed: median shot completion {pipeline_skewed_us:.1} us \
+         (dataflow) vs {pipeline_skewed_barriered_us:.1} us (barriered)"
+    );
+
+    // Spawn-chain hand-off cost: the scheduling primitive under every
+    // dataflow shot's observe→plan→execute chain.
+    let spawn_chain_ns = 1e9
+        * group
+            .bench_median("spawn_chain", |b| {
+                b.iter(|| rayon::bench_support::run_spawn_chain(SPAWN_CHAIN_DEPTH));
+            })
+            .expect("spawn chain median")
+        / SPAWN_CHAIN_DEPTH as f64;
 
     let chase_lev = deque_row::<ChaseLevDeque>(&mut group, "chase_lev", config);
     let mutex = deque_row::<MutexDeque>(&mut group, "mutex", config);
@@ -217,9 +286,18 @@ pub fn measure(config: &TrajectoryConfig) -> Trajectory {
         pipeline_us,
         service_us,
         http_us,
+        pipeline_skewed_us,
+        pipeline_skewed_barriered_us,
+        spawn_chain_ns,
         chase_lev,
         mutex,
     }
+}
+
+/// Median of a set of already-collected measurements (µs).
+fn median(mut values: Vec<f64>) -> f64 {
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite measurement"));
+    values[values.len() / 2]
 }
 
 /// Measures one deque flavour: uncontended owner latency via
@@ -324,6 +402,13 @@ pub fn to_json(trajectory: &Trajectory, quick: bool) -> String {
                 ("pipeline", Value::F64(trajectory.pipeline_us)),
                 ("service", Value::F64(trajectory.service_us)),
                 ("http", Value::F64(trajectory.http_us)),
+                // Added in PR 7; optional for the validator so older
+                // snapshots (BENCH_6 and before) keep validating.
+                ("pipeline_skewed", Value::F64(trajectory.pipeline_skewed_us)),
+                (
+                    "pipeline_skewed_barriered",
+                    Value::F64(trajectory.pipeline_skewed_barriered_us),
+                ),
             ]),
         ),
         (
@@ -331,6 +416,8 @@ pub fn to_json(trajectory: &Trajectory, quick: bool) -> String {
             Value::record(vec![
                 ("chase_lev", deque_value(&trajectory.chase_lev)),
                 ("mutex", deque_value(&trajectory.mutex)),
+                // Optional for the validator (added in PR 7).
+                ("spawn_chain_ns", Value::F64(trajectory.spawn_chain_ns)),
             ]),
         ),
     ]);
@@ -341,6 +428,14 @@ pub fn to_json(trajectory: &Trajectory, quick: bool) -> String {
 
 /// Names of the per-layer medians, in snapshot order.
 pub const LAYER_KEYS: [&str; 5] = ["kernel", "engine", "pipeline", "service", "http"];
+
+/// Layer medians added after the schema froze: **optional** for the
+/// validator (older snapshots lack them) but still required to be
+/// finite and positive when present.
+pub const OPTIONAL_LAYER_KEYS: [&str; 2] = ["pipeline_skewed", "pipeline_skewed_barriered"];
+
+/// Pool metrics that are optional for the same reason.
+const OPTIONAL_POOL_METRICS: [&str; 1] = ["spawn_chain_ns"];
 
 /// Names of the pool microbench rows and their metrics.
 pub const POOL_KEYS: [&str; 2] = ["chase_lev", "mutex"];
@@ -395,6 +490,11 @@ pub fn validate(text: &str) -> Result<(), String> {
     for key in LAYER_KEYS {
         require_positive(layers, key, "layers_us")?;
     }
+    for key in OPTIONAL_LAYER_KEYS {
+        if layers.get(key).is_some() {
+            require_positive(layers, key, "layers_us")?;
+        }
+    }
     let pool = value.get("pool").ok_or("pool: missing")?;
     for flavour in POOL_KEYS {
         let row = pool
@@ -402,6 +502,11 @@ pub fn validate(text: &str) -> Result<(), String> {
             .ok_or_else(|| format!("pool.{flavour}: missing"))?;
         for metric in POOL_METRICS {
             require_positive(row, metric, &format!("pool.{flavour}"))?;
+        }
+    }
+    for metric in OPTIONAL_POOL_METRICS {
+        if pool.get(metric).is_some() {
+            require_positive(pool, metric, "pool")?;
         }
     }
     Ok(())
@@ -412,6 +517,8 @@ pub fn validate(text: &str) -> Result<(), String> {
 pub fn summary(trajectory: &Trajectory) -> String {
     format!(
         "layers_us: kernel {:.1} | engine {:.1} | pipeline {:.1} | service {:.1} | http {:.1}\n\
+         skewed shot completion us (median): dataflow {:.1} vs barriered {:.1}\n\
+         spawn chain hand-off ns: {:.1}\n\
          pool steal/s (1 thief): chase_lev {:.0} vs mutex {:.0}\n\
          pool steal/s (4 thieves): chase_lev {:.0} vs mutex {:.0}\n\
          owner push+pop ns: chase_lev {:.1} vs mutex {:.1}",
@@ -420,6 +527,9 @@ pub fn summary(trajectory: &Trajectory) -> String {
         trajectory.pipeline_us,
         trajectory.service_us,
         trajectory.http_us,
+        trajectory.pipeline_skewed_us,
+        trajectory.pipeline_skewed_barriered_us,
+        trajectory.spawn_chain_ns,
         trajectory.chase_lev.steal_per_s_1_thief,
         trajectory.mutex.steal_per_s_1_thief,
         trajectory.chase_lev.steal_per_s_4_thieves,
@@ -481,5 +591,46 @@ mod tests {
         assert!(validate(&zero_metric)
             .unwrap_err()
             .contains("finite and positive"));
+    }
+
+    #[test]
+    fn optional_skewed_keys_are_optional_but_checked_when_present() {
+        let full_pool = |extra: &str| {
+            let row = "{\"owner_push_pop_ns\":1.0,\"steal_per_s_1_thief\":1.0,\
+                 \"steal_per_s_4_thieves\":1.0}";
+            format!("{{\"chase_lev\":{row},\"mutex\":{row}{extra}}}")
+        };
+        let snapshot = |layers_extra: &str, pool_extra: &str| {
+            format!(
+                "{{\"schema\":\"{TRAJECTORY_SCHEMA}\",\"pr\":6,\"quick\":true,\
+                 \"layers_us\":{{\"kernel\":1.0,\"engine\":1.0,\"pipeline\":1.0,\
+                 \"service\":1.0,\"http\":1.0{layers_extra}}},\"pool\":{}}}",
+                full_pool(pool_extra)
+            )
+        };
+        // A pre-PR-7 snapshot (no optional keys at all) stays valid —
+        // the checked-in BENCH_6.json shape.
+        validate(&snapshot("", "")).expect("pre-dataflow snapshot validates");
+        // Present and positive: valid.
+        validate(&snapshot(
+            ",\"pipeline_skewed\":1.0,\"pipeline_skewed_barriered\":2.0",
+            ",\"spawn_chain_ns\":3.0",
+        ))
+        .expect("full PR-7 snapshot validates");
+        // Present but zero: rejected, same as any required metric.
+        assert!(validate(&snapshot(",\"pipeline_skewed\":0.0", ""))
+            .unwrap_err()
+            .contains("pipeline_skewed"));
+        assert!(validate(&snapshot("", ",\"spawn_chain_ns\":0.0"))
+            .unwrap_err()
+            .contains("spawn_chain_ns"));
+    }
+
+    /// The previous PR's checked-in snapshot must keep validating with
+    /// today's validator — the additive-schema promise, asserted
+    /// against the real file rather than a synthetic shape.
+    #[test]
+    fn checked_in_bench_6_still_validates() {
+        validate(include_str!("../../../BENCH_6.json")).expect("BENCH_6.json validates");
     }
 }

@@ -6,11 +6,14 @@
 //! the target. Real systems iterate — lost or missed atoms are repaired
 //! after re-imaging — so the driver supports multi-round operation.
 
+use std::time::Instant;
+
 use rand::rngs::StdRng;
 use rand::Rng;
 
 use qrm_baselines::{HybridScheduler, Mta1Scheduler, PscaScheduler, TetrisScheduler};
-use qrm_core::engine::{shard_map_granular, ShardGranularity};
+use qrm_core::engine::dataflow::{DataflowStats, ShotProgram, ShotScheduler};
+use qrm_core::engine::{resolve_workers, shard_map_granular, ShardGranularity};
 use qrm_core::error::Error;
 use qrm_core::executor::{CollisionPolicy, Executor};
 use qrm_core::geometry::Rect;
@@ -148,6 +151,40 @@ impl std::str::FromStr for PlannerChoice {
     }
 }
 
+/// The stage of a shot's round a straggler delay attaches to.
+///
+/// Used by the `test-hooks` straggler-injection machinery
+/// (`StageDelay`, which exists only with that feature); defined
+/// unconditionally so the pipeline's dataflow shot program can name
+/// stages without feature gates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DelayStage {
+    /// Before the shot's frame synthesis + detection.
+    Observe,
+    /// After observation, before the shot's job joins a plan group —
+    /// delays group formation for this shot.
+    Plan,
+    /// Before the shot's AWG compilation + schedule execution.
+    Execute,
+}
+
+/// A test-only straggler injection: sleep `millis` when `shot` reaches
+/// `stage` of `round`. Drives the adversarial-schedule determinism
+/// suite; compiled only with the `test-hooks` feature, never in
+/// production builds.
+#[cfg(feature = "test-hooks")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageDelay {
+    /// Batch index of the delayed shot.
+    pub shot: usize,
+    /// Round (0-based, counted in completed rounds) to delay.
+    pub round: usize,
+    /// Stage of the round to delay.
+    pub stage: DelayStage,
+    /// Sleep duration in milliseconds.
+    pub millis: u64,
+}
+
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
 pub struct PipelineConfig {
@@ -170,6 +207,12 @@ pub struct PipelineConfig {
     pub loss_prob: f64,
     /// Maximum image→plan→move rounds.
     pub max_rounds: usize,
+    /// Straggler injections for the adversarial-schedule determinism
+    /// suite (test builds only): each entry stalls one shot at one
+    /// stage of one round. Reports must be bit-identical with any
+    /// contents here — that is the property the suite asserts.
+    #[cfg(feature = "test-hooks")]
+    pub debug_stage_delay: Vec<StageDelay>,
 }
 
 impl Default for PipelineConfig {
@@ -183,6 +226,8 @@ impl Default for PipelineConfig {
             motion: MotionModel::typical(),
             loss_prob: 0.0,
             max_rounds: 3,
+            #[cfg(feature = "test-hooks")]
+            debug_stage_delay: Vec::new(),
         }
     }
 }
@@ -227,6 +272,26 @@ impl PipelineReport {
     pub fn total_lost(&self) -> usize {
         self.rounds.iter().map(|r| r.atoms_lost).sum()
     }
+}
+
+/// A batched run's reports plus its schedule diagnostics — what the
+/// instrumented entry points ([`Pipeline::run_batch_tracked`],
+/// [`Pipeline::run_shots_with`], [`Pipeline::run_shots_barriered`])
+/// return. The reports are bit-identical across entry points and worker
+/// counts; the diagnostics describe the particular schedule that
+/// produced them.
+#[derive(Debug, Clone)]
+pub struct BatchRun {
+    /// Per-shot reports, in input order.
+    pub reports: Vec<PipelineReport>,
+    /// Dataflow-scheduler counters (all zero for the barriered
+    /// baseline, which never overlaps rounds).
+    pub stats: DataflowStats,
+    /// Per-shot completion time in µs from batch start — the moment the
+    /// runner knew the shot's report was final. The tail-latency
+    /// quantity the skewed-workload benchmark compares between the
+    /// dataflow schedule and the barriered baseline.
+    pub completion_us: Vec<f64>,
 }
 
 /// The end-to-end pipeline driver.
@@ -372,35 +437,37 @@ impl Pipeline {
     }
 
     /// Runs a batch of independent shots (one camera frame / trap array
-    /// each) against a common target. Every stage of a round is
-    /// batch-parallel on the persistent worker pool:
+    /// each) against a common target, scheduling rounds as **shot-level
+    /// dataflow** on the persistent worker pool
+    /// ([`qrm_core::engine::dataflow`]): every shot advances through
+    /// its own observe → plan → execute task chain, each task spawning
+    /// its successor, so a fast shot can be executing round *k + 1*
+    /// while a slow shot is still planning round *k* — no stage
+    /// barriers, no straggler stalls.
     ///
-    /// 1. **Image + detect** — each unfinished shot's frame synthesis
-    ///    and detection is one **per-item** pool job
-    ///    ([`shard_map_granular`] with [`ShardGranularity::PerItem`],
-    ///    slot-indexed), so every shot is independently stealable and
-    ///    the pool's lock-free deques do all load balancing;
-    /// 2. **Plan** — the detected occupancies go through the planner's
-    ///    batched entry point ([`Planner::plan_batch`]) — for QRM and
-    ///    the FPGA model the parallel task-graph engine;
-    /// 3. **Execute** — each shot's AWG compilation and schedule
-    ///    execution (with transport loss) is again one pool job.
-    ///
-    /// All three stages only *enqueue* onto the process-global pool —
-    /// no OS threads are spawned after pool initialisation — and each
-    /// shot draws from its own deterministic RNG
-    /// ([`shot_rng`](Self::shot_rng)), so reports are **bit-identical**
-    /// for any `workers` setting, independent of batch composition, and
-    /// equal to running the shot alone through [`run`](Self::run). With
-    /// `workers <= 1` (counting the automatic policy on a 1-core host)
-    /// the imaging and execution stages run inline with zero queueing
-    /// overhead.
+    /// Planning stays batched: shots reaching the plan stage within the
+    /// pool's natural drain window are planned together through the
+    /// planner's batched entry point ([`Planner::plan_batch`]) and its
+    /// warm context pool. Because `plan_batch` is observationally equal
+    /// to per-job planning (the workspace planner contract), group
+    /// membership is invisible in the results: each shot draws from its
+    /// own deterministic RNG ([`shot_rng`](Self::shot_rng)) and lands
+    /// in its own result slot, so reports are **bit-identical** for any
+    /// `workers` setting and any straggler schedule, independent of
+    /// batch composition, and equal to running the shot alone through
+    /// [`run`](Self::run). With `workers <= 1` (counting the automatic
+    /// policy on a 1-core host) the whole batch runs inline, shot by
+    /// shot in index order — the reference schedule the parallel ones
+    /// reproduce. All scheduling only *enqueues* onto the
+    /// process-global pool; no OS threads are spawned after pool
+    /// initialisation.
     ///
     /// # Errors
     ///
-    /// Propagates planner and executor failures; among shots failing in
-    /// the same round and stage, the lowest-indexed shot's error is
-    /// returned.
+    /// Propagates planner and executor failures: the first error by
+    /// shot index among the failures the schedule observed (a
+    /// plan-group failure counts against the group's lowest-indexed
+    /// shot), after which remaining work is abandoned.
     pub fn run_batch(
         &self,
         truths: &[AtomGrid],
@@ -413,8 +480,8 @@ impl Pipeline {
     /// [`run_batch`](Self::run_batch) with a caller-owned planner
     /// instead of resolving one from the configuration. Only
     /// `config.planner` is ignored — everything else applies unchanged:
-    /// imaging, loss, and rounds as configured, and the per-stage
-    /// sharding still uses `config.workers` (the planner's own batch
+    /// imaging, loss, and rounds as configured, and the dataflow
+    /// schedule still uses `config.workers` (the planner's own batch
     /// worker count is whatever the caller resolved it with).
     ///
     /// This is the long-lived service entry point: a planning server
@@ -436,27 +503,172 @@ impl Pipeline {
         target: &Rect,
         base_seed: u64,
     ) -> Result<Vec<PipelineReport>, Error> {
-        struct ShotState {
-            state: AtomGrid,
-            rounds: Vec<RoundReport>,
-            rng: StdRng,
-            layout: TrapLayout,
-        }
+        self.run_batch_tracked(planner, truths, target, base_seed)
+            .map(|run| run.reports)
+    }
 
+    /// [`run_batch_with`](Self::run_batch_with) returning the
+    /// schedule's diagnostics and per-shot completion times alongside
+    /// the reports — the planning service's entry point, which
+    /// aggregates the [`DataflowStats`] counters into its `/v1/stats`
+    /// wire surface.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`run_batch`](Self::run_batch).
+    pub fn run_batch_tracked(
+        &self,
+        planner: &dyn Planner,
+        truths: &[AtomGrid],
+        target: &Rect,
+        base_seed: u64,
+    ) -> Result<BatchRun, Error> {
+        self.run_shots_iter(
+            planner,
+            truths.iter().map(|truth| (truth, *target)),
+            base_seed,
+        )
+    }
+
+    /// Runs a **heterogeneous** batch: each shot brings its own true
+    /// occupancy *and its own target*, so deliberately imbalanced
+    /// workloads (the skewed benchmark: a few large arrays among many
+    /// small ones) go through the same dataflow schedule. Reports are
+    /// bit-identical to running each shot alone through
+    /// [`run`](Self::run) with its own target and derived RNG.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`run_batch`](Self::run_batch).
+    pub fn run_shots(
+        &self,
+        jobs: &[(AtomGrid, Rect)],
+        base_seed: u64,
+    ) -> Result<Vec<PipelineReport>, Error> {
+        self.run_shots_with(&*self.planner(), jobs, base_seed)
+            .map(|run| run.reports)
+    }
+
+    /// [`run_shots`](Self::run_shots) with a caller-owned planner,
+    /// returning schedule diagnostics and per-shot completion times.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`run_batch`](Self::run_batch).
+    pub fn run_shots_with(
+        &self,
+        planner: &dyn Planner,
+        jobs: &[(AtomGrid, Rect)],
+        base_seed: u64,
+    ) -> Result<BatchRun, Error> {
+        self.run_shots_iter(
+            planner,
+            jobs.iter().map(|(truth, target)| (truth, *target)),
+            base_seed,
+        )
+    }
+
+    /// The shared dataflow run: build one [`DataflowShot`] program per
+    /// shot and hand the batch to the [`ShotScheduler`].
+    fn run_shots_iter<'a>(
+        &self,
+        planner: &dyn Planner,
+        jobs: impl Iterator<Item = (&'a AtomGrid, Rect)>,
+        base_seed: u64,
+    ) -> Result<BatchRun, Error> {
         let executor = planner
             .executor()
             .with_collision_policy(CollisionPolicy::Eject);
-        let workers = self.config.workers;
-        let mut shots: Vec<ShotState> = truths
-            .iter()
+        let started = Instant::now();
+        let shots: Vec<DataflowShot<'_>> = jobs
             .enumerate()
-            .map(|(i, truth)| ShotState {
+            .map(|(i, (truth, target))| DataflowShot {
+                pipeline: self,
+                executor: &executor,
+                target,
                 // Grid dimensions never change across rounds, so the
                 // trap-to-pixel layout is per-shot, not per-round.
                 layout: TrapLayout::new(truth.height(), truth.width(), self.config.pitch_px, 4.0),
                 state: truth.clone(),
                 rounds: Vec::new(),
                 rng: Self::shot_rng(base_seed, i),
+                fidelity: 0.0,
+                rounds_left: self.config.max_rounds,
+                started,
+                completed_us: 0.0,
+                #[cfg(feature = "test-hooks")]
+                index: i,
+            })
+            .collect();
+        let scheduler = ShotScheduler::new(resolve_workers(self.config.workers, shots.len()));
+        let (shots, stats) = scheduler.run(shots, |group| planner.plan_batch(group))?;
+        let mut reports = Vec::with_capacity(shots.len());
+        let mut completion_us = Vec::with_capacity(shots.len());
+        for shot in shots {
+            let filled = shot.state.is_filled(&shot.target)?;
+            completion_us.push(shot.completed_us);
+            reports.push(PipelineReport {
+                rounds: shot.rounds,
+                final_state: shot.state,
+                filled,
+            });
+        }
+        Ok(BatchRun {
+            reports,
+            stats,
+            completion_us,
+        })
+    }
+
+    /// The pre-dataflow baseline, preserved for measurement: the same
+    /// batch with the original **three stage barriers** per round —
+    /// observe all unfinished shots, plan them as one group, execute
+    /// them all — so a single slow shot stalls the whole round. Reports
+    /// are bit-identical to [`run_shots_with`](Self::run_shots_with)
+    /// (both equal the serial per-shot path); only the completion times
+    /// differ, which is exactly what the skewed-workload benchmark
+    /// measures. A shot's completion stamp is taken at the end of the
+    /// round barrier that finished it — the earliest a barriered runner
+    /// could have emitted the report — so the comparison is generous to
+    /// the baseline. The returned [`BatchRun::stats`] are zero: a
+    /// barriered schedule never overlaps rounds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planner and executor failures; among shots failing in
+    /// the same round and stage, the lowest-indexed shot's error is
+    /// returned.
+    pub fn run_shots_barriered(
+        &self,
+        planner: &dyn Planner,
+        jobs: &[(AtomGrid, Rect)],
+        base_seed: u64,
+    ) -> Result<BatchRun, Error> {
+        struct ShotState {
+            state: AtomGrid,
+            target: Rect,
+            rounds: Vec<RoundReport>,
+            rng: StdRng,
+            layout: TrapLayout,
+            completed_us: Option<f64>,
+        }
+
+        let executor = planner
+            .executor()
+            .with_collision_policy(CollisionPolicy::Eject);
+        let workers = self.config.workers;
+        let started = Instant::now();
+        let stamp = |started: &Instant| started.elapsed().as_secs_f64() * 1e6;
+        let mut shots: Vec<ShotState> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, (truth, target))| ShotState {
+                layout: TrapLayout::new(truth.height(), truth.width(), self.config.pitch_px, 4.0),
+                state: truth.clone(),
+                target: *target,
+                rounds: Vec::new(),
+                rng: Self::shot_rng(base_seed, i),
+                completed_us: None,
             })
             .collect();
 
@@ -466,7 +678,10 @@ impl Pipeline {
             let mut active: Vec<usize> = Vec::new();
             let mut to_observe: Vec<&mut ShotState> = Vec::new();
             for (i, shot) in shots.iter_mut().enumerate() {
-                if shot.state.is_filled(target)? {
+                if shot.state.is_filled(&shot.target)? {
+                    if shot.completed_us.is_none() {
+                        shot.completed_us = Some(stamp(&started));
+                    }
                     continue;
                 }
                 active.push(i);
@@ -479,16 +694,16 @@ impl Pipeline {
                 shard_map_granular(to_observe, workers, ShardGranularity::PerItem, |shot| {
                     self.observe(&shot.state, &shot.layout, &mut shot.rng)
                 });
-            let mut jobs: Vec<(AtomGrid, Rect)> = Vec::with_capacity(active.len());
+            let mut round_jobs: Vec<(AtomGrid, Rect)> = Vec::with_capacity(active.len());
             let mut fidelities: Vec<f64> = Vec::with_capacity(active.len());
-            for result in observed {
+            for (result, &i) in observed.into_iter().zip(&active) {
                 let (detection, fidelity) = result?;
-                jobs.push((detection.grid, *target));
+                round_jobs.push((detection.grid, shots[i].target));
                 fidelities.push(fidelity);
             }
 
             // One batched planning call covers the whole round.
-            let plans = planner.plan_batch(&jobs)?;
+            let plans = planner.plan_batch(&round_jobs)?;
 
             // Execute per shot, again as slot-indexed pool jobs. The
             // shots were only borrowed for observation, so re-borrow the
@@ -509,10 +724,11 @@ impl Pipeline {
                 workers,
                 ShardGranularity::PerItem,
                 |(shot, plan, detection_fidelity)| {
+                    let target = shot.target;
                     let round = self.execute_round(
                         &executor,
                         &mut shot.state,
-                        target,
+                        &target,
                         plan,
                         detection_fidelity,
                         &mut shot.rng,
@@ -524,19 +740,109 @@ impl Pipeline {
             for result in executed {
                 result?;
             }
+            // The execute barrier just closed: every shot this round
+            // finished is final now, so that is its completion time.
+            let round_end = stamp(&started);
+            for shot in shots.iter_mut() {
+                if shot.completed_us.is_none() && shot.rounds.last().is_some_and(|r| r.filled) {
+                    shot.completed_us = Some(round_end);
+                }
+            }
         }
 
-        shots
-            .into_iter()
-            .map(|shot| {
-                let filled = shot.state.is_filled(target)?;
-                Ok(PipelineReport {
-                    rounds: shot.rounds,
-                    final_state: shot.state,
-                    filled,
-                })
-            })
-            .collect()
+        // Shots that exhausted the round budget complete with the batch.
+        let batch_end = stamp(&started);
+        let mut reports = Vec::with_capacity(shots.len());
+        let mut completion_us = Vec::with_capacity(shots.len());
+        for shot in shots {
+            let filled = shot.state.is_filled(&shot.target)?;
+            completion_us.push(shot.completed_us.unwrap_or(batch_end));
+            reports.push(PipelineReport {
+                rounds: shot.rounds,
+                final_state: shot.state,
+                filled,
+            });
+        }
+        Ok(BatchRun {
+            reports,
+            stats: DataflowStats::default(),
+            completion_us,
+        })
+    }
+}
+
+/// One shot's program for the dataflow scheduler: owns the shot's true
+/// occupancy, RNG stream, and accumulated round reports; borrows the
+/// pipeline (configuration) and the run's shared executor. The stage
+/// methods reproduce [`Pipeline::run`]'s loop body exactly, so the
+/// scheduler's per-shot chains are report-identical to the serial path.
+struct DataflowShot<'a> {
+    pipeline: &'a Pipeline,
+    executor: &'a Executor,
+    target: Rect,
+    layout: TrapLayout,
+    state: AtomGrid,
+    rounds: Vec<RoundReport>,
+    rng: StdRng,
+    /// Detection fidelity of the round in flight (observe → execute).
+    fidelity: f64,
+    rounds_left: usize,
+    started: Instant,
+    completed_us: f64,
+    #[cfg(feature = "test-hooks")]
+    index: usize,
+}
+
+impl DataflowShot<'_> {
+    /// Applies any matching straggler injections for the current round.
+    #[cfg(feature = "test-hooks")]
+    fn stage_delay(&self, stage: DelayStage) {
+        for delay in &self.pipeline.config.debug_stage_delay {
+            if delay.shot == self.index && delay.round == self.rounds.len() && delay.stage == stage
+            {
+                std::thread::sleep(std::time::Duration::from_millis(delay.millis));
+            }
+        }
+    }
+
+    #[cfg(not(feature = "test-hooks"))]
+    fn stage_delay(&self, _stage: DelayStage) {}
+}
+
+impl ShotProgram for DataflowShot<'_> {
+    type Job = (AtomGrid, Rect);
+    type Plan = qrm_core::scheduler::Plan;
+
+    fn observe(&mut self) -> Result<Option<(AtomGrid, Rect)>, Error> {
+        if self.rounds_left == 0 || self.state.is_filled(&self.target)? {
+            self.completed_us = self.started.elapsed().as_secs_f64() * 1e6;
+            return Ok(None);
+        }
+        self.stage_delay(DelayStage::Observe);
+        let (detection, fidelity) =
+            self.pipeline
+                .observe(&self.state, &self.layout, &mut self.rng)?;
+        self.fidelity = fidelity;
+        // A `Plan`-stage delay runs after observation but before the
+        // job joins a plan group, stalling group formation for this
+        // shot specifically.
+        self.stage_delay(DelayStage::Plan);
+        Ok(Some((detection.grid, self.target)))
+    }
+
+    fn execute(&mut self, plan: qrm_core::scheduler::Plan) -> Result<(), Error> {
+        self.stage_delay(DelayStage::Execute);
+        let round = self.pipeline.execute_round(
+            self.executor,
+            &mut self.state,
+            &self.target,
+            &plan,
+            self.fidelity,
+            &mut self.rng,
+        )?;
+        self.rounds.push(round);
+        self.rounds_left -= 1;
+        Ok(())
     }
 }
 

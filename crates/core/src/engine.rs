@@ -85,6 +85,8 @@ use crate::merge::{merge_outcomes, MergeConfig, MergeOutput};
 use crate::quadrant::QuadrantMap;
 use crate::scheduler::{Plan, QrmConfig};
 
+pub mod dataflow;
+
 /// The quadrant decomposition of one planning problem — shared between
 /// the software engine and the FPGA model so both operate on one
 /// structure.

@@ -74,4 +74,4 @@ mod stats;
 
 pub use request::{BatchReport, BatchSpec, ServiceError, SubmitBatch};
 pub use service::{PlanService, PlanServiceBuilder, ServiceConfig};
-pub use stats::{LatencyHistogram, PlannerStats, ServiceStats};
+pub use stats::{LatencyHistogram, PlannerStats, SchedulerTotals, ServiceStats};

@@ -11,7 +11,7 @@ use qrm_core::planner::Planner;
 use qrm_control::pipeline::{Pipeline, PipelineConfig, PlannerChoice};
 
 use crate::request::{BatchReport, ServiceError, SubmitBatch};
-use crate::stats::{LatencyHistogram, PlannerStats, ServiceStats};
+use crate::stats::{LatencyHistogram, PlannerStats, SchedulerTotals, ServiceStats};
 
 /// Service-level configuration (everything *not* per-planner).
 #[derive(Debug, Clone, Copy, Default)]
@@ -115,14 +115,23 @@ impl PlanServiceBuilder {
             gate: Gate::new(self.config.max_inflight),
             batches_served: AtomicU64::new(0),
             shots_served: AtomicU64::new(0),
+            scheduler: Mutex::new(SchedulerTotals::default()),
             pool_baseline: rayon::global_pool_stats(),
         }
     }
 }
 
-/// The admission gate: a counting semaphore with queue-depth and
-/// high-water-mark accounting. Submissions beyond `max_inflight` block
-/// on the condvar; a released slot wakes exactly one waiter.
+/// The admission gate: a counting semaphore with **strict FIFO**
+/// admission, queue-depth, and high-water-mark accounting.
+///
+/// Every arrival takes a monotonically increasing ticket and waits
+/// until the slot count allows it *and* its ticket is first in line.
+/// (An earlier revision only waited on the slot count, so an arrival
+/// that raced a slot release could barge past submissions that had
+/// been queued for ages — with small batches, a steady stream of
+/// newcomers could starve a queued waiter indefinitely. Tickets make
+/// admission order arrival order, and the `queued`/`scheduler` fields
+/// of `GET /v1/stats` make any residual waiting observable.)
 struct Gate {
     max_inflight: usize,
     state: Mutex<GateState>,
@@ -135,6 +144,10 @@ struct GateState {
     queued: usize,
     peak_inflight: usize,
     peak_queued: usize,
+    /// Next ticket to hand to an arriving submission.
+    next_ticket: u64,
+    /// The ticket currently first in line for admission.
+    admit_ticket: u64,
 }
 
 impl Gate {
@@ -150,17 +163,23 @@ impl Gate {
         self.state.lock().expect("service gate poisoned")
     }
 
-    /// Blocks until a slot is free, then occupies it for the lifetime
-    /// of the returned permit.
+    /// Blocks until every earlier arrival has been admitted and a slot
+    /// is free, then occupies the slot for the lifetime of the returned
+    /// permit.
     fn admit(&self) -> Permit<'_> {
         let mut state = self.lock();
-        if self.max_inflight != 0 && state.inflight >= self.max_inflight {
-            state.queued += 1;
-            state.peak_queued = state.peak_queued.max(state.queued);
-            while state.inflight >= self.max_inflight {
-                state = self.ready.wait(state).expect("service gate poisoned");
+        if self.max_inflight != 0 {
+            let ticket = state.next_ticket;
+            state.next_ticket += 1;
+            if state.inflight >= self.max_inflight || state.admit_ticket != ticket {
+                state.queued += 1;
+                state.peak_queued = state.peak_queued.max(state.queued);
+                while state.inflight >= self.max_inflight || state.admit_ticket != ticket {
+                    state = self.ready.wait(state).expect("service gate poisoned");
+                }
+                state.queued -= 1;
             }
-            state.queued -= 1;
+            state.admit_ticket += 1;
         }
         state.inflight += 1;
         state.peak_inflight = state.peak_inflight.max(state.inflight);
@@ -169,7 +188,10 @@ impl Gate {
 }
 
 /// RAII admission slot; dropping it (success *or* error/panic on the
-/// submit path) frees the slot and wakes one queued submission.
+/// submit path) frees the slot and wakes the queued submissions so the
+/// holder of the next ticket can take it. (`notify_all`, not
+/// `notify_one`: only one *specific* waiter — the next ticket — may
+/// proceed, and a single wake could land on any of them.)
 struct Permit<'a> {
     gate: &'a Gate,
 }
@@ -179,7 +201,7 @@ impl Drop for Permit<'_> {
         let mut state = self.gate.lock();
         state.inflight -= 1;
         drop(state);
-        self.gate.ready.notify_one();
+        self.gate.ready.notify_all();
     }
 }
 
@@ -201,6 +223,9 @@ pub struct PlanService {
     gate: Gate,
     batches_served: AtomicU64,
     shots_served: AtomicU64,
+    /// Lifetime dataflow-scheduler totals, folded in per batch under a
+    /// short lock on the submit path.
+    scheduler: Mutex<SchedulerTotals>,
     pool_baseline: rayon::PoolStats,
 }
 
@@ -249,11 +274,16 @@ impl PlanService {
 
         let _permit = self.gate.admit();
         let t0 = Instant::now();
-        let reports =
+        let run =
             reg.pipeline
-                .run_batch_with(&*reg.planner, &truths, &target, request.spec.seed)?;
+                .run_batch_tracked(&*reg.planner, &truths, &target, request.spec.seed)?;
         let wall_us = t0.elapsed().as_secs_f64() * 1e6;
+        let reports = run.reports;
 
+        self.scheduler
+            .lock()
+            .expect("scheduler totals poisoned")
+            .absorb(&run.stats);
         reg.batches.fetch_add(1, Ordering::Relaxed);
         reg.shots.fetch_add(reports.len() as u64, Ordering::Relaxed);
         reg.latency
@@ -292,6 +322,7 @@ impl PlanService {
             batches_served: self.batches_served.load(Ordering::Relaxed),
             shots_served: self.shots_served.load(Ordering::Relaxed),
             pool: rayon::global_pool_stats().since(&self.pool_baseline),
+            scheduler: *self.scheduler.lock().expect("scheduler totals poisoned"),
             planners: self
                 .regs
                 .iter()
@@ -351,6 +382,50 @@ mod tests {
         let typical = stats.planners.iter().find(|p| p.name == "typical").unwrap();
         assert!(typical.contexts.is_none());
         assert_eq!(typical.batches, 0);
+        // The dataflow scheduler ran this batch and its counters made it
+        // into the snapshot: both shots were planned, and every shot
+        // costs at least an observe + plan + execute task per round plus
+        // a terminal observe.
+        assert!(stats.scheduler.planned_shots >= 2);
+        assert!(stats.scheduler.plan_groups >= 1);
+        assert!(stats.scheduler.tasks_dispatched > stats.scheduler.planned_shots);
+    }
+
+    #[test]
+    fn admission_is_strictly_fifo() {
+        // One slot, held by the test; three waiters queued one at a
+        // time (each spawn waits until the previous waiter is visibly
+        // queued, so ticket order equals spawn order). Releasing the
+        // held slot must admit them in exactly that order even though
+        // `notify_all` wakes everyone.
+        let gate = Gate::new(1);
+        let order = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            let holder = gate.admit();
+            for i in 0..3usize {
+                let (gate, order) = (&gate, &order);
+                scope.spawn(move || {
+                    let permit = gate.admit();
+                    order.lock().unwrap().push(i);
+                    // Hold briefly so later tickets are genuinely
+                    // forced to wait for this slot, not just the lock.
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    drop(permit);
+                });
+                while gate.lock().queued != i + 1 {
+                    std::thread::yield_now();
+                }
+            }
+            assert_eq!(gate.lock().peak_queued, 3);
+            drop(holder);
+        });
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2]);
+        let end = gate.lock();
+        assert_eq!(end.inflight, 0);
+        assert_eq!(end.queued, 0);
+        // Every ticket issued was admitted, in ticket order.
+        assert_eq!(end.admit_ticket, end.next_ticket);
+        assert_eq!(end.next_ticket, 4);
     }
 
     #[test]

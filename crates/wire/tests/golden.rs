@@ -67,10 +67,14 @@ fn batch_report_v1_stays_decodable() {
 
 #[test]
 fn service_stats_v1_stays_decodable() {
-    let stats: ServiceStats = assert_golden(
-        "service_stats.v1",
-        include_str!("golden/service_stats.v1.json"),
-    );
+    // Frozen **pre-dataflow** encoding: it predates the `scheduler`
+    // field, so it is decode-only (re-encoding legitimately adds the
+    // new key). Decoding it proves the additive-evolution rule of
+    // `docs/PROTOCOL.md`: a missing `scheduler` reads as all zeros
+    // instead of an error, so old peers keep interoperating.
+    let text = include_str!("golden/service_stats.v1.json").trim_end_matches('\n');
+    let stats = ServiceStats::from_json(text)
+        .expect("pre-dataflow service_stats.v1 fixture stopped decoding");
     assert_eq!(stats.batches_served, 1);
     assert_eq!(stats.shots_served, 4);
     let planner = stats
@@ -80,6 +84,25 @@ fn service_stats_v1_stays_decodable() {
         .expect("qrm registration present in fixture");
     assert_eq!(planner.batches, 1);
     assert!(planner.contexts.is_some(), "QRM pools contexts");
+    assert_eq!(
+        stats.scheduler,
+        qrm_server::SchedulerTotals::default(),
+        "absent scheduler key must decode as zeros"
+    );
+}
+
+#[test]
+fn service_stats_v1_dataflow_stays_decodable() {
+    // The current canonical encoding, with the `scheduler` field:
+    // byte-identity applies again.
+    let stats: ServiceStats = assert_golden(
+        "service_stats.v1.dataflow",
+        include_str!("golden/service_stats.v1.dataflow.json"),
+    );
+    assert_eq!(stats.batches_served, 1);
+    assert_eq!(stats.shots_served, 4);
+    assert!(stats.scheduler.planned_shots >= 4);
+    assert!(stats.scheduler.tasks_dispatched > 0);
 }
 
 #[test]
@@ -129,6 +152,10 @@ fn regenerate_fixtures() {
     write("batch_spec.v1.json", spec.to_json());
     write("submit_batch.v1.json", request.to_json());
     write("batch_report.v1.json", report.to_json());
-    write("service_stats.v1.json", stats.to_json());
+    // `service_stats.v1.json` is deliberately NOT rewritten: it is the
+    // frozen pre-dataflow encoding that keeps the missing-`scheduler`
+    // decode path honest. Only the current canonical encoding is
+    // regenerated.
+    write("service_stats.v1.dataflow.json", stats.to_json());
     write("error_reply.v1.json", reply.to_json());
 }

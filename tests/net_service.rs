@@ -142,6 +142,30 @@ fn stats_endpoint_reports_served_work() {
     assert!(tetris.latency.mean_us() > 0.0);
 }
 
+/// The dataflow-scheduler counters added in PR 7 survive the wire:
+/// `GET /v1/stats` carries a `scheduler` object whose totals reflect
+/// the served batch (scheduler lag and queue depth are what makes
+/// admission starvation observable remotely — `docs/PROTOCOL.md`).
+#[test]
+fn stats_endpoint_surfaces_scheduler_totals() {
+    let (server, service) = serve_all(2);
+    let mut client = Client::connect(server.addr().to_string());
+    client
+        .submit(&SubmitBatch::new("tetris", BatchSpec::new(3, 12, 9)))
+        .expect("submit");
+    let stats = client.stats().expect("stats");
+    // Every shot was planned at least once and each round is several
+    // scheduler tasks, so the counters are visibly nonzero.
+    assert!(stats.scheduler.planned_shots >= 3);
+    assert!(stats.scheduler.plan_groups >= 1);
+    assert!(stats.scheduler.tasks_dispatched > stats.scheduler.planned_shots);
+    // The remote snapshot matches the in-process one bit-for-bit.
+    assert_eq!(stats.scheduler, service.stats().scheduler);
+    // Queue-depth gauges ride alongside for the same observability.
+    assert_eq!(stats.queued, 0);
+    assert_eq!(stats.inflight, 0);
+}
+
 #[test]
 fn healthz_lists_the_registered_planners() {
     let (server, _service) = serve_all(1);

@@ -95,6 +95,36 @@ pub fn noop_job() -> Job {
     Box::new(|| {})
 }
 
+/// Runs a depth-`depth` *spawn chain* on the global pool: a scope in
+/// which each job spawns its successor, so exactly one job is ready at
+/// any instant and every hand-off goes through the scheduler.
+///
+/// This is the primitive the shot-level dataflow scheduler
+/// (`qrm_core::engine::dataflow`) is built from — observe tasks spawn
+/// plan tasks spawn execute tasks spawn the next observe — so its
+/// per-hand-off cost is what `bench-trajectory` measures here, with no
+/// planning work attached. Panics only if the pool loses a job (the
+/// chain not reaching `depth` would hang the scope, so completion is
+/// asserted by counting).
+pub fn run_spawn_chain(depth: usize) {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let hops = AtomicUsize::new(0);
+    fn hop<'s>(scope: &crate::Scope<'s, '_>, hops: &'s AtomicUsize, remaining: usize) {
+        if remaining == 0 {
+            return;
+        }
+        hops.fetch_add(1, Ordering::Relaxed);
+        scope.spawn(move |scope| hop(scope, hops, remaining - 1));
+    }
+    crate::scope(|scope| hop(scope, &hops, depth));
+    assert_eq!(
+        hops.load(Ordering::Relaxed),
+        depth,
+        "spawn chain lost a job"
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,5 +152,12 @@ mod tests {
     fn both_flavours_honour_the_same_contract() {
         exercise(&ChaseLevDeque::default());
         exercise(&MutexDeque::default());
+    }
+
+    #[test]
+    fn spawn_chain_completes_at_any_depth() {
+        for depth in [0, 1, 2, 64, 1000] {
+            run_spawn_chain(depth);
+        }
     }
 }

@@ -34,7 +34,7 @@
 //!
 //! ## The deques are lock-free Chase-Lev buffers
 //!
-//! Each [`WorkerDeque`] is a Chase-Lev deque (Chase & Lev, *Dynamic
+//! Each `WorkerDeque` (crate-private) is a Chase-Lev deque (Chase & Lev, *Dynamic
 //! Circular Work-Stealing Deque*; orderings per Lê et al., *Correct and
 //! Efficient Work-Stealing for Weak Memory Models*): a growable circular
 //! buffer indexed by two atomic counters, `bottom` (the hot end, touched
@@ -42,7 +42,7 @@
 //! owner pushes and pops LIFO at `bottom` with **no CAS on the fast
 //! path** — a CAS appears only when popping the last element, where the
 //! owner races thieves; thieves CAS `top` forward to claim the oldest
-//! job. The memory-ordering contract is documented on [`WorkerDeque`].
+//! job. The memory-ordering contract is documented on `WorkerDeque`.
 //! The shared **injector stays a mutex-protected queue** on purpose: it
 //! is the cold overflow path for unregistered submitters, touched once
 //! per external submission rather than once per job, so a lock there
