@@ -26,6 +26,7 @@
 //! ```text
 //! experiments -- serve [--clients N] [--batches N] [--shots N] [--size N]
 //!                      [--rounds N] [--seed N] [--workers N] [--max-inflight N]
+//!                      [--cache-bytes N] [--repeat N]
 //! ```
 //!
 //! The same service also runs **over the network** (`qrm_net`, see
@@ -37,7 +38,20 @@
 //!
 //! ```text
 //! experiments -- serve --listen 127.0.0.1:7070 [--workers N] [--rounds N] [--max-inflight N]
+//!                      [--cache-bytes N]
 //! experiments -- serve --remote 127.0.0.1:7070 [--clients N] [--batches N] ...
+//! ```
+//!
+//! `route` is the fleet front end (`docs/PROTOCOL.md`, router section):
+//! `--listen` stands up a consistent-hash router over running backends,
+//! and `--remote` drives the standard load through a router. Digest
+//! lines are byte-identical to an in-process `serve` of the same
+//! parameters — even when a backend dies mid-load (the CI `fleet` job
+//! diffs exactly that):
+//!
+//! ```text
+//! experiments -- route --listen 127.0.0.1:7000 --backends 127.0.0.1:7071,127.0.0.1:7072 [--replicas N]
+//! experiments -- route --remote 127.0.0.1:7000 [--clients N] [--batches N] [--repeat N] ...
 //! ```
 //!
 //! `--workers 0` (the default) uses one pool worker per core; any other
@@ -97,6 +111,26 @@ fn main() {
             }
         }
     }
+    // Not part of `all`: routing needs running backends to point at.
+    if cmd == "route" {
+        match parse_route_args(&args[1..]) {
+            Ok((
+                RouteMode::Listen {
+                    addr,
+                    backends,
+                    replicas,
+                },
+                _,
+            )) => {
+                route_listen(&addr, backends, replicas);
+            }
+            Ok((RouteMode::Remote(addr), serve)) => print_route(&addr, &serve),
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
     // Not part of `all`: the trajectory run writes a snapshot file, so
     // it only runs when asked for by name.
     if cmd == "bench-trajectory" {
@@ -121,10 +155,11 @@ fn main() {
                 | "system"
                 | "sweep"
                 | "serve"
+                | "route"
                 | "bench-trajectory"
         )
     {
-        eprintln!("unknown experiment {cmd:?}; use fig7a|fig7b|fig8|headline|quality|ablations|engine|system|sweep|serve|bench-trajectory|all");
+        eprintln!("unknown experiment {cmd:?}; use fig7a|fig7b|fig8|headline|quality|ablations|engine|system|sweep|serve|route|bench-trajectory|all");
         std::process::exit(2);
     }
 }
@@ -301,16 +336,113 @@ fn parse_serve_args(args: &[String]) -> Result<(ServeMode, ServeConfig), String>
             "--max-inflight" => {
                 serve.max_inflight = parse_num(&value("--max-inflight")?, "--max-inflight")?;
             }
+            "--cache-bytes" => {
+                serve.cache_bytes = parse_num(&value("--cache-bytes")?, "--cache-bytes")?;
+            }
+            "--repeat" => {
+                serve.repeat = parse_num::<usize>(&value("--repeat")?, "--repeat")?.max(1);
+            }
             "--listen" => mode = ServeMode::Listen(value("--listen")?),
             "--remote" => mode = ServeMode::Remote(value("--remote")?),
             other => {
                 return Err(format!(
-                    "unknown serve flag {other:?}; use --clients/--batches/--shots/--size/--rounds/--seed/--workers/--max-inflight/--listen/--remote"
+                    "unknown serve flag {other:?}; use --clients/--batches/--shots/--size/--rounds/--seed/--workers/--max-inflight/--cache-bytes/--repeat/--listen/--remote"
                 ))
             }
         }
     }
     Ok((mode, serve))
+}
+
+/// How the `route` command runs: a blocking router front end over
+/// existing backends, or network load against a running router.
+enum RouteMode {
+    Listen {
+        addr: String,
+        backends: Vec<String>,
+        replicas: usize,
+    },
+    Remote(String),
+}
+
+/// Parses `route` flags: `--listen ADDR --backends A,B,C [--replicas N]`
+/// for the router process, or `--remote ADDR` plus the standard `serve`
+/// load flags for the driver.
+fn parse_route_args(args: &[String]) -> Result<(RouteMode, ServeConfig), String> {
+    let mut serve = ServeConfig::default();
+    let mut listen = None;
+    let mut remote = None;
+    let mut backends = Vec::new();
+    let mut replicas = qrm_net::RouterConfig::default().replicas;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--listen" => listen = Some(value("--listen")?),
+            "--remote" => remote = Some(value("--remote")?),
+            "--backends" => {
+                backends = value("--backends")?
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--replicas" => {
+                replicas = parse_num::<usize>(&value("--replicas")?, "--replicas")?.max(1);
+            }
+            "--clients" => {
+                serve.clients = parse_num::<usize>(&value("--clients")?, "--clients")?.max(1);
+            }
+            "--batches" => {
+                serve.batches = parse_num::<usize>(&value("--batches")?, "--batches")?.max(1);
+            }
+            "--shots" => {
+                serve.shots = parse_num::<usize>(&value("--shots")?, "--shots")?.max(1);
+            }
+            "--size" => {
+                let size: usize = parse_num(&value("--size")?, "--size")?;
+                if size < 4 || !size.is_multiple_of(2) {
+                    return Err(format!("--size must be an even number >= 4, got {size}"));
+                }
+                serve.size = size;
+            }
+            "--rounds" => {
+                serve.rounds = parse_num::<usize>(&value("--rounds")?, "--rounds")?.max(1);
+            }
+            "--seed" => serve.seed = parse_num(&value("--seed")?, "--seed")?,
+            "--repeat" => {
+                serve.repeat = parse_num::<usize>(&value("--repeat")?, "--repeat")?.max(1);
+            }
+            other => {
+                return Err(format!(
+                    "unknown route flag {other:?}; use --listen/--backends/--replicas or --remote plus --clients/--batches/--shots/--size/--rounds/--seed/--repeat"
+                ))
+            }
+        }
+    }
+    match (listen, remote) {
+        (Some(addr), None) => {
+            if backends.is_empty() {
+                return Err("route --listen needs --backends A,B,...".to_string());
+            }
+            Ok((
+                RouteMode::Listen {
+                    addr,
+                    backends,
+                    replicas,
+                },
+                serve,
+            ))
+        }
+        (None, Some(addr)) => Ok((RouteMode::Remote(addr), serve)),
+        (Some(_), Some(_)) => Err("route takes --listen or --remote, not both".to_string()),
+        (None, None) => Err("route needs --listen ADDR or --remote ADDR".to_string()),
+    }
 }
 
 fn parse_num<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, String> {
@@ -331,16 +463,91 @@ fn serve_listen(addr: &str, serve: &ServeConfig) {
         }
     };
     println!(
-        "listening on http://{} (planners: {}, workers={}, rounds={}, max_inflight={})",
+        "listening on http://{} (planners: {}, workers={}, rounds={}, max_inflight={}, cache_bytes={})",
         server.addr(),
         planner_choices().len(),
         serve.workers,
         serve.rounds,
         serve.max_inflight,
+        serve.cache_bytes,
     );
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));
     }
+}
+
+/// Stands up the consistent-hash router on `addr` over `backends` and
+/// blocks forever (run as a background process next to the backends,
+/// kill when done).
+fn route_listen(addr: &str, backends: Vec<String>, replicas: usize) {
+    let config = qrm_net::RouterConfig {
+        replicas,
+        ..qrm_net::RouterConfig::default()
+    };
+    let count = backends.len();
+    let router = match qrm_net::Router::bind(addr, backends, config) {
+        Ok(router) => router,
+        Err(err) => {
+            eprintln!("route --listen {addr}: bind failed: {err}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "routing on http://{} over {} backend(s), {} replica(s) each",
+        router.addr(),
+        count,
+        replicas,
+    );
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+/// Drives the standard deterministic load through the router at `addr`
+/// and prints the digest plus per-backend routing stats.
+fn print_route(addr: &str, serve: &ServeConfig) {
+    println!(
+        "== Routed fleet load via http://{addr}: {} client(s) x {} batch(es) x {} pass(es), {} shot(s) each, {}x{} array ==",
+        serve.clients,
+        serve.batches,
+        serve.repeat.max(1),
+        serve.shots,
+        serve.size,
+        serve.size,
+    );
+    if !wait_for_server(addr, std::time::Duration::from_secs(30)) {
+        eprintln!("route --remote {addr}: router unreachable after 30 s");
+        std::process::exit(1);
+    }
+    let (report, router) = route_load(addr, serve);
+    println!(
+        "served {} batch(es) / {} shot(s) ({} filled) in {:.1} ms -> {:.1} batches/s",
+        report.submitted,
+        report.shots,
+        report.filled,
+        report.wall_us / 1e3,
+        report.batches_per_s
+    );
+    println!(
+        "router: {} request(s), {} relayed, {} failover(s), {} with no backend",
+        router.requests, router.relayed, router.failovers, router.no_backend
+    );
+    println!(
+        "{:<22} {:>8} {:>8} {:>12}",
+        "backend", "healthy", "routed", "failed_over"
+    );
+    for backend in &router.backends {
+        println!(
+            "{:<22} {:>8} {:>8} {:>12}",
+            backend.addr, backend.healthy, backend.routed, backend.failed_over
+        );
+    }
+    // Deterministic payload digest — byte-identical to an in-process
+    // `serve` run of the same parameters (the CI fleet job diffs it).
+    for row in &report.digest {
+        println!("{}", row.line());
+    }
+    println!();
 }
 
 fn print_serve(serve: &ServeConfig, remote: Option<&str>) {
@@ -381,6 +588,17 @@ fn print_serve(serve: &ServeConfig, remote: Option<&str>) {
         "admission: peak {} inflight, peak {} queued",
         stats.peak_inflight, stats.peak_queued
     );
+    if stats.cache.budget_bytes > 0 {
+        println!(
+            "cache: {} hit(s) / {} lookup(s), {} entr(ies) holding {} of {} byte(s), {} eviction(s)",
+            stats.cache.hits,
+            stats.cache.lookups,
+            stats.cache.entries,
+            stats.cache.bytes,
+            stats.cache.budget_bytes,
+            stats.cache.evictions,
+        );
+    }
     println!(
         "{:<10} {:>8} {:>8} {:>12} {:>12} {:>12} {:>10}",
         "planner", "batches", "shots", "mean_us", "p99_us", "max_us", "contexts"

@@ -672,6 +672,12 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Service admission cap (`0` = unlimited).
     pub max_inflight: usize,
+    /// Response-cache byte budget of the service (`0` = cache off).
+    pub cache_bytes: usize,
+    /// How many times each client replays its submission sequence.
+    /// Passes beyond the first hit identical specs, so with a cache
+    /// enabled they measure the cached path; digests count every pass.
+    pub repeat: usize,
 }
 
 impl Default for ServeConfig {
@@ -685,6 +691,8 @@ impl Default for ServeConfig {
             seed: 11000,
             workers: 0,
             max_inflight: 0,
+            cache_bytes: 0,
+            repeat: 1,
         }
     }
 }
@@ -799,10 +807,12 @@ where
                 scope.spawn(move || {
                     let mut submit = make_submitter();
                     let mut rows = BTreeMap::new();
-                    for batch in 0..serve.batches {
-                        let request = load_request(serve, names, client, batch);
-                        let report = submit(&request);
-                        fold_report(&mut rows, &request.planner, &report);
+                    for _pass in 0..serve.repeat.max(1) {
+                        for batch in 0..serve.batches {
+                            let request = load_request(serve, names, client, batch);
+                            let report = submit(&request);
+                            fold_report(&mut rows, &request.planner, &report);
+                        }
                     }
                     rows
                 })
@@ -873,7 +883,7 @@ fn assemble_report(
     wall_us: f64,
     stats: qrm_server::ServiceStats,
 ) -> ServeReport {
-    let submitted = serve.clients * serve.batches;
+    let submitted = serve.clients * serve.batches * serve.repeat.max(1);
     ServeReport {
         submitted,
         shots: digest.iter().map(|r| r.shots).sum(),
@@ -889,7 +899,9 @@ fn assemble_report(
 /// under their CLI names (the [`planner_choices`] registry), every
 /// pipeline at the given worker count and round/loss settings.
 pub fn build_service(serve: &ServeConfig) -> qrm_server::PlanService {
-    let mut builder = qrm_server::PlanService::builder().max_inflight(serve.max_inflight);
+    let mut builder = qrm_server::PlanService::builder()
+        .max_inflight(serve.max_inflight)
+        .cache_bytes(serve.cache_bytes);
     for (name, choice) in planner_choices() {
         let pipeline = PipelineConfig {
             workers: serve.workers,
@@ -935,6 +947,54 @@ pub fn remote_load(addr: &str, serve: &ServeConfig) -> ServeReport {
         .stats()
         .expect("remote stats");
     assemble_report(serve, digest, wall_us, stats)
+}
+
+/// [`remote_load`] against a consistent-hash **router** front end: the
+/// same deterministic workload stream, submitted to the router at
+/// `addr`, which fans it over its backend fleet. Digest rows are again
+/// identical to an in-process [`service_load`] of the same parameters
+/// — the bit-identity contract's fifth (fleet) leg, which the CI
+/// `fleet` job diffs, backend kill included.
+///
+/// Unlike [`remote_load`], submissions here survive transient fleet
+/// trouble: a failed submission is retried on a **fresh** connection a
+/// bounded number of times. Driver-level resubmission is digest-safe
+/// because batches are deterministic — a resubmitted spec produces the
+/// byte-identical report, and each submission slot folds exactly once.
+/// The final stats come from `GET /v1/router/stats`.
+pub fn route_load(addr: &str, serve: &ServeConfig) -> (ServeReport, qrm_wire::RouterStats) {
+    const ATTEMPTS: usize = 5;
+    let (digest, wall_us) = drive_load(serve, || {
+        let mut client = qrm_net::Client::connect(addr.to_string());
+        move |request: &qrm_server::SubmitBatch| {
+            let mut last_err = None;
+            for attempt in 0..ATTEMPTS {
+                if attempt > 0 {
+                    // Fresh connection: the old one may be poisoned by a
+                    // torn response, and backoff gives the router's
+                    // health sweep time to notice a dead backend.
+                    client = qrm_net::Client::connect(addr.to_string());
+                    std::thread::sleep(std::time::Duration::from_millis(200));
+                }
+                match client.submit(request) {
+                    Ok(report) => return report,
+                    Err(err) => last_err = Some(err),
+                }
+            }
+            panic!(
+                "routed submission failed {ATTEMPTS} times: {}",
+                last_err.expect("error recorded")
+            );
+        }
+    });
+    let router_stats = qrm_net::Client::connect(addr.to_string())
+        .router_stats()
+        .expect("router stats");
+    // The router has no aggregate `/v1/stats`; the service-stats slot of
+    // the report stays at its default and the router's own counters ride
+    // alongside.
+    let report = assemble_report(serve, digest, wall_us, qrm_server::ServiceStats::default());
+    (report, router_stats)
 }
 
 /// Polls `GET /v1/healthz` at `addr` until the server answers or

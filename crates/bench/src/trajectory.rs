@@ -35,7 +35,7 @@ use crate::{build_service, engine_workload, paper_instance, wait_for_server, Ser
 pub const TRAJECTORY_SCHEMA: &str = "qrm-bench-trajectory/v1";
 
 /// PR number stamped into the default snapshot (`BENCH_<pr>.json`).
-pub const TRAJECTORY_PR: u64 = 7;
+pub const TRAJECTORY_PR: u64 = 8;
 
 /// Jobs the owner pushes per push/pop batch and per steal round.
 const DEQUE_BATCH: usize = 256;
@@ -111,6 +111,13 @@ pub struct Trajectory {
     pub service_us: f64,
     /// Median µs for one `qrm_net::Client::submit` over loopback HTTP.
     pub http_us: f64,
+    /// Median µs for a repeated in-process submit against a
+    /// cache-enabled service — the response-cache hit path, which
+    /// bypasses planning *and* the admission gate.
+    pub service_cached_us: f64,
+    /// Median µs for the same repeated submit over loopback HTTP: the
+    /// floor the wire stack (JSON, TCP, HTTP) puts under a cache hit.
+    pub http_cached_us: f64,
     /// Median per-shot completion µs of the skewed workload
     /// ([`crate::skewed_workload`]) under the shot-level dataflow
     /// scheduler.
@@ -231,6 +238,59 @@ pub fn measure(config: &TrajectoryConfig) -> Trajectory {
     // degrades the scheduler to breadth-first order).
     drop(client);
 
+    // Cached service layer: the same submission against a service with
+    // the response cache enabled, warmed by one miss — every measured
+    // submit is a hit, so this is the key-build + clone cost with the
+    // planning pipeline and the admission gate both bypassed.
+    let cached_serve = ServeConfig {
+        cache_bytes: 1 << 20,
+        ..serve
+    };
+    let cached_service = build_service(&cached_serve);
+    cached_service.submit(&request).expect("cache warm submit");
+    let service_cached_us = 1e6
+        * group
+            .bench_median("service_cached", |b| {
+                b.iter(|| cached_service.submit(&request).expect("cached submit"));
+            })
+            .expect("cached service median");
+    assert!(
+        cached_service.stats().cache.hits > 0,
+        "cached-service benchmark never hit its cache"
+    );
+
+    // Cached HTTP layer: the same warm hit through the loopback front
+    // end, isolating what the wire stack adds on top of a cache hit.
+    let cached_remote = Arc::new(build_service(&cached_serve));
+    let mut cached_server = qrm_net::Server::bind(
+        "127.0.0.1:0",
+        Arc::clone(&cached_remote),
+        qrm_net::NetConfig::default(),
+    )
+    .expect("bind cached loopback server");
+    let cached_addr = cached_server.addr().to_string();
+    assert!(
+        wait_for_server(&cached_addr, Duration::from_secs(5)),
+        "cached loopback server failed to come up"
+    );
+    let mut cached_client = qrm_net::Client::connect(cached_addr);
+    cached_client
+        .submit(&request)
+        .expect("http cache warm submit");
+    let http_cached_us = 1e6
+        * group
+            .bench_median("http_cached", |b| {
+                b.iter(|| cached_client.submit(&request).expect("cached http submit"));
+            })
+            .expect("cached http median");
+    assert!(
+        cached_remote.stats().cache.hits > 0,
+        "cached-http benchmark never hit its cache"
+    );
+    cached_server.shutdown();
+    // Same pool-worker hygiene as the uncached http client above.
+    drop(cached_client);
+
     // Skewed-pipeline layer: the dataflow scheduler vs the preserved
     // stage-barrier baseline, same workload, same planner, same run.
     // The metric is the median *per-shot completion* time — on a
@@ -286,6 +346,8 @@ pub fn measure(config: &TrajectoryConfig) -> Trajectory {
         pipeline_us,
         service_us,
         http_us,
+        service_cached_us,
+        http_cached_us,
         pipeline_skewed_us,
         pipeline_skewed_barriered_us,
         spawn_chain_ns,
@@ -409,6 +471,10 @@ pub fn to_json(trajectory: &Trajectory, quick: bool) -> String {
                     "pipeline_skewed_barriered",
                     Value::F64(trajectory.pipeline_skewed_barriered_us),
                 ),
+                // Added in PR 8 (the response cache); optional for the
+                // same reason.
+                ("service_cached", Value::F64(trajectory.service_cached_us)),
+                ("http_cached", Value::F64(trajectory.http_cached_us)),
             ]),
         ),
         (
@@ -431,8 +497,14 @@ pub const LAYER_KEYS: [&str; 5] = ["kernel", "engine", "pipeline", "service", "h
 
 /// Layer medians added after the schema froze: **optional** for the
 /// validator (older snapshots lack them) but still required to be
-/// finite and positive when present.
-pub const OPTIONAL_LAYER_KEYS: [&str; 2] = ["pipeline_skewed", "pipeline_skewed_barriered"];
+/// finite and positive when present. `pipeline_skewed*` arrived in
+/// PR 7, the cached-path medians in PR 8.
+pub const OPTIONAL_LAYER_KEYS: [&str; 4] = [
+    "pipeline_skewed",
+    "pipeline_skewed_barriered",
+    "service_cached",
+    "http_cached",
+];
 
 /// Pool metrics that are optional for the same reason.
 const OPTIONAL_POOL_METRICS: [&str; 1] = ["spawn_chain_ns"];
@@ -517,6 +589,7 @@ pub fn validate(text: &str) -> Result<(), String> {
 pub fn summary(trajectory: &Trajectory) -> String {
     format!(
         "layers_us: kernel {:.1} | engine {:.1} | pipeline {:.1} | service {:.1} | http {:.1}\n\
+         cached-path us: service {:.1} (vs {:.1} uncached) | http {:.1} (vs {:.1} uncached)\n\
          skewed shot completion us (median): dataflow {:.1} vs barriered {:.1}\n\
          spawn chain hand-off ns: {:.1}\n\
          pool steal/s (1 thief): chase_lev {:.0} vs mutex {:.0}\n\
@@ -526,6 +599,10 @@ pub fn summary(trajectory: &Trajectory) -> String {
         trajectory.engine_us,
         trajectory.pipeline_us,
         trajectory.service_us,
+        trajectory.http_us,
+        trajectory.service_cached_us,
+        trajectory.service_us,
+        trajectory.http_cached_us,
         trajectory.http_us,
         trajectory.pipeline_skewed_us,
         trajectory.pipeline_skewed_barriered_us,
@@ -617,20 +694,31 @@ mod tests {
             ",\"spawn_chain_ns\":3.0",
         ))
         .expect("full PR-7 snapshot validates");
+        // The PR-8 cached-path medians follow the same optional rule.
+        validate(&snapshot(",\"service_cached\":1.0,\"http_cached\":2.0", ""))
+            .expect("cached-path snapshot validates");
         // Present but zero: rejected, same as any required metric.
         assert!(validate(&snapshot(",\"pipeline_skewed\":0.0", ""))
             .unwrap_err()
             .contains("pipeline_skewed"));
+        assert!(validate(&snapshot(",\"service_cached\":0.0", ""))
+            .unwrap_err()
+            .contains("service_cached"));
         assert!(validate(&snapshot("", ",\"spawn_chain_ns\":0.0"))
             .unwrap_err()
             .contains("spawn_chain_ns"));
     }
 
-    /// The previous PR's checked-in snapshot must keep validating with
+    /// Earlier PRs' checked-in snapshots must keep validating with
     /// today's validator — the additive-schema promise, asserted
-    /// against the real file rather than a synthetic shape.
+    /// against the real files rather than synthetic shapes.
     #[test]
     fn checked_in_bench_6_still_validates() {
         validate(include_str!("../../../BENCH_6.json")).expect("BENCH_6.json validates");
+    }
+
+    #[test]
+    fn checked_in_bench_7_still_validates() {
+        validate(include_str!("../../../BENCH_7.json")).expect("BENCH_7.json validates");
     }
 }

@@ -5,7 +5,7 @@ use std::net::TcpStream;
 use std::time::Duration;
 
 use qrm_server::{BatchReport, ServiceStats, SubmitBatch};
-use qrm_wire::{ErrorReply, FromJson, ToJson, WireError};
+use qrm_wire::{ErrorReply, FromJson, RouterStats, ToJson, WireError};
 
 use crate::Health;
 
@@ -158,6 +158,44 @@ impl Client {
         Ok(Health::from_json(&response)?)
     }
 
+    /// Fetches a router front end's routing snapshot
+    /// (`GET /v1/router/stats` — only routers serve this path; a plain
+    /// backend answers 404).
+    ///
+    /// # Errors
+    ///
+    /// As [`submit`](Self::submit).
+    pub fn router_stats(&mut self) -> Result<RouterStats, ClientError> {
+        let response = self.request("GET", "/v1/router/stats", None)?;
+        Ok(RouterStats::from_json(&response)?)
+    }
+
+    /// Sends one `POST` and returns **whatever** response came back —
+    /// any status, body undecoded — classifying failures by the fact
+    /// relays and failover hinge on: whether the request *provably
+    /// never reached service*. This is the router's relay primitive;
+    /// typed client calls should prefer [`submit`](Self::submit).
+    ///
+    /// The same safe-retry rules as [`submit`](Self::submit) apply
+    /// (a stale reused connection retries once; nothing else does).
+    ///
+    /// # Errors
+    ///
+    /// [`RelayError`] with `provably_unaccepted = true` when the
+    /// connect/send failed or the server closed bytes-free — the caller
+    /// may safely try another backend. `false` means the server may be
+    /// (or have been) working on the request; re-sending it anywhere
+    /// could execute it twice.
+    pub fn post_classified(&mut self, path: &str, body: &str) -> Result<RawResponse, RelayError> {
+        match self.exchange("POST", path, Some(body)) {
+            Ok((status, body)) => Ok(RawResponse { status, body }),
+            Err(attempt) => Err(RelayError {
+                provably_unaccepted: attempt.request_not_taken,
+                error: attempt.error,
+            }),
+        }
+    }
+
     /// Sends one request, retrying once on a stale reused connection,
     /// and returns the body of a 2xx response.
     fn request(
@@ -166,32 +204,47 @@ impl Client {
         path: &str,
         body: Option<&str>,
     ) -> Result<String, ClientError> {
-        let reused = self.stream.is_some();
-        match self.try_request(method, path, body) {
-            // Retry only when the reused connection died *before the
-            // server can have accepted the request* — the send itself
-            // failed, or the socket was already closed (clean EOF with
-            // zero response bytes: the idle keep-alive close race).
-            // Anything later — a read timeout while the server is
-            // still planning, a torn response — must NOT resubmit a
-            // non-idempotent batch.
-            Err(Attempt {
-                error: _,
-                request_not_taken: true,
-            }) if reused => {
-                self.stream = None;
-                self.try_request(method, path, body).map_err(|a| a.error)
-            }
-            outcome => outcome.map_err(|a| a.error),
+        let (status, response) = self.exchange(method, path, body).map_err(|a| a.error)?;
+        if (200..300).contains(&status) {
+            Ok(response)
+        } else {
+            Err(ClientError::Http {
+                status,
+                reply: ErrorReply::from_json(&response).ok(),
+            })
         }
     }
 
-    fn try_request(
+    /// Sends one request and returns `(status, body)` of whatever
+    /// response arrived, applying the safe-retry rule: retry once only
+    /// when a **reused** connection died *before the server can have
+    /// accepted the request* — the send itself failed, or the socket
+    /// was already closed (clean EOF with zero response bytes: the idle
+    /// keep-alive close race). Anything later — a read timeout while
+    /// the server is still planning, a torn response — must NOT
+    /// resubmit a non-idempotent batch.
+    fn exchange(
         &mut self,
         method: &str,
         path: &str,
         body: Option<&str>,
-    ) -> Result<String, Attempt> {
+    ) -> Result<(u16, String), Attempt> {
+        let reused = self.stream.is_some();
+        match self.try_exchange(method, path, body) {
+            Err(attempt) if attempt.request_not_taken && reused => {
+                self.stream = None;
+                self.try_exchange(method, path, body)
+            }
+            outcome => outcome,
+        }
+    }
+
+    fn try_exchange(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<(u16, String), Attempt> {
         if self.stream.is_none() {
             let connect = || -> std::io::Result<TcpStream> {
                 let stream = TcpStream::connect(&self.addr)?;
@@ -229,14 +282,7 @@ impl Client {
                 if !keep_alive {
                     self.stream = None;
                 }
-                if (200..300).contains(&status) {
-                    Ok(response_body)
-                } else {
-                    Err(Attempt::taken(ClientError::Http {
-                        status,
-                        reply: ErrorReply::from_json(&response_body).ok(),
-                    }))
-                }
+                Ok((status, response_body))
             }
             Err(attempt) => {
                 self.stream = None;
@@ -358,5 +404,46 @@ impl Attempt {
             error,
             request_not_taken: false,
         }
+    }
+}
+
+/// A response relayed verbatim by [`Client::post_classified`]: the
+/// status and body exactly as the server sent them, whatever the
+/// status class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawResponse {
+    /// The HTTP status code.
+    pub status: u16,
+    /// The response body, undecoded.
+    pub body: String,
+}
+
+/// A failed [`Client::post_classified`] exchange, carrying the one fact
+/// failover safety hinges on.
+#[derive(Debug)]
+pub struct RelayError {
+    /// The underlying failure.
+    pub error: ClientError,
+    /// `true` only when the failure *proves* the server never took the
+    /// request (connect/send failure, or a bytes-free close): the
+    /// request may safely be sent elsewhere. `false` means the server
+    /// may be — or may have been — executing it, and re-sending could
+    /// execute it twice.
+    pub provably_unaccepted: bool,
+}
+
+impl std::fmt::Display for RelayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.provably_unaccepted {
+            write!(f, "{} (request provably unaccepted)", self.error)
+        } else {
+            write!(f, "{} (request may have been taken)", self.error)
+        }
+    }
+}
+
+impl std::error::Error for RelayError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
     }
 }

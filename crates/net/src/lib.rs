@@ -17,6 +17,13 @@
 //! [`ErrorReply`](qrm_wire::ErrorReply) with a stable machine-readable
 //! code.
 //!
+//! The crate also provides a consistent-hash [`Router`] front end that
+//! fans `POST /v1/batch` over a fleet of these servers (same three
+//! routes, plus `GET /v1/router/stats` →
+//! [`RouterStats`](qrm_wire::RouterStats)) with health-checked
+//! failover — see the [`router`](Router) docs for placement, retry
+//! safety, and the fifth determinism leg.
+//!
 //! ## Threading
 //!
 //! One dedicated OS thread accepts connections; each connection is a
@@ -68,9 +75,11 @@
 pub mod http;
 
 mod client;
+mod router;
 mod server;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, RawResponse, RelayError};
+pub use router::{Router, RouterConfig};
 #[doc(hidden)]
 pub use server::raw_roundtrip;
 pub use server::{NetConfig, Server};

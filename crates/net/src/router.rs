@@ -1,0 +1,629 @@
+//! The consistent-hash router front end: one HTTP endpoint fanning
+//! `POST /v1/batch` out over N backend `qrm-net` servers.
+//!
+//! Determinism makes routing *free of placement semantics*: a spec
+//! fully determines its report, so any backend's answer is
+//! byte-identical to any other's — the ring only decides which
+//! backend's response cache gets warmed. That is the fifth leg of the
+//! workspace's bit-identity contract (`tests/fleet.rs`, CI `fleet`
+//! job): a routed fleet's digests equal a single in-process run's,
+//! byte for byte, even when a backend dies mid-load.
+//!
+//! ## Placement
+//!
+//! A classic consistent-hash ring: each backend contributes
+//! [`RouterConfig::replicas`] virtual nodes at `ring_hash("{addr}#{i}")`
+//! (FNV-1a 64 + splitmix64 finalizer), and a request maps to the first
+//! node at or after `ring_hash(cache_key)` — the same canonical bytes
+//! ([`SubmitBatch::cache_key`]) the backend response caches address by,
+//! so repeats of a spec land on the same (warm) backend. Walking the
+//! ring from that point yields each request's deterministic failover
+//! order.
+//!
+//! ## Failover and retry safety
+//!
+//! The router reuses the client's safe-retry classification
+//! ([`Client::post_classified`](crate::Client::post_classified)): a
+//! relay that failed **provably unaccepted** (connect refused, send
+//! failed, or a bytes-free close) moves on to the next ring candidate —
+//! the backend demonstrably never executed it. A failure *after* the
+//! request may have been taken (read timeout, torn response) is
+//! answered `502 backend_failed` and **never** re-relayed: one
+//! submission never executes twice. Requests every candidate refused
+//! get `503 no_backend`. End clients apply their own safe-retry rules
+//! against the router in turn, which the router upholds the same way
+//! the backend does: every request it reads is answered (panics
+//! included), so a bytes-free close from the router also proves
+//! non-acceptance.
+//!
+//! ## Threading
+//!
+//! Unlike [`Server`](crate::Server) — whose connection handlers are
+//! worker-pool jobs — the router serves each connection on a dedicated
+//! OS thread. Router handlers *block on backend sockets*; as pool jobs
+//! they could occupy every worker of a small pool while the backends'
+//! own handlers (also pool jobs, when a backend shares the process, as
+//! in tests) wait behind them — a deadlock at `QRM_POOL_THREADS=1`.
+//! Threads keep the router's blocking I/O off the planning pool
+//! entirely. Each relay uses a fresh connection, dropped as soon as the
+//! response is read, so an in-process backend's handler sees EOF and
+//! frees its pool slot immediately instead of parking on keep-alive;
+//! fresh connections are also what makes a connect failure provable
+//! non-acceptance.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use qrm_server::SubmitBatch;
+use qrm_wire::{BackendRouteStats, FromJson, JsonLimits, RouterStats, ToJson, WireError};
+
+use crate::client::Client;
+use crate::http::{read_request, write_response, HttpError, Request};
+use crate::server::{error, framing_error_reply};
+use crate::Health;
+
+/// Configuration of the router front end.
+#[derive(Debug, Clone, Copy)]
+pub struct RouterConfig {
+    /// Virtual nodes per backend on the hash ring. More replicas
+    /// smooth the key distribution; 64 keeps the imbalance within a
+    /// few percent for small fleets.
+    pub replicas: usize,
+    /// How often the health thread probes every backend's
+    /// `GET /v1/healthz`.
+    pub health_interval: Duration,
+    /// Read timeout of a health probe (probes must stay prompt even
+    /// when a backend is planning flat out).
+    pub probe_timeout: Duration,
+    /// Read timeout of a relayed `POST /v1/batch` (matches the
+    /// client's planning-is-slow default).
+    pub relay_timeout: Duration,
+    /// Largest accepted request body (bytes), as on
+    /// [`NetConfig`](crate::NetConfig).
+    pub max_body_bytes: usize,
+    /// Idle keep-alive timeout of incoming connections.
+    pub keep_alive: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            replicas: 64,
+            health_interval: Duration::from_millis(250),
+            probe_timeout: Duration::from_secs(2),
+            relay_timeout: Duration::from_secs(60),
+            max_body_bytes: 1 << 20,
+            keep_alive: Duration::from_secs(2),
+        }
+    }
+}
+
+/// 64-bit FNV-1a. Deterministic and dependency-free; placement must be
+/// reproducible across processes and runs, never keyed by
+/// process-random state.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The ring's hash: FNV-1a with splitmix64's finalizer on top. FNV
+/// alone avalanches the short, similar strings involved here (vnode
+/// labels, spec keys) weakly enough to leave one backend owning most
+/// of the ring arc; the finalizer spreads the points evenly (the
+/// balance test below pins this).
+fn ring_hash(bytes: &[u8]) -> u64 {
+    let mut hash = fnv1a64(bytes);
+    hash ^= hash >> 30;
+    hash = hash.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    hash ^= hash >> 27;
+    hash = hash.wrapping_mul(0x94d0_49bb_1331_11eb);
+    hash ^ (hash >> 31)
+}
+
+/// One configured backend: its address, health view, and counters.
+struct Backend {
+    addr: String,
+    /// Last health-probe verdict. Starts `false`; the health thread's
+    /// first sweep (which runs immediately) marks live backends up.
+    healthy: AtomicBool,
+    /// Planner names from the last successful probe, for aggregated
+    /// healthz.
+    planners: Mutex<Vec<String>>,
+    routed: AtomicU64,
+    failed_over: AtomicU64,
+}
+
+/// State shared by the accept loop, connection threads, and the health
+/// thread.
+struct Shared {
+    backends: Vec<Backend>,
+    /// `(hash, backend index)`, sorted by hash.
+    ring: Vec<(u64, usize)>,
+    config: RouterConfig,
+    requests: AtomicU64,
+    relayed: AtomicU64,
+    failovers: AtomicU64,
+    no_backend: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Distinct backend indices in ring order starting at the first
+    /// node at or after `hash` — the request's deterministic failover
+    /// order.
+    fn candidates(&self, hash: u64) -> Vec<usize> {
+        let start = self.ring.partition_point(|&(h, _)| h < hash);
+        let mut order = Vec::with_capacity(self.backends.len());
+        for i in 0..self.ring.len() {
+            let (_, backend) = self.ring[(start + i) % self.ring.len()];
+            if !order.contains(&backend) {
+                order.push(backend);
+                if order.len() == self.backends.len() {
+                    break;
+                }
+            }
+        }
+        order
+    }
+
+    fn stats(&self) -> RouterStats {
+        RouterStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            relayed: self.relayed.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
+            no_backend: self.no_backend.load(Ordering::Relaxed),
+            backends: self
+                .backends
+                .iter()
+                .map(|backend| BackendRouteStats {
+                    addr: backend.addr.clone(),
+                    healthy: backend.healthy.load(Ordering::Relaxed),
+                    routed: backend.routed.load(Ordering::Relaxed),
+                    failed_over: backend.failed_over.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A running consistent-hash router over a fixed backend fleet.
+///
+/// Binding spawns the accept thread and a health thread; each accepted
+/// connection gets its own OS thread (see the module docs for why the
+/// router must stay off the worker pool). Dropping the router stops
+/// accepting and joins both threads; live connection threads drain on
+/// their idle timeouts.
+#[derive(Debug)]
+pub struct Router {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    health_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field(
+                "backends",
+                &self.backends.iter().map(|b| &b.addr).collect::<Vec<_>>(),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+impl Router {
+    /// Binds `addr` and starts routing over `backends` (each a
+    /// `"host:port"` of a running `qrm-net` server).
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` when `backends` is empty (a ring with no nodes
+    /// cannot route); otherwise propagates socket failures.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        backends: Vec<String>,
+        config: RouterConfig,
+    ) -> std::io::Result<Router> {
+        if backends.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "a router needs at least one backend",
+            ));
+        }
+        let mut ring = Vec::with_capacity(backends.len() * config.replicas.max(1));
+        for (index, backend) in backends.iter().enumerate() {
+            for replica in 0..config.replicas.max(1) {
+                ring.push((ring_hash(format!("{backend}#{replica}").as_bytes()), index));
+            }
+        }
+        ring.sort_unstable();
+        let shared = Arc::new(Shared {
+            backends: backends
+                .into_iter()
+                .map(|addr| Backend {
+                    addr,
+                    healthy: AtomicBool::new(false),
+                    planners: Mutex::new(Vec::new()),
+                    routed: AtomicU64::new(0),
+                    failed_over: AtomicU64::new(0),
+                })
+                .collect(),
+            ring,
+            config,
+            requests: AtomicU64::new(0),
+            relayed: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            no_backend: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let accept_thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("qrm-router-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared))?
+        };
+        let health_thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("qrm-router-health".to_string())
+                .spawn(move || health_loop(&shared))?
+        };
+        Ok(Router {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+            health_thread: Some(health_thread),
+        })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// One consistent routing snapshot — the same data
+    /// `GET /v1/router/stats` serves.
+    pub fn stats(&self) -> RouterStats {
+        self.shared.stats()
+    }
+
+    /// Stops accepting and joins the accept and health threads.
+    /// Idempotent; also invoked by `Drop`.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking `accept` with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.health_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let Ok((stream, _peer)) = listener.accept() else {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let shared = Arc::clone(shared);
+        // A spawn failure (thread exhaustion) drops the stream: the
+        // peer sees a bytes-free close, which its safe-retry rules
+        // correctly treat as "never accepted".
+        let _ = std::thread::Builder::new()
+            .name("qrm-router-conn".to_string())
+            .spawn(move || serve_connection(stream, &shared));
+    }
+}
+
+/// Serves one incoming connection: keep-alive requests until the peer
+/// closes, a framing error, or the idle timeout.
+fn serve_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    // Per-read idle timeout only (no total-request deadline as on
+    // `Server`): a trickling peer holds one dedicated thread here, not
+    // a planning-pool slot.
+    let _ = stream.set_read_timeout(Some(shared.config.keep_alive));
+    let mut reader = BufReader::new(stream);
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match read_request(&mut reader, shared.config.max_body_bytes) {
+            Ok(Some(request)) => {
+                let keep_alive = request.keep_alive;
+                let (status, body) = route_guarded(&request, shared);
+                if write_response(reader.get_mut(), status, &body, keep_alive).is_err() {
+                    return;
+                }
+                if !keep_alive {
+                    return;
+                }
+            }
+            Ok(None) | Err(HttpError::Io(_)) => return,
+            Err(err) => {
+                let (status, reply) = framing_error_reply(&err);
+                let _ = write_response(reader.get_mut(), status, &reply.to_json(), false);
+                return;
+            }
+        }
+    }
+}
+
+/// [`route`] behind a panic guard, for the same reason as on
+/// [`Server`](crate::Server): clients' safe-retry rules rest on every
+/// read request being answered.
+fn route_guarded(request: &Request, shared: &Shared) -> (u16, String) {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(request, shared)))
+        .unwrap_or_else(|_| {
+            error(
+                500,
+                "internal",
+                "request handling panicked router-side".to_string(),
+            )
+        })
+}
+
+fn route(request: &Request, shared: &Shared) -> (u16, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/v1/batch") => relay_batch(request, shared),
+        ("GET", "/v1/healthz") => healthz(shared),
+        ("GET", "/v1/router/stats") => (200, shared.stats().to_json()),
+        (_, "/v1/batch" | "/v1/healthz" | "/v1/router/stats") => error(
+            405,
+            "method_not_allowed",
+            format!("{} is not allowed on {}", request.method, request.path),
+        ),
+        (_, "/v1/stats") => error(
+            404,
+            "not_found",
+            "the router serves routing stats at /v1/router/stats; \
+             per-backend service stats live on the backends"
+                .to_string(),
+        ),
+        (_, path) => error(404, "not_found", format!("no route for {path}")),
+    }
+}
+
+/// Relays one submission along its ring order. Healthy candidates
+/// first, then unhealthy ones — stale health data must degrade
+/// placement, never availability.
+fn relay_batch(request: &Request, shared: &Shared) -> (u16, String) {
+    let Ok(text) = std::str::from_utf8(&request.body) else {
+        return error(400, "bad_json", "request body is not UTF-8".to_string());
+    };
+    let limits = JsonLimits {
+        max_bytes: shared.config.max_body_bytes,
+        max_depth: 32,
+    };
+    // Decode only far enough to derive the placement key; the backend
+    // re-validates the spec (limits, fill range) itself, and the
+    // *original* body bytes are what gets relayed.
+    let submission = match SubmitBatch::from_json_with_limits(text, &limits) {
+        Ok(submission) => submission,
+        Err(WireError::Json(err)) => return error(400, "bad_json", err.to_string()),
+        Err(WireError::Decode(err)) => return error(400, "bad_request", err.to_string()),
+    };
+    shared.requests.fetch_add(1, Ordering::Relaxed);
+
+    let order = shared.candidates(ring_hash(&submission.cache_key()));
+    let (up, down): (Vec<usize>, Vec<usize>) = order
+        .into_iter()
+        .partition(|&index| shared.backends[index].healthy.load(Ordering::Relaxed));
+    for index in up.into_iter().chain(down) {
+        let backend = &shared.backends[index];
+        // Fresh connection per relay, dropped with `client` right
+        // after the response: an in-process backend handler sees EOF
+        // and frees its pool slot immediately, and a connect failure
+        // is provable non-acceptance (see module docs).
+        let mut client =
+            Client::connect(backend.addr.clone()).with_read_timeout(shared.config.relay_timeout);
+        match client.post_classified("/v1/batch", text) {
+            Ok(response) => {
+                backend.routed.fetch_add(1, Ordering::Relaxed);
+                shared.relayed.fetch_add(1, Ordering::Relaxed);
+                return (response.status, response.body);
+            }
+            Err(failure) if failure.provably_unaccepted => {
+                // The backend demonstrably never executed the request:
+                // failing over cannot double-execute it.
+                backend.healthy.store(false, Ordering::Relaxed);
+                backend.failed_over.fetch_add(1, Ordering::Relaxed);
+                shared.failovers.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(failure) => {
+                // The backend may be (or have been) executing the
+                // request; relaying it anywhere else could run it
+                // twice. Report the failure and let the *end client*
+                // decide — its own safe-retry rules face the same
+                // evidence and reach the same verdict.
+                backend.healthy.store(false, Ordering::Relaxed);
+                return error(
+                    502,
+                    "backend_failed",
+                    format!("backend {} failed mid-request: {failure}", backend.addr),
+                );
+            }
+        }
+    }
+    shared.no_backend.fetch_add(1, Ordering::Relaxed);
+    error(
+        503,
+        "no_backend",
+        "no backend accepted the request".to_string(),
+    )
+}
+
+/// Aggregated liveness: `200` with the union of healthy backends'
+/// planner registries, or `503` when no backend is healthy.
+fn healthz(shared: &Shared) -> (u16, String) {
+    let mut planners: Vec<String> = Vec::new();
+    let mut any_healthy = false;
+    for backend in &shared.backends {
+        if backend.healthy.load(Ordering::Relaxed) {
+            any_healthy = true;
+            for planner in backend
+                .planners
+                .lock()
+                .expect("planner view poisoned")
+                .iter()
+            {
+                if !planners.contains(planner) {
+                    planners.push(planner.clone());
+                }
+            }
+        }
+    }
+    if !any_healthy {
+        return error(
+            503,
+            "no_backend",
+            "no backend is currently healthy".to_string(),
+        );
+    }
+    planners.sort();
+    let health = Health {
+        status: "ok".to_string(),
+        planners,
+    };
+    (200, health.to_json())
+}
+
+/// Probes every backend's healthz, immediately and then on the
+/// configured interval, until shutdown.
+fn health_loop(shared: &Shared) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        for backend in &shared.backends {
+            let mut probe = Client::connect(backend.addr.clone())
+                .with_read_timeout(shared.config.probe_timeout);
+            match probe.healthz() {
+                Ok(health) => {
+                    *backend.planners.lock().expect("planner view poisoned") = health.planners;
+                    backend.healthy.store(true, Ordering::Relaxed);
+                }
+                Err(_) => backend.healthy.store(false, Ordering::Relaxed),
+            }
+        }
+        // Interruptible sleep: check the shutdown flag every 25 ms so
+        // `Router::shutdown` never waits out a long interval.
+        let mut waited = Duration::ZERO;
+        while waited < shared.config.health_interval && !shared.shutdown.load(Ordering::SeqCst) {
+            let step = Duration::from_millis(25).min(shared.config.health_interval - waited);
+            std::thread::sleep(step);
+            waited += step;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    fn shared_with(backends: &[&str], replicas: usize) -> Shared {
+        let config = RouterConfig {
+            replicas,
+            ..RouterConfig::default()
+        };
+        let mut ring = Vec::new();
+        for (index, backend) in backends.iter().enumerate() {
+            for replica in 0..replicas {
+                ring.push((ring_hash(format!("{backend}#{replica}").as_bytes()), index));
+            }
+        }
+        ring.sort_unstable();
+        Shared {
+            backends: backends
+                .iter()
+                .map(|&addr| Backend {
+                    addr: addr.to_string(),
+                    healthy: AtomicBool::new(false),
+                    planners: Mutex::new(Vec::new()),
+                    routed: AtomicU64::new(0),
+                    failed_over: AtomicU64::new(0),
+                })
+                .collect(),
+            ring,
+            config,
+            requests: AtomicU64::new(0),
+            relayed: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            no_backend: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    #[test]
+    fn candidates_cover_all_backends_without_repeats() {
+        let shared = shared_with(&["a:1", "b:2", "c:3"], 64);
+        for seed in 0..64u64 {
+            let order = shared.candidates(ring_hash(&seed.to_le_bytes()));
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2], "order {order:?} not a permutation");
+        }
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_roughly_balanced() {
+        let shared = shared_with(&["a:1", "b:2", "c:3"], 64);
+        let mut counts = [0usize; 3];
+        for seed in 0..3000u64 {
+            let key = seed.to_le_bytes();
+            let first = shared.candidates(ring_hash(&key))[0];
+            assert_eq!(first, shared.candidates(ring_hash(&key))[0]);
+            counts[first] += 1;
+        }
+        for (index, &count) in counts.iter().enumerate() {
+            assert!(
+                (500..=1800).contains(&count),
+                "backend {index} got {count}/3000 keys — ring badly imbalanced: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_walk_changes_with_the_key() {
+        // Different keys must not all share one failover order (that
+        // would make the ring pointless). With 64 replicas over 3
+        // backends, 64 sampled keys cover several distinct orders.
+        let shared = shared_with(&["a:1", "b:2", "c:3"], 64);
+        let orders: std::collections::BTreeSet<Vec<usize>> = (0..64u64)
+            .map(|seed| shared.candidates(ring_hash(&seed.to_le_bytes())))
+            .collect();
+        assert!(orders.len() > 1, "all keys produced the same ring order");
+    }
+}

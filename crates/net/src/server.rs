@@ -53,6 +53,12 @@ impl Default for NetConfig {
 struct NetCounters {
     connections: AtomicU64,
     requests: AtomicU64,
+    /// Fault-injection flag (`test-hooks` feature): when set, every
+    /// connection handler closes its socket *between* reading a request
+    /// and executing it — the bytes-free close that proves to the peer
+    /// the request was never taken. See [`Server::debug_sever`].
+    #[cfg(feature = "test-hooks")]
+    severed: AtomicBool,
 }
 
 /// A running HTTP front end over a shared [`PlanService`].
@@ -123,6 +129,22 @@ impl Server {
     /// Requests served so far (across all connections, all routes).
     pub fn requests_served(&self) -> u64 {
         self.counters.requests.load(Ordering::Relaxed)
+    }
+
+    /// Fault-injection hook (`test-hooks` builds only): simulates this
+    /// backend dying mid-load. The listener closes (new connects are
+    /// refused) and every live connection handler closes its socket
+    /// without replying before executing any *further* request it reads
+    /// — crucially **after** the read but **before** the service call,
+    /// so the peer observes a bytes-free close on a request that was
+    /// provably never executed. That is exactly the failure class the
+    /// client's safe-retry rules (and the router's failover) are
+    /// allowed to re-route, which is what `tests/fleet.rs` exercises:
+    /// failover with no double execution.
+    #[cfg(feature = "test-hooks")]
+    pub fn debug_sever(&mut self) {
+        self.counters.severed.store(true, Ordering::SeqCst);
+        self.shutdown();
     }
 
     /// Stops accepting new connections and joins the accept thread.
@@ -230,6 +252,13 @@ fn handle_connection(
     loop {
         match read_request(&mut reader, config.max_body_bytes) {
             Ok(Some(request)) => {
+                // Fault injection: sever *between* read and execution,
+                // so the close is provably pre-service (see
+                // `Server::debug_sever`).
+                #[cfg(feature = "test-hooks")]
+                if counters.severed.load(Ordering::SeqCst) {
+                    return;
+                }
                 counters.requests.fetch_add(1, Ordering::Relaxed);
                 let keep_alive = request.keep_alive;
                 let (status, body) = route_guarded(&request, service, config);
@@ -274,7 +303,9 @@ fn route_guarded(request: &Request, service: &PlanService, config: &NetConfig) -
     })
 }
 
-fn framing_error_reply(err: &HttpError) -> (u16, ErrorReply) {
+/// Maps an HTTP framing error to its wire reply; shared with the
+/// router front end, which frames requests identically.
+pub(crate) fn framing_error_reply(err: &HttpError) -> (u16, ErrorReply) {
     let (status, code) = match err {
         HttpError::BodyTooLarge { .. } => (413, "payload_too_large"),
         HttpError::LengthRequired => (411, "length_required"),
@@ -364,7 +395,7 @@ fn submit(request: &Request, service: &PlanService, config: &NetConfig) -> (u16,
     }
 }
 
-fn error(status: u16, code: &str, message: String) -> (u16, String) {
+pub(crate) fn error(status: u16, code: &str, message: String) -> (u16, String) {
     (status, ErrorReply::new(code, message).to_json())
 }
 

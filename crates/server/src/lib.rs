@@ -37,6 +37,13 @@
 //! (`tests/service.rs` pins this for all seven planners). The service
 //! adds throughput and observability, never behaviour.
 //!
+//! Determinism also powers the opt-in [`ResponseCache`]
+//! ([`PlanServiceBuilder::cache_bytes`]): since a spec fully determines
+//! its payload, repeated submissions are answered from a
+//! content-addressed LRU cache in O(1), byte-identical to a recompute —
+//! and cache hits bypass the admission gate entirely, so cached answers
+//! never queue behind planning work.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -68,10 +75,12 @@
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cache;
 mod request;
 mod service;
 mod stats;
 
+pub use cache::ResponseCache;
 pub use request::{BatchReport, BatchSpec, ServiceError, SubmitBatch};
 pub use service::{PlanService, PlanServiceBuilder, ServiceConfig};
-pub use stats::{LatencyHistogram, PlannerStats, SchedulerTotals, ServiceStats};
+pub use stats::{CacheStats, LatencyHistogram, PlannerStats, SchedulerTotals, ServiceStats};

@@ -110,6 +110,35 @@ impl SubmitBatch {
             spec,
         }
     }
+
+    /// The canonical content-address of this submission: an injective
+    /// byte rendering of exactly the fields the `/v1` wire encoding
+    /// carries — length-prefixed planner name, then `shots`, `size`,
+    /// `fill` (as its IEEE-754 bit pattern) and `seed`, all
+    /// little-endian `u64`.
+    ///
+    /// Canonicalization rule (`docs/PROTOCOL.md`): two submissions have
+    /// equal cache keys **iff** their wire encodings are byte-identical.
+    /// The length prefix makes the planner/spec boundary unambiguous,
+    /// and the wire codec's shortest-round-trip float writer maps
+    /// distinct `fill` bit patterns to distinct JSON — so equality of
+    /// keys, of `SubmitBatch` values, and of wire bytes all coincide
+    /// (pinned by a proptest in `crates/wire/tests/cache_bytes.rs`).
+    /// Since a spec fully determines its report payload, equal keys
+    /// also mean interchangeable responses — which is what lets the
+    /// response cache and the router's consistent-hash ring both
+    /// address by these bytes.
+    #[must_use]
+    pub fn cache_key(&self) -> Vec<u8> {
+        let mut key = Vec::with_capacity(self.planner.len() + 40);
+        key.extend_from_slice(&(self.planner.len() as u64).to_le_bytes());
+        key.extend_from_slice(self.planner.as_bytes());
+        key.extend_from_slice(&(self.spec.shots as u64).to_le_bytes());
+        key.extend_from_slice(&(self.spec.size as u64).to_le_bytes());
+        key.extend_from_slice(&self.spec.fill.to_bits().to_le_bytes());
+        key.extend_from_slice(&self.spec.seed.to_le_bytes());
+        key
+    }
 }
 
 /// The service's response to one [`SubmitBatch`].

@@ -3,13 +3,14 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Instant;
 
 use qrm_core::planner::Planner;
 
 use qrm_control::pipeline::{Pipeline, PipelineConfig, PlannerChoice};
 
+use crate::cache::ResponseCache;
 use crate::request::{BatchReport, ServiceError, SubmitBatch};
 use crate::stats::{LatencyHistogram, PlannerStats, SchedulerTotals, ServiceStats};
 
@@ -21,6 +22,9 @@ pub struct ServiceConfig {
     /// `0` (the default) means unlimited — every submission is admitted
     /// immediately and only the worker pool itself limits parallelism.
     pub max_inflight: usize,
+    /// Byte budget of the content-addressed response cache. `0` (the
+    /// default) disables caching entirely.
+    pub cache_bytes: usize,
 }
 
 /// One registered planner: its long-lived resolved instance, the
@@ -60,6 +64,18 @@ impl PlanServiceBuilder {
     #[must_use]
     pub fn max_inflight(mut self, max_inflight: usize) -> Self {
         self.config.max_inflight = max_inflight;
+        self
+    }
+
+    /// Enables the content-addressed response cache with the given byte
+    /// budget (`0` = disabled, the default). Because a spec fully
+    /// determines its report payload, hits return payloads
+    /// byte-identical to a recompute — and they **bypass the admission
+    /// gate entirely**, so a cached answer is never queued behind
+    /// planning work.
+    #[must_use]
+    pub fn cache_bytes(mut self, cache_bytes: usize) -> Self {
+        self.config.cache_bytes = cache_bytes;
         self
     }
 
@@ -113,6 +129,7 @@ impl PlanServiceBuilder {
         PlanService {
             regs: self.regs,
             gate: Gate::new(self.config.max_inflight),
+            cache: ResponseCache::new(self.config.cache_bytes),
             batches_served: AtomicU64::new(0),
             shots_served: AtomicU64::new(0),
             scheduler: Mutex::new(SchedulerTotals::default()),
@@ -221,6 +238,9 @@ impl Drop for Permit<'_> {
 pub struct PlanService {
     regs: BTreeMap<String, Registration>,
     gate: Gate,
+    /// Content-addressed response cache; disabled (zero budget) unless
+    /// [`PlanServiceBuilder::cache_bytes`] opted in.
+    cache: ResponseCache,
     batches_served: AtomicU64,
     shots_served: AtomicU64,
     /// Lifetime dataflow-scheduler totals, folded in per batch under a
@@ -255,11 +275,16 @@ impl PlanService {
     /// Serves one batch submission to completion and returns its
     /// report.
     ///
-    /// Callable concurrently from any number of threads. The submission
-    /// first expands its workload (cheap, unthrottled), then waits for
-    /// an admission slot if the service is at `max_inflight`, then runs
-    /// the batched pipeline on the worker pool via the registration's
-    /// long-lived planner — so every batch plans with warm contexts.
+    /// Callable concurrently from any number of threads. When the
+    /// response cache is enabled and holds this submission's canonical
+    /// key, the cached payload is returned immediately — byte-identical
+    /// to a recompute (the spec fully determines it), **without taking
+    /// an admission ticket**, so cached answers neither wait behind nor
+    /// reorder queued planning work. Otherwise the submission expands
+    /// its workload (cheap, unthrottled), waits for an admission slot if
+    /// the service is at `max_inflight`, and runs the batched pipeline
+    /// on the worker pool via the registration's long-lived planner — so
+    /// every batch plans with warm contexts.
     ///
     /// # Errors
     ///
@@ -270,6 +295,21 @@ impl PlanService {
             .regs
             .get(&request.planner)
             .ok_or_else(|| ServiceError::UnknownPlanner(request.planner.clone()))?;
+
+        let key = self.cache.enabled().then(|| request.cache_key());
+        if let Some(key) = &key {
+            let t0 = Instant::now();
+            if let Some(reports) = self.cache.lookup(key) {
+                let wall_us = t0.elapsed().as_secs_f64() * 1e6;
+                self.record_served(reg, reports.len(), wall_us);
+                return Ok(BatchReport {
+                    planner: request.planner.clone(),
+                    reports: reports.as_ref().clone(),
+                    wall_us,
+                });
+            }
+        }
+
         let (truths, target) = request.spec.workload()?;
 
         let _permit = self.gate.admit();
@@ -278,27 +318,42 @@ impl PlanService {
             reg.pipeline
                 .run_batch_tracked(&*reg.planner, &truths, &target, request.spec.seed)?;
         let wall_us = t0.elapsed().as_secs_f64() * 1e6;
-        let reports = run.reports;
 
         self.scheduler
             .lock()
             .expect("scheduler totals poisoned")
             .absorb(&run.stats);
-        reg.batches.fetch_add(1, Ordering::Relaxed);
-        reg.shots.fetch_add(reports.len() as u64, Ordering::Relaxed);
-        reg.latency
-            .lock()
-            .expect("latency histogram poisoned")
-            .record(wall_us);
-        self.batches_served.fetch_add(1, Ordering::Relaxed);
-        self.shots_served
-            .fetch_add(reports.len() as u64, Ordering::Relaxed);
+        self.record_served(reg, run.reports.len(), wall_us);
+
+        let reports = if let Some(key) = key {
+            let shared = Arc::new(run.reports);
+            self.cache.insert(key, Arc::clone(&shared));
+            // Usually the cache kept its clone and this falls back to a
+            // deep copy; if the entry was oversized (never stored) the
+            // Arc is unique and the payload moves out for free.
+            Arc::try_unwrap(shared).unwrap_or_else(|shared| shared.as_ref().clone())
+        } else {
+            run.reports
+        };
 
         Ok(BatchReport {
             planner: request.planner.clone(),
             reports,
             wall_us,
         })
+    }
+
+    /// Folds one served batch (computed or cache hit) into the
+    /// per-registration and service-wide counters.
+    fn record_served(&self, reg: &Registration, shots: usize, wall_us: f64) {
+        reg.batches.fetch_add(1, Ordering::Relaxed);
+        reg.shots.fetch_add(shots as u64, Ordering::Relaxed);
+        reg.latency
+            .lock()
+            .expect("latency histogram poisoned")
+            .record(wall_us);
+        self.batches_served.fetch_add(1, Ordering::Relaxed);
+        self.shots_served.fetch_add(shots as u64, Ordering::Relaxed);
     }
 
     /// Snapshots the service: queue/inflight gauges with their
@@ -323,6 +378,7 @@ impl PlanService {
             shots_served: self.shots_served.load(Ordering::Relaxed),
             pool: rayon::global_pool_stats().since(&self.pool_baseline),
             scheduler: *self.scheduler.lock().expect("scheduler totals poisoned"),
+            cache: self.cache.stats(),
             planners: self
                 .regs
                 .iter()
@@ -467,6 +523,107 @@ mod tests {
         assert_eq!(stats.queued, 0);
         // max_inflight = 1 means the gate never admitted two at once.
         assert_eq!(stats.peak_inflight, 1);
+    }
+
+    #[test]
+    fn cache_hit_returns_identical_reports_and_counts() {
+        let service = PlanService::builder()
+            .cache_bytes(1 << 20)
+            .register_default("qrm", PlannerChoice::Software(QrmConfig::default()), 1)
+            .build();
+        let request = SubmitBatch::new("qrm", BatchSpec::new(2, 12, 9));
+        let first = service.submit(&request).unwrap();
+        let second = service.submit(&request).unwrap();
+        // The payload is the determinism contract; wall_us is not.
+        assert_eq!(first.reports, second.reports);
+
+        let stats = service.stats();
+        assert_eq!(stats.cache.lookups, 2);
+        assert_eq!(stats.cache.hits, 1);
+        assert_eq!(stats.cache.misses, 1);
+        assert_eq!(stats.cache.insertions, 1);
+        assert_eq!(stats.cache.entries, 1);
+        assert!(stats.cache.bytes > 0);
+        // A hit still counts as served, for the planner and the service.
+        assert_eq!(stats.batches_served, 2);
+        assert_eq!(stats.shots_served, 4);
+        assert_eq!(stats.planners[0].batches, 2);
+        assert_eq!(stats.planners[0].latency.count(), 2);
+        // The hit bypassed the gate: only the miss took a ticket.
+        assert_eq!(service.gate.lock().next_ticket, 0); // unlimited gate issues none
+    }
+
+    #[test]
+    fn cache_disabled_by_default_reports_zeros() {
+        let service = small_service(0);
+        let request = SubmitBatch::new("qrm", BatchSpec::new(1, 12, 5));
+        service.submit(&request).unwrap();
+        service.submit(&request).unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.cache, crate::stats::CacheStats::default());
+    }
+
+    #[test]
+    fn cache_hits_bypass_the_gate_without_reordering_queued_work() {
+        // FIFO-fairness regression for the gate bypass (extends
+        // `admission_is_strictly_fifo`): with the single admission slot
+        // held, queue two uncached submissions, then serve a stream of
+        // cached hits. The hits must all complete while the slot is
+        // still held (they never take tickets, so they cannot starve or
+        // be starved), the queue depth must never grow past the two
+        // real waiters, and the waiters must then be admitted in their
+        // original ticket order.
+        let service = PlanService::builder()
+            .max_inflight(1)
+            .cache_bytes(1 << 20)
+            .register_default("qrm", PlannerChoice::Software(QrmConfig::default()), 1)
+            .build();
+        let warm = SubmitBatch::new("qrm", BatchSpec::new(1, 12, 42));
+        service.submit(&warm).unwrap();
+
+        std::thread::scope(|scope| {
+            let holder = service.gate.admit();
+            let tickets_before_waiters = service.gate.lock().next_ticket;
+            for i in 0..2usize {
+                let service = &service;
+                scope.spawn(move || {
+                    // Uncached (fresh seed): must queue behind the held
+                    // slot.
+                    let spec = BatchSpec::new(1, 12, 1000 + i as u64);
+                    service.submit(&SubmitBatch::new("qrm", spec)).unwrap();
+                });
+                while service.gate.lock().queued != i + 1 {
+                    std::thread::yield_now();
+                }
+            }
+
+            // The gate is fully occupied and two waiters are queued;
+            // cached hits must still be served immediately.
+            for _ in 0..8 {
+                let report = service.submit(&warm).unwrap();
+                assert_eq!(report.shots(), 1);
+            }
+            let state = service.gate.lock();
+            assert_eq!(state.queued, 2, "hits must not queue");
+            // The hits took no tickets: only the two waiters arrived
+            // since the holder took the slot.
+            assert_eq!(state.next_ticket, tickets_before_waiters + 2);
+            drop(state);
+            drop(holder);
+        });
+        // The waiters were admitted in ticket order — the gate admits
+        // strictly by ticket (`admission_is_strictly_fifo` pins the
+        // ordering itself), and the accounting proves every ticket
+        // issued was admitted with none skipped or barged.
+        let end = service.gate.lock();
+        assert_eq!(end.admit_ticket, end.next_ticket);
+        assert_eq!(end.inflight, 0);
+        assert_eq!(end.queued, 0);
+        drop(end);
+        let stats = service.stats();
+        assert_eq!(stats.cache.hits, 8);
+        assert_eq!(stats.peak_queued, 2);
+        assert_eq!(stats.batches_served, 11);
     }
 
     #[test]

@@ -219,9 +219,74 @@ impl serde::Deserialize for SchedulerTotals {
     }
 }
 
+/// Response-cache counters, the wire-visible snapshot of
+/// [`ResponseCache::stats`](crate::ResponseCache::stats).
+///
+/// `hits + misses == lookups` and `bytes <= budget_bytes` hold in every
+/// snapshot (the cache updates all counters under one lock). A disabled
+/// cache (`budget_bytes == 0`, the default) reports all zeros.
+///
+/// On the wire this is an **additive** `ServiceStats` field like
+/// [`SchedulerTotals`]: decoding a pre-cache snapshot (no `cache` key)
+/// yields all zeros rather than an error, per the `docs/PROTOCOL.md`
+/// schema-evolution rules.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct CacheStats {
+    /// Cache probes (`hits + misses`).
+    pub lookups: u64,
+    /// Lookups answered from a resident entry.
+    pub hits: u64,
+    /// Lookups that fell through to planning.
+    pub misses: u64,
+    /// Entries stored (replacing a resident key counts again).
+    pub insertions: u64,
+    /// Entries dropped to uphold the byte budget.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+    /// Bytes currently charged against the budget (the sum of
+    /// [`entry_cost`](crate::cache::entry_cost) over resident entries).
+    pub bytes: u64,
+    /// High-water mark of `bytes` over the cache's lifetime.
+    pub peak_bytes: u64,
+    /// Configured byte budget; `0` means the cache is disabled.
+    pub budget_bytes: u64,
+}
+
+// Hand-written for the same reason as `SchedulerTotals` above: a
+// snapshot from a pre-cache peer has no `cache` key, and must decode as
+// zeros instead of failing on the missing field.
+#[cfg(feature = "serde")]
+impl serde::Deserialize for CacheStats {
+    fn deserialize(value: &serde::Value) -> Result<Self, serde::Error> {
+        let map = value.as_map("CacheStats")?;
+        Ok(CacheStats {
+            lookups: serde::field(map, "CacheStats", "lookups")?,
+            hits: serde::field(map, "CacheStats", "hits")?,
+            misses: serde::field(map, "CacheStats", "misses")?,
+            insertions: serde::field(map, "CacheStats", "insertions")?,
+            evictions: serde::field(map, "CacheStats", "evictions")?,
+            entries: serde::field(map, "CacheStats", "entries")?,
+            bytes: serde::field(map, "CacheStats", "bytes")?,
+            peak_bytes: serde::field(map, "CacheStats", "peak_bytes")?,
+            budget_bytes: serde::field(map, "CacheStats", "budget_bytes")?,
+        })
+    }
+
+    fn deserialize_missing(_ty: &str, _field: &str) -> Result<Self, serde::Error> {
+        Ok(CacheStats::default())
+    }
+}
+
 /// One consistent snapshot of the whole service, from
 /// [`PlanService::stats`](crate::PlanService::stats).
-#[derive(Debug, Clone)]
+///
+/// `Default` is the all-zero snapshot of a service that has served
+/// nothing (no planners registered) — what a router-side load report
+/// carries in its service-stats slot, since a router exposes
+/// `RouterStats` instead.
+#[derive(Debug, Clone, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ServiceStats {
     /// Submissions currently waiting for admission (queue depth).
@@ -241,10 +306,14 @@ pub struct ServiceStats {
     pub pool: rayon::PoolStats,
     /// Per-registration breakdown, in registration-name order.
     pub planners: Vec<PlannerStats>,
-    /// Dataflow-scheduler totals across all served batches. Declared
-    /// (and serialized) last: pre-dataflow decoders ignore the unknown
-    /// key, and pre-dataflow snapshots decode here as zeros.
+    /// Dataflow-scheduler totals across all served batches. Additive
+    /// field: pre-dataflow decoders ignore the unknown key, and
+    /// pre-dataflow snapshots decode here as zeros.
     pub scheduler: SchedulerTotals,
+    /// Response-cache counters. Declared (and serialized) last, same
+    /// additive rule: pre-cache decoders ignore the unknown key, and
+    /// pre-cache snapshots decode here as zeros.
+    pub cache: CacheStats,
 }
 
 #[cfg(test)]

@@ -1,0 +1,213 @@
+//! Property suite for the content-addressed response cache
+//! (`qrm_server::cache`): the byte budget is never exceeded, eviction
+//! order is *exactly* LRU (checked against a reference model), and
+//! interleaved concurrent lookups/inserts keep the counters consistent
+//! (`hits + misses == lookups`, `bytes <= budget`).
+//!
+//! The remaining cache satellite — a hit's payload re-encodes to bytes
+//! identical to a recompute — needs the wire codec and lives in
+//! `crates/wire/tests/cache_bytes.rs`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use qrm_control::pipeline::PipelineReport;
+use qrm_core::grid::AtomGrid;
+use qrm_server::cache::{entry_cost, ResponseCache};
+
+/// A payload whose [`entry_cost`] scales with `shots`, so budgets can
+/// be tuned to hold an exact number of entries.
+fn payload(shots: usize) -> Arc<Vec<PipelineReport>> {
+    let grid = AtomGrid::new(8, 8).expect("grid");
+    Arc::new(
+        (0..shots)
+            .map(|_| PipelineReport {
+                rounds: Vec::new(),
+                final_state: grid.clone(),
+                filled: true,
+            })
+            .collect(),
+    )
+}
+
+/// One scripted cache operation.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Insert `key` with a payload of `shots` reports.
+    Insert { key: u8, shots: usize },
+    /// Probe `key` (hit refreshes recency).
+    Lookup { key: u8 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    (0u8..6, 1usize..4, any::<bool>()).prop_map(|(key, shots, is_insert)| {
+        if is_insert {
+            Op::Insert { key, shots }
+        } else {
+            Op::Lookup { key }
+        }
+    })
+}
+
+/// Reference model: MRU-first list of `(key, cost)`. Mirrors the
+/// documented semantics exactly — insert replaces + refreshes, a
+/// too-big entry is rejected outright, hits refresh, eviction pops from
+/// the LRU end until the budget holds.
+#[derive(Default)]
+struct Model {
+    entries: Vec<(u8, usize)>,
+}
+
+impl Model {
+    fn bytes(&self) -> usize {
+        self.entries.iter().map(|(_, cost)| cost).sum()
+    }
+
+    fn insert(&mut self, key: u8, cost: usize, budget: usize) {
+        if cost > budget {
+            return;
+        }
+        self.entries.retain(|(k, _)| *k != key);
+        self.entries.insert(0, (key, cost));
+        while self.bytes() > budget {
+            self.entries.pop();
+        }
+    }
+
+    fn lookup(&mut self, key: u8) -> bool {
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            let entry = self.entries.remove(pos);
+            self.entries.insert(0, entry);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn contains(&self, key: u8) -> bool {
+        self.entries.iter().any(|(k, _)| *k == key)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After every operation: residency matches the reference LRU model
+    /// key for key (so eviction picked exactly the least recently used
+    /// victims), charged bytes match the model's sum and never exceed
+    /// the budget, and the counter identity holds.
+    #[test]
+    fn lru_eviction_matches_the_reference_model(
+        budget in 200usize..1200,
+        ops in proptest::collection::vec(arb_op(), 1..80),
+    ) {
+        let cache = ResponseCache::new(budget);
+        let mut model = Model::default();
+        let mut expected_hits = 0u64;
+        let mut expected_lookups = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Insert { key, shots } => {
+                    let reports = payload(shots);
+                    let cost = entry_cost(&[key], &reports);
+                    cache.insert(vec![key], reports);
+                    model.insert(key, cost, budget);
+                }
+                Op::Lookup { key } => {
+                    let hit = cache.lookup(&[key]).is_some();
+                    prop_assert_eq!(hit, model.lookup(key));
+                    expected_lookups += 1;
+                    expected_hits += u64::from(hit);
+                }
+            }
+            let stats = cache.stats();
+            prop_assert!(stats.bytes <= budget as u64, "budget exceeded: {stats:?}");
+            prop_assert_eq!(stats.bytes, model.bytes() as u64);
+            prop_assert_eq!(stats.entries, model.entries.len() as u64);
+            prop_assert_eq!(stats.hits + stats.misses, stats.lookups);
+            prop_assert_eq!(stats.lookups, expected_lookups);
+            prop_assert_eq!(stats.hits, expected_hits);
+            for key in 0u8..6 {
+                prop_assert_eq!(
+                    cache.contains(&[key]),
+                    model.contains(key),
+                    "residency diverged on key {} ",
+                    key
+                );
+            }
+        }
+    }
+
+    /// A resident entry's payload comes back exactly as stored,
+    /// whatever churn surrounds it.
+    #[test]
+    fn hits_return_the_stored_payload(
+        shots in 1usize..4,
+        churn in proptest::collection::vec(arb_op(), 0..40),
+    ) {
+        // Budget large enough that key 200 (outside the churn key
+        // space) is never evicted.
+        let cache = ResponseCache::new(1 << 20);
+        let stored = payload(shots);
+        cache.insert(vec![200], Arc::clone(&stored));
+        for op in churn {
+            match op {
+                Op::Insert { key, shots } => cache.insert(vec![key], payload(shots)),
+                Op::Lookup { key } => {
+                    cache.lookup(&[key]);
+                }
+            }
+        }
+        let got = cache.lookup(&[200]).expect("entry survives under-budget churn");
+        prop_assert_eq!(got.as_ref(), stored.as_ref());
+    }
+}
+
+/// Interleaved concurrent lookups and inserts from several threads:
+/// the counter identity `hits + misses == lookups` survives, charged
+/// bytes stay within budget, and the entry gauge matches residency.
+#[test]
+fn concurrent_ops_keep_counters_consistent() {
+    let one = payload(1);
+    let budget = 6 * entry_cost(&[0], &one); // room for ~6 of 8 keys
+    let cache = ResponseCache::new(budget);
+    let lookups = AtomicU64::new(0);
+    let threads = 4;
+    let ops_per_thread = 400;
+
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let (cache, lookups) = (&cache, &lookups);
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(9000 + t as u64);
+                for _ in 0..ops_per_thread {
+                    let key = rng.gen_range(0..8u8);
+                    if rng.gen_bool(0.5) {
+                        cache.insert(vec![key], payload(rng.gen_range(1..3usize)));
+                    } else {
+                        cache.lookup(&[key]);
+                        lookups.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = cache.stats();
+    assert_eq!(stats.lookups, lookups.load(Ordering::Relaxed));
+    assert_eq!(stats.hits + stats.misses, stats.lookups);
+    assert!(stats.bytes <= budget as u64);
+    assert!(stats.peak_bytes <= budget as u64);
+    let resident = (0u8..8).filter(|&k| cache.contains(&[k])).count();
+    assert_eq!(stats.entries, resident as u64);
+    assert_eq!(
+        stats.bytes > 0,
+        stats.entries > 0,
+        "bytes and entries agree on emptiness"
+    );
+}

@@ -10,7 +10,8 @@
 //!
 //! Every type that crosses the wire — [`PlannerChoice`],
 //! [`BatchSpec`], [`SubmitBatch`], [`BatchReport`], [`ServiceStats`],
-//! and the transport-level [`ErrorReply`] — implements [`ToJson`] /
+//! and the transport-level [`ErrorReply`] and [`RouterStats`] —
+//! implements [`ToJson`] /
 //! [`FromJson`] (blanket impls over the derived `serde` traits), so
 //! encoding is one method call and decoding returns typed errors,
 //! never panics. The exact schemas are documented field-by-field in
@@ -185,4 +186,42 @@ impl fmt::Display for ErrorReply {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{} ({})", self.error, self.code)
     }
+}
+
+/// One backend's slice of a [`RouterStats`] snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct BackendRouteStats {
+    /// The backend's address, as configured on the router.
+    pub addr: String,
+    /// Last health-probe verdict (`GET /v1/healthz` answered 2xx).
+    pub healthy: bool,
+    /// Requests this backend answered (any HTTP status).
+    pub routed: u64,
+    /// Relay attempts that failed *provably unaccepted* and moved on to
+    /// the next ring node.
+    pub failed_over: u64,
+}
+
+/// Snapshot of the consistent-hash router front end, served at
+/// `GET /v1/router/stats` (`docs/PROTOCOL.md` documents the schema and
+/// the routing semantics it observes).
+///
+/// `relayed + no_backend <= requests` (the difference is requests
+/// rejected before ring selection, e.g. malformed bodies), and
+/// `relayed == Σ backends.routed`.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RouterStats {
+    /// `POST /v1/batch` requests the router accepted for routing.
+    pub requests: u64,
+    /// Requests a backend answered (the answer was relayed verbatim,
+    /// whatever its status).
+    pub relayed: u64,
+    /// Failovers: relay attempts abandoned on a *provably unaccepted*
+    /// failure, summed over all backends.
+    pub failovers: u64,
+    /// Requests every ring candidate refused — answered `503
+    /// no_backend` locally.
+    pub no_backend: u64,
+    /// Per-backend breakdown, in ring-declaration order.
+    pub backends: Vec<BackendRouteStats>,
 }

@@ -1,0 +1,100 @@
+//! The response cache's **byte-identity** contract at the wire layer.
+//!
+//! Two properties make "serve it from the cache" indistinguishable on
+//! the wire from "plan it again":
+//!
+//! 1. The cache key is **exactly as fine-grained as the wire encoding**:
+//!    two submissions share a [`SubmitBatch::cache_key`] iff their JSON
+//!    encodings are byte-equal. Coarser and the cache could alias two
+//!    different workloads; finer and repeats would never hit.
+//! 2. A cache hit's reports encode to the **same bytes** as a fresh
+//!    recomputation of the spec (timing fields excluded by living
+//!    outside the reports), so no client — or digest-diffing CI job —
+//!    can tell which path served it.
+
+use proptest::prelude::*;
+
+use qrm_control::pipeline::{PipelineConfig, PlannerChoice};
+use qrm_core::scheduler::QrmConfig;
+use qrm_server::{BatchSpec, PlanService, SubmitBatch};
+use qrm_wire::ToJson;
+
+/// A submission drawn from a space deliberately rich in near-misses:
+/// few planner names, small numeric ranges, and `fill` values that
+/// include bit-level float neighbours (`0.5` vs `0.5000000000000001`).
+fn submissions() -> impl Strategy<Value = SubmitBatch> {
+    const PLANNERS: [&str; 3] = ["qrm", "typical", "q"];
+    const FILLS: [f64; 4] = [0.5, 0.5000000000000001, 0.55, 1.0];
+    (
+        0usize..PLANNERS.len(),
+        0usize..3,
+        10usize..13,
+        0u64..4,
+        0usize..FILLS.len(),
+    )
+        .prop_map(|(planner, shots, size, seed, fill)| {
+            SubmitBatch::new(
+                PLANNERS[planner],
+                BatchSpec::new(shots, size, seed).with_fill(FILLS[fill]),
+            )
+        })
+}
+
+proptest! {
+    /// Key equality ⇔ wire-byte equality, in both directions.
+    #[test]
+    fn cache_key_equality_matches_wire_byte_equality(
+        a in submissions(),
+        b in submissions(),
+    ) {
+        let keys_equal = a.cache_key() == b.cache_key();
+        let bytes_equal = a.to_json() == b.to_json();
+        prop_assert_eq!(
+            keys_equal, bytes_equal,
+            "cache key and wire encoding disagree: {} vs {}",
+            a.to_json(), b.to_json()
+        );
+    }
+
+    /// The key is self-consistent: recomputing it yields the same bytes
+    /// (no hidden state), and a clone shares it.
+    #[test]
+    fn cache_key_is_a_pure_function_of_the_submission(a in submissions()) {
+        prop_assert_eq!(a.cache_key(), a.cache_key());
+        prop_assert_eq!(a.clone().cache_key(), a.cache_key());
+    }
+}
+
+#[test]
+fn cache_hits_reencode_byte_identically_to_recomputation() {
+    let build = || {
+        PlanService::builder()
+            .register(
+                "qrm",
+                PlannerChoice::Software(QrmConfig::paper()),
+                PipelineConfig {
+                    workers: 1,
+                    max_rounds: 2,
+                    ..PipelineConfig::default()
+                },
+            )
+            .cache_bytes(1 << 20)
+            .build()
+    };
+    let request = SubmitBatch::new("qrm", BatchSpec::new(3, 12, 71));
+
+    // Warm one service and hit it; a second service recomputes cold.
+    let warm = build();
+    warm.submit(&request).expect("warm miss");
+    let hit = warm.submit(&request).expect("warm hit");
+    assert_eq!(warm.stats().cache.hits, 1, "second submit must hit");
+    let cold = build();
+    let recomputed = cold.submit(&request).expect("cold recomputation");
+    assert_eq!(cold.stats().cache.hits, 0);
+
+    assert_eq!(
+        hit.reports.to_json(),
+        recomputed.reports.to_json(),
+        "cached reports must be wire-byte-identical to recomputation"
+    );
+}

@@ -93,16 +93,65 @@ fn service_stats_v1_stays_decodable() {
 
 #[test]
 fn service_stats_v1_dataflow_stays_decodable() {
-    // The current canonical encoding, with the `scheduler` field:
-    // byte-identity applies again.
-    let stats: ServiceStats = assert_golden(
-        "service_stats.v1.dataflow",
-        include_str!("golden/service_stats.v1.dataflow.json"),
-    );
+    // Frozen **pre-cache** encoding: it has the `scheduler` field but
+    // predates `cache`, so — like the pre-dataflow fixture above — it
+    // is decode-only, proving the additive rule one generation on: a
+    // missing `cache` key reads as all zeros instead of an error.
+    let text = include_str!("golden/service_stats.v1.dataflow.json").trim_end_matches('\n');
+    let stats = ServiceStats::from_json(text)
+        .expect("pre-cache service_stats.v1.dataflow fixture stopped decoding");
     assert_eq!(stats.batches_served, 1);
     assert_eq!(stats.shots_served, 4);
     assert!(stats.scheduler.planned_shots >= 4);
     assert!(stats.scheduler.tasks_dispatched > 0);
+    assert_eq!(
+        stats.cache,
+        qrm_server::CacheStats::default(),
+        "absent cache key must decode as zeros"
+    );
+}
+
+#[test]
+fn service_stats_v1_cache_stays_decodable() {
+    // The current canonical encoding, with both additive fields
+    // (`scheduler` and `cache`): byte-identity applies again. The
+    // fixture came from a cache-enabled service serving the same spec
+    // twice, so the cache counters are visibly nonzero.
+    let stats: ServiceStats = assert_golden(
+        "service_stats.v1.cache",
+        include_str!("golden/service_stats.v1.cache.json"),
+    );
+    assert_eq!(stats.batches_served, 2);
+    assert!(stats.scheduler.tasks_dispatched > 0);
+    assert_eq!(stats.cache.lookups, 2);
+    assert_eq!(stats.cache.hits, 1);
+    assert_eq!(stats.cache.misses, 1);
+    assert_eq!(stats.cache.entries, 1);
+    assert!(stats.cache.bytes > 0);
+    assert!(stats.cache.budget_bytes > 0);
+}
+
+#[test]
+fn router_stats_v1_stays_decodable() {
+    let stats: qrm_wire::RouterStats = assert_golden(
+        "router_stats.v1",
+        include_str!("golden/router_stats.v1.json"),
+    );
+    assert_eq!(stats.requests, 24);
+    assert_eq!(stats.relayed, 24);
+    assert_eq!(stats.failovers, 1);
+    assert_eq!(stats.backends.len(), 3);
+    assert_eq!(
+        stats.backends.iter().map(|b| b.routed).sum::<u64>(),
+        stats.relayed,
+        "fixture's per-backend counts sum to its relay total"
+    );
+    let dead = stats
+        .backends
+        .iter()
+        .find(|b| !b.healthy)
+        .expect("one dead");
+    assert_eq!(dead.failed_over, 1);
 }
 
 #[test]
@@ -141,21 +190,84 @@ fn regenerate_fixtures() {
         )
         .build();
     let report = service.submit(&request).expect("fixture submission");
-    let stats = service.stats();
     let reply = ErrorReply::new("unknown_planner", "no planner registered as \"nope\"");
+
+    // The cache fixture's service: cache on, same spec twice, so the
+    // snapshot carries one miss, one hit, one resident entry.
+    let cached_service = qrm_server::PlanService::builder()
+        .register(
+            "qrm",
+            PlannerChoice::Software(QrmConfig::paper()),
+            PipelineConfig {
+                workers: 1,
+                max_rounds: 2,
+                ..PipelineConfig::default()
+            },
+        )
+        .cache_bytes(1 << 20)
+        .build();
+    cached_service
+        .submit(&request)
+        .expect("cache-miss submission");
+    cached_service
+        .submit(&request)
+        .expect("cache-hit submission");
+    let cached_stats = cached_service.stats();
+
+    // A router snapshot is hand-built: the counters are plain data and
+    // a literal keeps the fixture independent of socket timing.
+    let router_stats = qrm_wire::RouterStats {
+        requests: 24,
+        relayed: 24,
+        failovers: 1,
+        no_backend: 0,
+        backends: vec![
+            qrm_wire::BackendRouteStats {
+                addr: "127.0.0.1:7101".to_string(),
+                healthy: true,
+                routed: 13,
+                failed_over: 0,
+            },
+            qrm_wire::BackendRouteStats {
+                addr: "127.0.0.1:7102".to_string(),
+                healthy: false,
+                routed: 5,
+                failed_over: 1,
+            },
+            qrm_wire::BackendRouteStats {
+                addr: "127.0.0.1:7103".to_string(),
+                healthy: true,
+                routed: 6,
+                failed_over: 0,
+            },
+        ],
+    };
 
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
     std::fs::create_dir_all(&dir).expect("create fixture dir");
+    // Fully deterministic payloads may be rewritten; payloads carrying
+    // measured fields (wall_us, latency histograms) are written only
+    // when absent, so a routine regeneration cannot churn bytes that
+    // exist purely to pin the decoder. The frozen generational fixtures
+    // (`service_stats.v1.json` pre-dataflow, `service_stats.v1.dataflow
+    // .json` pre-cache) are NEVER rewritten: each is an old encoder's
+    // output, kept to prove its missing-field decode path — today's
+    // encoder cannot reproduce them.
     let write = |name: &str, text: String| {
         std::fs::write(dir.join(name), text + "\n").expect("write fixture");
     };
+    // "Absent" includes a zero-length placeholder: `include_str!` needs
+    // the file to exist before the first regeneration can compile.
+    let write_if_absent = |name: &str, text: String| {
+        let path = dir.join(name);
+        if std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0) == 0 {
+            write(name, text);
+        }
+    };
     write("batch_spec.v1.json", spec.to_json());
     write("submit_batch.v1.json", request.to_json());
-    write("batch_report.v1.json", report.to_json());
-    // `service_stats.v1.json` is deliberately NOT rewritten: it is the
-    // frozen pre-dataflow encoding that keeps the missing-`scheduler`
-    // decode path honest. Only the current canonical encoding is
-    // regenerated.
-    write("service_stats.v1.dataflow.json", stats.to_json());
     write("error_reply.v1.json", reply.to_json());
+    write("router_stats.v1.json", router_stats.to_json());
+    write_if_absent("batch_report.v1.json", report.to_json());
+    write_if_absent("service_stats.v1.cache.json", cached_stats.to_json());
 }

@@ -80,7 +80,7 @@ pub type Job = Box<dyn FnOnce() + Send + 'static>;
 /// assert. `local_hits + injector_hits + steals` equals `jobs_executed`
 /// once the pool is quiescent: every executed job was taken from exactly
 /// one of the three sources.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PoolStats {
     /// Worker threads serving the pool.
