@@ -38,9 +38,15 @@
 //!
 //! ```text
 //! experiments -- serve --listen 127.0.0.1:7070 [--workers N] [--rounds N] [--max-inflight N]
-//!                      [--cache-bytes N]
+//!                      [--cache-bytes N] [--auth-token TOK] [--stream-threshold N]
 //! experiments -- serve --remote 127.0.0.1:7070 [--clients N] [--batches N] ...
 //! ```
+//!
+//! `--auth-token` makes the `--listen` server require
+//! `Authorization: Bearer TOK` (and `--remote` clients send it);
+//! `--stream-threshold` chunks response bodies at or above N bytes —
+//! both exist so CI can diff the remote digest through the
+//! authenticated, streamed path.
 //!
 //! `route` is the fleet front end (`docs/PROTOCOL.md`, router section):
 //! `--listen` stands up a consistent-hash router over running backends,
@@ -342,11 +348,19 @@ fn parse_serve_args(args: &[String]) -> Result<(ServeMode, ServeConfig), String>
             "--repeat" => {
                 serve.repeat = parse_num::<usize>(&value("--repeat")?, "--repeat")?.max(1);
             }
+            "--auth-token" => {
+                // Leaked once per process: `ServeConfig` stays `Copy`.
+                serve.auth_token = Some(Box::leak(value("--auth-token")?.into_boxed_str()));
+            }
+            "--stream-threshold" => {
+                serve.stream_threshold =
+                    parse_num(&value("--stream-threshold")?, "--stream-threshold")?;
+            }
             "--listen" => mode = ServeMode::Listen(value("--listen")?),
             "--remote" => mode = ServeMode::Remote(value("--remote")?),
             other => {
                 return Err(format!(
-                    "unknown serve flag {other:?}; use --clients/--batches/--shots/--size/--rounds/--seed/--workers/--max-inflight/--cache-bytes/--repeat/--listen/--remote"
+                    "unknown serve flag {other:?}; use --clients/--batches/--shots/--size/--rounds/--seed/--workers/--max-inflight/--cache-bytes/--repeat/--auth-token/--stream-threshold/--listen/--remote"
                 ))
             }
         }
@@ -455,7 +469,7 @@ fn parse_num<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, String> {
 /// as a background process and kill it when done).
 fn serve_listen(addr: &str, serve: &ServeConfig) {
     let service = std::sync::Arc::new(build_service(serve));
-    let server = match qrm_net::Server::bind(addr, service, qrm_net::NetConfig::default()) {
+    let server = match qrm_net::Server::bind(addr, service, net_config(serve)) {
         Ok(server) => server,
         Err(err) => {
             eprintln!("--listen {addr}: bind failed: {err}");
@@ -463,13 +477,15 @@ fn serve_listen(addr: &str, serve: &ServeConfig) {
         }
     };
     println!(
-        "listening on http://{} (planners: {}, workers={}, rounds={}, max_inflight={}, cache_bytes={})",
+        "listening on http://{} (planners: {}, workers={}, rounds={}, max_inflight={}, cache_bytes={}, auth={}, stream_threshold={})",
         server.addr(),
         planner_choices().len(),
         serve.workers,
         serve.rounds,
         serve.max_inflight,
         serve.cache_bytes,
+        if serve.auth_token.is_some() { "on" } else { "off" },
+        serve.stream_threshold,
     );
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));

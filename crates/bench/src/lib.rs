@@ -678,6 +678,14 @@ pub struct ServeConfig {
     /// Passes beyond the first hit identical specs, so with a cache
     /// enabled they measure the cached path; digests count every pass.
     pub repeat: usize,
+    /// Bearer token: a `--listen` server requires it on every request
+    /// and `--remote` clients send it (`None` = auth off). `&'static`
+    /// keeps the config `Copy`; the CLI leaks its parsed flag once.
+    pub auth_token: Option<&'static str>,
+    /// Response-streaming threshold handed to the served
+    /// [`NetConfig`](qrm_net::NetConfig): bodies at or above this many
+    /// bytes leave as chunked streams.
+    pub stream_threshold: usize,
 }
 
 impl Default for ServeConfig {
@@ -693,7 +701,22 @@ impl Default for ServeConfig {
             max_inflight: 0,
             cache_bytes: 0,
             repeat: 1,
+            auth_token: None,
+            stream_threshold: qrm_net::NetConfig::default().stream_threshold,
         }
+    }
+}
+
+/// The [`qrm_net::NetConfig`] a load run's server side should bind
+/// with: the library defaults, plus whatever transport knobs
+/// (`auth_token`, `stream_threshold`) the serve parameters carry —
+/// kept in one place so the CLI's `--listen` server and in-test
+/// servers cannot drift apart.
+pub fn net_config(serve: &ServeConfig) -> qrm_net::NetConfig {
+    qrm_net::NetConfig {
+        auth_token: serve.auth_token.map(str::to_string),
+        stream_threshold: serve.stream_threshold,
+        ..qrm_net::NetConfig::default()
     }
 }
 
@@ -937,15 +960,20 @@ pub fn service_load(serve: &ServeConfig) -> ServeReport {
 /// contract, network leg. Panics on submission errors (unknown
 /// planner, unreachable server mid-run).
 pub fn remote_load(addr: &str, serve: &ServeConfig) -> ServeReport {
+    let connect = |addr: &str| {
+        let client = qrm_net::Client::connect(addr.to_string());
+        match serve.auth_token {
+            Some(token) => client.with_auth_token(token),
+            None => client,
+        }
+    };
     let (digest, wall_us) = drive_load(serve, || {
-        let mut client = qrm_net::Client::connect(addr.to_string());
+        let mut client = connect(addr);
         move |request: &qrm_server::SubmitBatch| {
             client.submit(request).expect("remote load submission")
         }
     });
-    let stats = qrm_net::Client::connect(addr.to_string())
-        .stats()
-        .expect("remote stats");
+    let stats = connect(addr).stats().expect("remote stats");
     assemble_report(serve, digest, wall_us, stats)
 }
 

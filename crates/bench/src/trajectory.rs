@@ -35,7 +35,7 @@ use crate::{build_service, engine_workload, paper_instance, wait_for_server, Ser
 pub const TRAJECTORY_SCHEMA: &str = "qrm-bench-trajectory/v1";
 
 /// PR number stamped into the default snapshot (`BENCH_<pr>.json`).
-pub const TRAJECTORY_PR: u64 = 8;
+pub const TRAJECTORY_PR: u64 = 9;
 
 /// Jobs the owner pushes per push/pop batch and per steal round.
 const DEQUE_BATCH: usize = 256;
@@ -118,6 +118,11 @@ pub struct Trajectory {
     /// Median µs for the same repeated submit over loopback HTTP: the
     /// floor the wire stack (JSON, TCP, HTTP) puts under a cache hit.
     pub http_cached_us: f64,
+    /// Median µs for the same submit against a server whose
+    /// `stream_threshold` is 1 byte, so every response body goes out
+    /// `Transfer-Encoding: chunked` — the streaming path's overhead
+    /// relative to the plain `http` median.
+    pub http_streamed_us: f64,
     /// Median per-shot completion µs of the skewed workload
     /// ([`crate::skewed_workload`]) under the shot-level dataflow
     /// scheduler.
@@ -230,12 +235,9 @@ pub fn measure(config: &TrajectoryConfig) -> Trajectory {
             })
             .expect("http median");
     server.shutdown();
-    // Dropping the client matters, not just hygiene: its keep-alive
-    // connection's handler runs as a *pool job* blocked on the socket,
-    // occupying a pool worker until the client hangs up. Left alive, it
-    // would starve the dataflow measurement below of its pool worker
-    // (the caller alone drains spawns FIFO through the injector, which
-    // degrades the scheduler to breadth-first order).
+    // An idle keep-alive connection costs only a poller registration on
+    // the event loop's own thread — no pool worker is pinned (that was
+    // the pre-event-loop failure mode). The drop is plain hygiene now.
     drop(client);
 
     // Cached service layer: the same submission against a service with
@@ -288,8 +290,36 @@ pub fn measure(config: &TrajectoryConfig) -> Trajectory {
         "cached-http benchmark never hit its cache"
     );
     cached_server.shutdown();
-    // Same pool-worker hygiene as the uncached http client above.
     drop(cached_client);
+
+    // Streamed HTTP layer: the same submission against a server whose
+    // stream threshold is 1 byte, forcing every response body through
+    // the chunked-encoding writer and the client's chunked decoder.
+    // The delta against `http` prices the streaming frame overhead.
+    let streamed_remote = Arc::new(build_service(&serve));
+    let mut streamed_server = qrm_net::Server::bind(
+        "127.0.0.1:0",
+        streamed_remote,
+        qrm_net::NetConfig {
+            stream_threshold: 1,
+            ..qrm_net::NetConfig::default()
+        },
+    )
+    .expect("bind streamed loopback server");
+    let streamed_addr = streamed_server.addr().to_string();
+    assert!(
+        wait_for_server(&streamed_addr, Duration::from_secs(5)),
+        "streamed loopback server failed to come up"
+    );
+    let mut streamed_client = qrm_net::Client::connect(streamed_addr);
+    let http_streamed_us = 1e6
+        * group
+            .bench_median("http_streamed", |b| {
+                b.iter(|| streamed_client.submit(&request).expect("streamed submit"));
+            })
+            .expect("streamed http median");
+    streamed_server.shutdown();
+    drop(streamed_client);
 
     // Skewed-pipeline layer: the dataflow scheduler vs the preserved
     // stage-barrier baseline, same workload, same planner, same run.
@@ -348,6 +378,7 @@ pub fn measure(config: &TrajectoryConfig) -> Trajectory {
         http_us,
         service_cached_us,
         http_cached_us,
+        http_streamed_us,
         pipeline_skewed_us,
         pipeline_skewed_barriered_us,
         spawn_chain_ns,
@@ -475,6 +506,9 @@ pub fn to_json(trajectory: &Trajectory, quick: bool) -> String {
                 // same reason.
                 ("service_cached", Value::F64(trajectory.service_cached_us)),
                 ("http_cached", Value::F64(trajectory.http_cached_us)),
+                // Added in PR 9 (the readiness event loop's chunked
+                // response path); optional for the same reason.
+                ("http_streamed", Value::F64(trajectory.http_streamed_us)),
             ]),
         ),
         (
@@ -498,12 +532,14 @@ pub const LAYER_KEYS: [&str; 5] = ["kernel", "engine", "pipeline", "service", "h
 /// Layer medians added after the schema froze: **optional** for the
 /// validator (older snapshots lack them) but still required to be
 /// finite and positive when present. `pipeline_skewed*` arrived in
-/// PR 7, the cached-path medians in PR 8.
-pub const OPTIONAL_LAYER_KEYS: [&str; 4] = [
+/// PR 7, the cached-path medians in PR 8, the streamed-response
+/// median in PR 9.
+pub const OPTIONAL_LAYER_KEYS: [&str; 5] = [
     "pipeline_skewed",
     "pipeline_skewed_barriered",
     "service_cached",
     "http_cached",
+    "http_streamed",
 ];
 
 /// Pool metrics that are optional for the same reason.
@@ -590,6 +626,7 @@ pub fn summary(trajectory: &Trajectory) -> String {
     format!(
         "layers_us: kernel {:.1} | engine {:.1} | pipeline {:.1} | service {:.1} | http {:.1}\n\
          cached-path us: service {:.1} (vs {:.1} uncached) | http {:.1} (vs {:.1} uncached)\n\
+         streamed http us: {:.1} (vs {:.1} whole-body)\n\
          skewed shot completion us (median): dataflow {:.1} vs barriered {:.1}\n\
          spawn chain hand-off ns: {:.1}\n\
          pool steal/s (1 thief): chase_lev {:.0} vs mutex {:.0}\n\
@@ -603,6 +640,8 @@ pub fn summary(trajectory: &Trajectory) -> String {
         trajectory.service_cached_us,
         trajectory.service_us,
         trajectory.http_cached_us,
+        trajectory.http_us,
+        trajectory.http_streamed_us,
         trajectory.http_us,
         trajectory.pipeline_skewed_us,
         trajectory.pipeline_skewed_barriered_us,
@@ -697,6 +736,12 @@ mod tests {
         // The PR-8 cached-path medians follow the same optional rule.
         validate(&snapshot(",\"service_cached\":1.0,\"http_cached\":2.0", ""))
             .expect("cached-path snapshot validates");
+        // And the PR-9 streamed-response median.
+        validate(&snapshot(",\"http_streamed\":1.0", ""))
+            .expect("streamed-path snapshot validates");
+        assert!(validate(&snapshot(",\"http_streamed\":0.0", ""))
+            .unwrap_err()
+            .contains("http_streamed"));
         // Present but zero: rejected, same as any required metric.
         assert!(validate(&snapshot(",\"pipeline_skewed\":0.0", ""))
             .unwrap_err()
@@ -720,5 +765,10 @@ mod tests {
     #[test]
     fn checked_in_bench_7_still_validates() {
         validate(include_str!("../../../BENCH_7.json")).expect("BENCH_7.json validates");
+    }
+
+    #[test]
+    fn checked_in_bench_8_still_validates() {
+        validate(include_str!("../../../BENCH_8.json")).expect("BENCH_8.json validates");
     }
 }

@@ -82,6 +82,7 @@ pub struct Client {
     stream: Option<BufReader<TcpStream>>,
     read_timeout: Duration,
     max_response_bytes: usize,
+    auth_token: Option<String>,
 }
 
 impl Client {
@@ -93,7 +94,17 @@ impl Client {
             stream: None,
             read_timeout: Duration::from_secs(60),
             max_response_bytes: 256 << 20,
+            auth_token: None,
         }
+    }
+
+    /// Attaches a bearer token sent as `Authorization: Bearer <token>`
+    /// on every request, for servers running with
+    /// [`NetConfig::auth_token`](crate::NetConfig::auth_token) set.
+    #[must_use]
+    pub fn with_auth_token(mut self, token: impl Into<String>) -> Client {
+        self.auth_token = Some(token.into());
+        self
     }
 
     /// Replaces the largest accepted response body (default 256 MiB).
@@ -260,8 +271,12 @@ impl Client {
         let reader = self.stream.as_mut().expect("connected above");
 
         let body = body.unwrap_or("");
+        let auth = match &self.auth_token {
+            Some(token) => format!("authorization: Bearer {token}\r\n"),
+            None => String::new(),
+        };
         let head = format!(
-            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n",
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-type: application/json\r\n{auth}content-length: {}\r\n\r\n",
             self.addr,
             body.len(),
         );
@@ -329,6 +344,7 @@ impl Client {
             .map_err(|_| Attempt::taken(ClientError::Protocol(format!("bad status {status:?}"))))?;
 
         let mut content_length: Option<usize> = None;
+        let mut chunked = false;
         let mut keep_alive = true;
         loop {
             let mut line = String::new();
@@ -356,28 +372,85 @@ impl Client {
                 content_length = Some(value.parse().map_err(|_| {
                     Attempt::taken(ClientError::Protocol("bad content-length".to_string()))
                 })?);
+            } else if name == "transfer-encoding" {
+                if !value.eq_ignore_ascii_case("chunked") {
+                    return Err(Attempt::taken(ClientError::Protocol(format!(
+                        "unsupported transfer-encoding {value:?}"
+                    ))));
+                }
+                chunked = true;
             } else if name == "connection" && value.eq_ignore_ascii_case("close") {
                 keep_alive = false;
             }
         }
-        let length = content_length.ok_or_else(|| {
-            Attempt::taken(ClientError::Protocol("missing content-length".to_string()))
-        })?;
-        if length > max_response_bytes {
-            return Err(Attempt::taken(ClientError::Protocol(format!(
-                "response of {length} bytes exceeds the client's {max_response_bytes}-byte limit"
-            ))));
-        }
-        let mut body = vec![0u8; length];
-        reader
-            .read_exact(&mut body)
-            .map_err(|err| Attempt::taken(err.into()))?;
+        let body = if chunked {
+            Self::read_chunked_body(reader, max_response_bytes)?
+        } else {
+            let length = content_length.ok_or_else(|| {
+                Attempt::taken(ClientError::Protocol("missing content-length".to_string()))
+            })?;
+            if length > max_response_bytes {
+                return Err(Attempt::taken(ClientError::Protocol(format!(
+                    "response of {length} bytes exceeds the client's {max_response_bytes}-byte limit"
+                ))));
+            }
+            let mut body = vec![0u8; length];
+            reader
+                .read_exact(&mut body)
+                .map_err(|err| Attempt::taken(err.into()))?;
+            body
+        };
         let body = String::from_utf8(body).map_err(|_| {
             Attempt::taken(ClientError::Protocol(
                 "response body is not UTF-8".to_string(),
             ))
         })?;
         Ok((status, keep_alive, body))
+    }
+
+    /// Decodes a `Transfer-Encoding: chunked` response body. Once any
+    /// chunk byte has been read the request was certainly taken, so
+    /// every failure here is `Attempt::taken`.
+    fn read_chunked_body(
+        reader: &mut BufReader<TcpStream>,
+        max_response_bytes: usize,
+    ) -> Result<Vec<u8>, Attempt> {
+        let protocol = |what: &str| Attempt::taken(ClientError::Protocol(what.to_string()));
+        let mut body = Vec::new();
+        loop {
+            let mut line = String::new();
+            match reader.read_line(&mut line) {
+                Ok(0) => return Err(protocol("truncated chunked body")),
+                Err(err) => return Err(Attempt::taken(err.into())),
+                Ok(_) => {}
+            }
+            let size_str = line.trim_end().split(';').next().unwrap_or("");
+            let size =
+                usize::from_str_radix(size_str, 16).map_err(|_| protocol("bad chunk size"))?;
+            if body.len().saturating_add(size) > max_response_bytes {
+                return Err(protocol("chunked response exceeds the client's limit"));
+            }
+            if size > 0 {
+                let start = body.len();
+                body.resize(start + size, 0);
+                reader
+                    .read_exact(&mut body[start..])
+                    .map_err(|err| Attempt::taken(err.into()))?;
+            }
+            // Chunk data (and the final size line) end with CRLF; after
+            // the zero-size chunk this doubles as the trailer-section
+            // terminator (the server sends no trailers).
+            let mut crlf = [0u8; 2];
+            reader
+                .read_exact(&mut crlf)
+                .map_err(|err| Attempt::taken(err.into()))?;
+            if &crlf != b"\r\n" {
+                return Err(protocol("missing chunk terminator"));
+            }
+            if size == 0 {
+                return Ok(body);
+            }
+        }
     }
 }
 

@@ -26,13 +26,20 @@
 //!
 //! ## Threading
 //!
-//! One dedicated OS thread accepts connections; each connection is a
-//! job on the vendored rayon worker pool, serving keep-alive requests
-//! until the peer closes or [`NetConfig::keep_alive`] expires. The
-//! planning work itself fans out through the same pool
-//! (`Pipeline::run_batch` rounds are pool jobs; blocked scopes help
-//! execute, so connection handlers cannot deadlock the pool they
-//! occupy).
+//! One dedicated OS thread runs a readiness event loop (over the
+//! vendored [`polling`] epoll shim) that owns the listener and every
+//! connection, all in non-blocking mode: each connection is an
+//! explicit state machine (`KeepAliveIdle → ReadingHead → ReadingBody
+//! → Planning → Writing`) advanced only when its socket is ready.
+//! Complete `POST /v1/batch` requests are handed to the vendored rayon
+//! worker pool as planning jobs; everything else — parsing, light
+//! routes, response streaming — happens on the loop thread. A
+//! connection therefore costs a pool slot only while its request is
+//! actually planning: thousands of idle keep-alive connections (or
+//! slowloris peers trickling bytes) consume no pool workers at all.
+//! [`NetConfig::keep_alive`] bounds idle time between requests and
+//! [`NetConfig::request_timeout`] bounds a started request and a
+//! response drain.
 //!
 //! ## Determinism
 //!

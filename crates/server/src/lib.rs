@@ -83,4 +83,6 @@ mod stats;
 pub use cache::ResponseCache;
 pub use request::{BatchReport, BatchSpec, ServiceError, SubmitBatch};
 pub use service::{PlanService, PlanServiceBuilder, ServiceConfig};
-pub use stats::{CacheStats, LatencyHistogram, PlannerStats, SchedulerTotals, ServiceStats};
+pub use stats::{
+    CacheStats, LatencyHistogram, NetStats, PlannerStats, SchedulerTotals, ServiceStats,
+};

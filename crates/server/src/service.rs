@@ -12,7 +12,7 @@ use qrm_control::pipeline::{Pipeline, PipelineConfig, PlannerChoice};
 
 use crate::cache::ResponseCache;
 use crate::request::{BatchReport, ServiceError, SubmitBatch};
-use crate::stats::{LatencyHistogram, PlannerStats, SchedulerTotals, ServiceStats};
+use crate::stats::{LatencyHistogram, NetStats, PlannerStats, SchedulerTotals, ServiceStats};
 
 /// Service-level configuration (everything *not* per-planner).
 #[derive(Debug, Clone, Copy, Default)]
@@ -379,6 +379,9 @@ impl PlanService {
             pool: rayon::global_pool_stats().since(&self.pool_baseline),
             scheduler: *self.scheduler.lock().expect("scheduler totals poisoned"),
             cache: self.cache.stats(),
+            // The service itself has no transport: the HTTP front end
+            // splices live connection gauges in before serialization.
+            net: NetStats::default(),
             planners: self
                 .regs
                 .iter()

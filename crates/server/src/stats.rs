@@ -279,6 +279,85 @@ impl serde::Deserialize for CacheStats {
     }
 }
 
+/// HTTP front-end connection gauges, maintained by `qrm_net`'s
+/// readiness event loop and spliced into the `GET /v1/stats` snapshot
+/// (an in-process [`PlanService::stats`](crate::PlanService::stats)
+/// reports all zeros here — the front end owns these counters, the
+/// service never sees a socket).
+///
+/// `open_connections` is a live gauge; everything else is monotone.
+/// `accepted_total == open_connections + closed_total` holds in every
+/// snapshot, and `closed_total` is the sum of the per-cause
+/// `closed_*` counters.
+///
+/// On the wire this is an **additive** `ServiceStats` field like
+/// [`SchedulerTotals`] and [`CacheStats`]: decoding a pre-net snapshot
+/// (no `net` key) yields all zeros rather than an error, per the
+/// `docs/PROTOCOL.md` schema-evolution rules.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct NetStats {
+    /// Connections currently open (accepted, not yet closed).
+    pub open_connections: u64,
+    /// High-water mark of `open_connections` over the server's life.
+    pub peak_open: u64,
+    /// Connections accepted since the server started.
+    pub accepted_total: u64,
+    /// Connections closed since the server started (any cause).
+    pub closed_total: u64,
+    /// Requests fully parsed and dispatched (all routes).
+    pub requests_served: u64,
+    /// Requests refused with `401 unauthorized`.
+    pub auth_failures: u64,
+    /// Closes: idle keep-alive timeout between requests.
+    pub closed_idle: u64,
+    /// Closes: total request deadline expired mid-request.
+    pub closed_request_timeout: u64,
+    /// Closes: the peer stopped draining a response past the deadline.
+    pub closed_write_stalled: u64,
+    /// Closes: the peer closed first (or asked to via
+    /// `Connection: close`), including mid-request half-closes and
+    /// resets.
+    pub closed_peer: u64,
+    /// Closes: a framing violation ended the connection after its
+    /// typed error reply.
+    pub closed_framing: u64,
+    /// Closes: server shutdown (or fault-injection sever).
+    pub closed_shutdown: u64,
+    /// Closes: the connection cap was reached; accepted and
+    /// immediately shed.
+    pub closed_over_capacity: u64,
+}
+
+// Hand-written for the same reason as `SchedulerTotals` and
+// `CacheStats` above: a snapshot from a pre-net peer has no `net` key,
+// and must decode as zeros instead of failing on the missing field.
+#[cfg(feature = "serde")]
+impl serde::Deserialize for NetStats {
+    fn deserialize(value: &serde::Value) -> Result<Self, serde::Error> {
+        let map = value.as_map("NetStats")?;
+        Ok(NetStats {
+            open_connections: serde::field(map, "NetStats", "open_connections")?,
+            peak_open: serde::field(map, "NetStats", "peak_open")?,
+            accepted_total: serde::field(map, "NetStats", "accepted_total")?,
+            closed_total: serde::field(map, "NetStats", "closed_total")?,
+            requests_served: serde::field(map, "NetStats", "requests_served")?,
+            auth_failures: serde::field(map, "NetStats", "auth_failures")?,
+            closed_idle: serde::field(map, "NetStats", "closed_idle")?,
+            closed_request_timeout: serde::field(map, "NetStats", "closed_request_timeout")?,
+            closed_write_stalled: serde::field(map, "NetStats", "closed_write_stalled")?,
+            closed_peer: serde::field(map, "NetStats", "closed_peer")?,
+            closed_framing: serde::field(map, "NetStats", "closed_framing")?,
+            closed_shutdown: serde::field(map, "NetStats", "closed_shutdown")?,
+            closed_over_capacity: serde::field(map, "NetStats", "closed_over_capacity")?,
+        })
+    }
+
+    fn deserialize_missing(_ty: &str, _field: &str) -> Result<Self, serde::Error> {
+        Ok(NetStats::default())
+    }
+}
+
 /// One consistent snapshot of the whole service, from
 /// [`PlanService::stats`](crate::PlanService::stats).
 ///
@@ -310,10 +389,15 @@ pub struct ServiceStats {
     /// field: pre-dataflow decoders ignore the unknown key, and
     /// pre-dataflow snapshots decode here as zeros.
     pub scheduler: SchedulerTotals,
-    /// Response-cache counters. Declared (and serialized) last, same
-    /// additive rule: pre-cache decoders ignore the unknown key, and
-    /// pre-cache snapshots decode here as zeros.
+    /// Response-cache counters. Additive field, same rule: pre-cache
+    /// decoders ignore the unknown key, and pre-cache snapshots decode
+    /// here as zeros.
     pub cache: CacheStats,
+    /// HTTP front-end connection gauges, spliced in by `qrm_net`'s
+    /// event loop (zeros in-process). Declared (and serialized) last,
+    /// same additive rule: pre-net decoders ignore the unknown key,
+    /// and pre-net snapshots decode here as zeros.
+    pub net: NetStats,
 }
 
 #[cfg(test)]

@@ -113,14 +113,14 @@ fn service_stats_v1_dataflow_stays_decodable() {
 
 #[test]
 fn service_stats_v1_cache_stays_decodable() {
-    // The current canonical encoding, with both additive fields
-    // (`scheduler` and `cache`): byte-identity applies again. The
-    // fixture came from a cache-enabled service serving the same spec
-    // twice, so the cache counters are visibly nonzero.
-    let stats: ServiceStats = assert_golden(
-        "service_stats.v1.cache",
-        include_str!("golden/service_stats.v1.cache.json"),
-    );
+    // Frozen **pre-net** encoding: it has `scheduler` and `cache` but
+    // predates the `net` connection gauges, so — like the two older
+    // generational fixtures above — it is now decode-only, proving the
+    // additive rule one more generation on: a missing `net` key reads
+    // as all zeros instead of an error.
+    let text = include_str!("golden/service_stats.v1.cache.json").trim_end_matches('\n');
+    let stats = ServiceStats::from_json(text)
+        .expect("pre-net service_stats.v1.cache fixture stopped decoding");
     assert_eq!(stats.batches_served, 2);
     assert!(stats.scheduler.tasks_dispatched > 0);
     assert_eq!(stats.cache.lookups, 2);
@@ -129,6 +129,43 @@ fn service_stats_v1_cache_stays_decodable() {
     assert_eq!(stats.cache.entries, 1);
     assert!(stats.cache.bytes > 0);
     assert!(stats.cache.budget_bytes > 0);
+    assert_eq!(
+        stats.net,
+        qrm_server::NetStats::default(),
+        "absent net key must decode as zeros"
+    );
+}
+
+#[test]
+fn service_stats_v1_net_stays_decodable() {
+    // The current canonical encoding, with all three additive fields
+    // (`scheduler`, `cache`, and the HTTP front end's `net` gauges):
+    // byte-identity applies again. The net counters are visibly
+    // nonzero so a decoder that silently zeroes the new block cannot
+    // pass on byte identity alone.
+    let stats: ServiceStats = assert_golden(
+        "service_stats.v1.net",
+        include_str!("golden/service_stats.v1.net.json"),
+    );
+    assert_eq!(stats.batches_served, 2);
+    assert!(stats.cache.lookups > 0);
+    assert_eq!(stats.net.open_connections, 2);
+    assert_eq!(stats.net.peak_open, 3);
+    assert_eq!(stats.net.accepted_total, 9);
+    assert_eq!(stats.net.closed_total, 7);
+    assert_eq!(stats.net.requests_served, 41);
+    assert_eq!(stats.net.auth_failures, 1);
+    assert_eq!(
+        stats.net.closed_idle
+            + stats.net.closed_request_timeout
+            + stats.net.closed_write_stalled
+            + stats.net.closed_peer
+            + stats.net.closed_framing
+            + stats.net.closed_shutdown
+            + stats.net.closed_over_capacity,
+        stats.net.closed_total,
+        "fixture's per-cause close counts sum to its close total"
+    );
 }
 
 #[test]
@@ -212,7 +249,27 @@ fn regenerate_fixtures() {
     cached_service
         .submit(&request)
         .expect("cache-hit submission");
-    let cached_stats = cached_service.stats();
+    let mut net_stats = cached_service.stats();
+    // The connection gauges are hand-built, like the router snapshot:
+    // plain counters, and a literal keeps the fixture independent of
+    // socket timing. Per-cause closes must sum to `closed_total` and
+    // `accepted_total` must equal `open + closed` (the documented
+    // invariants, asserted by the golden test).
+    net_stats.net = qrm_server::NetStats {
+        open_connections: 2,
+        peak_open: 3,
+        accepted_total: 9,
+        closed_total: 7,
+        requests_served: 41,
+        auth_failures: 1,
+        closed_idle: 3,
+        closed_request_timeout: 1,
+        closed_write_stalled: 0,
+        closed_peer: 1,
+        closed_framing: 1,
+        closed_shutdown: 0,
+        closed_over_capacity: 1,
+    };
 
     // A router snapshot is hand-built: the counters are plain data and
     // a literal keeps the fixture independent of socket timing.
@@ -250,9 +307,10 @@ fn regenerate_fixtures() {
     // when absent, so a routine regeneration cannot churn bytes that
     // exist purely to pin the decoder. The frozen generational fixtures
     // (`service_stats.v1.json` pre-dataflow, `service_stats.v1.dataflow
-    // .json` pre-cache) are NEVER rewritten: each is an old encoder's
-    // output, kept to prove its missing-field decode path — today's
-    // encoder cannot reproduce them.
+    // .json` pre-cache, `service_stats.v1.cache.json` pre-net) are
+    // NEVER rewritten: each is an old encoder's output, kept to prove
+    // its missing-field decode path — today's encoder cannot reproduce
+    // them.
     let write = |name: &str, text: String| {
         std::fs::write(dir.join(name), text + "\n").expect("write fixture");
     };
@@ -269,5 +327,5 @@ fn regenerate_fixtures() {
     write("error_reply.v1.json", reply.to_json());
     write("router_stats.v1.json", router_stats.to_json());
     write_if_absent("batch_report.v1.json", report.to_json());
-    write_if_absent("service_stats.v1.cache.json", cached_stats.to_json());
+    write_if_absent("service_stats.v1.net.json", net_stats.to_json());
 }

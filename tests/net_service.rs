@@ -8,9 +8,11 @@
 //! The suite also exercises every documented endpoint and the HTTP
 //! front end's failure surface (`docs/PROTOCOL.md`): malformed JSON,
 //! schema violations, unknown planners, oversized bodies, bad
-//! methods, unknown routes, missing content-length, chunked bodies,
-//! and over-limit specs all produce the documented status + stable
-//! `ErrorReply` code, never a hang or a protocol violation.
+//! methods, unknown routes, missing content-length, unsupported
+//! transfer encodings, and over-limit specs all produce the
+//! documented status + stable `ErrorReply` code, never a hang or a
+//! protocol violation. (Chunked request bodies are *served* — and
+//! pinned here — since the event-loop front end.)
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -347,10 +349,11 @@ fn over_limit_specs_are_refused_before_planning() {
         .expect("within limits");
 }
 
-/// Sends raw bytes and returns `(status, ErrorReply)` parsed from the
+/// Sends raw bytes and returns `(status, body)` split from the
 /// response.
-fn raw_error(server: &Server, payload: &str) -> (u16, ErrorReply) {
-    let response = raw_roundtrip(server.addr(), payload.as_bytes()).expect("raw exchange");
+fn raw_exchange(server: &Server, payload: &str) -> (u16, String) {
+    let response = raw_roundtrip(server.addr(), payload.as_bytes(), &NetConfig::default())
+        .expect("raw exchange");
     let status: u16 = response
         .split(' ')
         .nth(1)
@@ -361,7 +364,14 @@ fn raw_error(server: &Server, payload: &str) -> (u16, ErrorReply) {
         .split("\r\n\r\n")
         .nth(1)
         .expect("body after blank line");
-    let reply = ErrorReply::from_json(body).expect("typed error body");
+    (status, body.to_string())
+}
+
+/// Sends raw bytes and returns `(status, ErrorReply)` parsed from the
+/// response.
+fn raw_error(server: &Server, payload: &str) -> (u16, ErrorReply) {
+    let (status, body) = raw_exchange(server, payload);
+    let reply = ErrorReply::from_json(&body).expect("typed error body");
     (status, reply)
 }
 
@@ -442,14 +452,45 @@ fn post_without_content_length_is_a_typed_411() {
 }
 
 #[test]
-fn chunked_bodies_are_a_typed_501() {
+fn chunked_request_bodies_are_served() {
+    let (server, service) = serve_all(1);
+    let body = SubmitBatch::new("typical", BatchSpec::new(1, 12, 4)).to_json();
+    let (first, rest) = body.split_at(body.len() / 2);
+    let payload = format!(
+        "POST /v1/batch HTTP/1.1\r\ntransfer-encoding: chunked\r\nconnection: close\r\n\r\n\
+         {:x}\r\n{first}\r\n{:x}\r\n{rest}\r\n0\r\n\r\n",
+        first.len(),
+        rest.len(),
+    );
+    let (status, response) = raw_exchange(&server, &payload);
+    assert_eq!(status, 200, "chunked submission serves: {response}");
+    // The de-chunked submission really reached the service.
+    assert_eq!(service.stats().batches_served, 1);
+}
+
+#[test]
+fn non_chunked_transfer_encodings_are_a_typed_501() {
     let (server, _service) = serve_all(1);
     let (status, reply) = raw_error(
         &server,
-        "POST /v1/batch HTTP/1.1\r\ntransfer-encoding: chunked\r\nconnection: close\r\n\r\n",
+        "POST /v1/batch HTTP/1.1\r\ntransfer-encoding: gzip\r\nconnection: close\r\n\r\n",
     );
     assert_eq!(status, 501);
     assert_eq!(reply.code, "unsupported_transfer_encoding");
+}
+
+#[test]
+fn chunked_body_conflicting_with_content_length_is_refused() {
+    // CL + TE on one request is the request-smuggling shape; the
+    // server refuses it outright rather than picking a winner.
+    let (server, _service) = serve_all(1);
+    let (status, reply) = raw_error(
+        &server,
+        "POST /v1/batch HTTP/1.1\r\ntransfer-encoding: chunked\r\ncontent-length: 5\r\n\
+         connection: close\r\n\r\n0\r\n\r\n",
+    );
+    assert_eq!(status, 400);
+    assert_eq!(reply.code, "bad_request");
 }
 
 #[test]
@@ -473,8 +514,8 @@ fn idle_keep_alive_connections_are_closed_and_clients_reconnect() {
 #[test]
 fn trickled_request_bytes_cannot_pin_a_connection_past_the_deadline() {
     // A per-read idle timeout alone would let a peer send one byte per
-    // interval forever, pinning a worker-pool slot. Once a request's
-    // first byte arrives, the total request deadline must close the
+    // interval forever, pinning server state. Once a request's first
+    // byte arrives, the total request deadline must close the
     // connection no matter how steadily bytes trickle in.
     use std::io::{Read, Write};
 
@@ -510,6 +551,32 @@ fn trickled_request_bytes_cannot_pin_a_connection_past_the_deadline() {
     // The pool slot is free again: a healthy request serves promptly.
     let mut client = Client::connect(server.addr().to_string());
     assert_eq!(client.healthz().expect("alive after trickle").status, "ok");
+}
+
+#[test]
+fn raw_roundtrip_timeout_tracks_the_configured_deadlines() {
+    // `raw_roundtrip` used to hardcode a 10 s read timeout, silently
+    // disagreeing with whatever deadlines the server was configured
+    // with. It now derives its wait from the config: with short
+    // configured deadlines, an unanswered (incomplete) request must
+    // resolve in roughly keep_alive + request_timeout — not 10 s.
+    let config = NetConfig {
+        keep_alive: Duration::from_millis(100),
+        request_timeout: Duration::from_millis(200),
+        ..NetConfig::default()
+    };
+    let (server, _service) = serve_all_with(1, config.clone());
+    let started = std::time::Instant::now();
+    // Incomplete head: the server's request deadline closes the
+    // connection; the helper's read-to-EOF then returns empty.
+    let response = raw_roundtrip(server.addr(), b"POST /v1/batch HTTP/1.1\r\n", &config)
+        .expect("deadline close yields clean EOF");
+    assert_eq!(response, "", "no reply to an incomplete request");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "bounded by the configured deadlines, not a hardcoded 10 s: {:?}",
+        started.elapsed()
+    );
 }
 
 #[test]

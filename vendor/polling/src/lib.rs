@@ -1,0 +1,730 @@
+//! Offline stand-in for the `polling` crate: a portable readiness
+//! notifier over **level-triggered** OS polling, implementing exactly
+//! the surface `qrm_net`'s event loop uses.
+//!
+//! A [`Poller`] watches a set of raw file descriptors, each registered
+//! under a caller-chosen `usize` key with a read/write [`Interest`];
+//! [`Poller::wait`] blocks until at least one descriptor is ready (or a
+//! timeout expires) and reports [`Event`]s. [`Poller::notify`] wakes a
+//! concurrent `wait` from any thread — the self-pipe trick, used by the
+//! server to push pool-job completions into the loop.
+//!
+//! Backends:
+//!
+//! * **Linux** — `epoll` via direct `extern "C"` declarations
+//!   (`epoll_create1`/`epoll_ctl`/`epoll_wait`), level-triggered.
+//! * **other unix** — `poll(2)` over a mutex-protected registration
+//!   map; the same level-triggered semantics at O(n) per wait.
+//!
+//! Error (`EPOLLERR`) and hang-up (`EPOLLHUP`) conditions are reported
+//! as *both* readable and writable, so a state machine that only
+//! watches one direction still gets woken to observe the failure on
+//! its next `read`/`write`.
+//!
+//! Like the real crate, a registered descriptor must be explicitly
+//! [`delete`](Poller::delete)d before being closed; the key space is
+//! the caller's, except [`NOTIFY_KEY`] which the poller reserves for
+//! its internal wake pipe.
+
+#![deny(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::io;
+use std::os::fd::{AsRawFd, RawFd};
+use std::time::Duration;
+
+/// The key the poller's internal wake pipe is registered under; never
+/// reported from [`Poller::wait`] and rejected by [`Poller::add`].
+pub const NOTIFY_KEY: usize = usize::MAX;
+
+/// Which readiness directions a registration asks to be woken for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the descriptor becomes readable.
+    pub readable: bool,
+    /// Wake when the descriptor becomes writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable only.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Writable only.
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Both directions.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+}
+
+/// One readiness report from [`Poller::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The key the ready descriptor was registered under.
+    pub key: usize,
+    /// The descriptor is readable (or in error/hang-up).
+    pub readable: bool,
+    /// The descriptor is writable (or in error/hang-up).
+    pub writable: bool,
+}
+
+mod sys {
+    #![allow(non_camel_case_types)]
+
+    pub type c_int = i32;
+    #[cfg(all(unix, not(target_os = "linux")))]
+    pub type c_short = i16;
+    #[cfg(all(unix, not(target_os = "linux")))]
+    pub type c_ulong = u64;
+    pub type ssize_t = isize;
+    pub type size_t = usize;
+
+    pub const O_NONBLOCK: c_int = 0o4000;
+    pub const O_CLOEXEC: c_int = 0o2000000;
+
+    extern "C" {
+        pub fn pipe2(fds: *mut c_int, flags: c_int) -> c_int;
+        pub fn close(fd: c_int) -> c_int;
+        pub fn read(fd: c_int, buf: *mut u8, count: size_t) -> ssize_t;
+        pub fn write(fd: c_int, buf: *const u8, count: size_t) -> ssize_t;
+    }
+
+    #[cfg(target_os = "linux")]
+    pub mod epoll {
+        use super::c_int;
+
+        pub const EPOLL_CLOEXEC: c_int = super::O_CLOEXEC;
+        pub const EPOLL_CTL_ADD: c_int = 1;
+        pub const EPOLL_CTL_DEL: c_int = 2;
+        pub const EPOLL_CTL_MOD: c_int = 3;
+        pub const EPOLLIN: u32 = 0x001;
+        pub const EPOLLOUT: u32 = 0x004;
+        pub const EPOLLERR: u32 = 0x008;
+        pub const EPOLLHUP: u32 = 0x010;
+
+        /// The kernel's `struct epoll_event`. On x86-64 the C
+        /// definition carries `__attribute__((packed))`, so the Rust
+        /// mirror must too or `epoll_wait` would scribble past every
+        /// other entry of the event array.
+        #[cfg(target_arch = "x86_64")]
+        #[repr(C, packed)]
+        #[derive(Clone, Copy)]
+        pub struct epoll_event {
+            pub events: u32,
+            pub data: u64,
+        }
+
+        #[cfg(not(target_arch = "x86_64"))]
+        #[repr(C)]
+        #[derive(Clone, Copy)]
+        pub struct epoll_event {
+            pub events: u32,
+            pub data: u64,
+        }
+
+        extern "C" {
+            pub fn epoll_create1(flags: c_int) -> c_int;
+            pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+            pub fn epoll_wait(
+                epfd: c_int,
+                events: *mut epoll_event,
+                maxevents: c_int,
+                timeout: c_int,
+            ) -> c_int;
+        }
+    }
+
+    #[cfg(all(unix, not(target_os = "linux")))]
+    pub mod poll {
+        use super::{c_int, c_short, c_ulong};
+
+        pub const POLLIN: c_short = 0x001;
+        pub const POLLOUT: c_short = 0x004;
+        pub const POLLERR: c_short = 0x008;
+        pub const POLLHUP: c_short = 0x010;
+
+        #[repr(C)]
+        #[derive(Clone, Copy)]
+        pub struct pollfd {
+            pub fd: c_int,
+            pub events: c_short,
+            pub revents: c_short,
+        }
+
+        extern "C" {
+            pub fn poll(fds: *mut pollfd, nfds: c_ulong, timeout: c_int) -> c_int;
+        }
+    }
+}
+
+#[cfg(not(unix))]
+compile_error!("vendor/polling implements unix backends only (epoll on Linux, poll elsewhere)");
+
+/// Converts the last OS error into `io::Error`.
+fn last_error() -> io::Error {
+    io::Error::last_os_error()
+}
+
+fn check(ret: sys::c_int) -> io::Result<sys::c_int> {
+    if ret < 0 {
+        Err(last_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// Milliseconds for the kernel timeout argument: `None` blocks forever
+/// (-1); a nonzero duration rounds **up** so a 300 µs deadline cannot
+/// degenerate into a `0` (non-blocking) poll and spin the caller hot.
+fn timeout_ms(timeout: Option<Duration>) -> sys::c_int {
+    match timeout {
+        None => -1,
+        Some(t) => {
+            let ms = t.as_millis();
+            let ms = if ms == 0 && !t.is_zero() { 1 } else { ms };
+            ms.min(sys::c_int::MAX as u128) as sys::c_int
+        }
+    }
+}
+
+/// The self-pipe both backends use for [`Poller::notify`]: the read
+/// end sits in the watched set under [`NOTIFY_KEY`]; `notify` writes
+/// one byte (a full pipe means a wakeup is already pending, which is
+/// just as good); `wait` drains it before reporting events.
+#[derive(Debug)]
+struct WakePipe {
+    read_fd: RawFd,
+    write_fd: RawFd,
+}
+
+impl WakePipe {
+    fn new() -> io::Result<WakePipe> {
+        let mut fds = [0 as sys::c_int; 2];
+        // SAFETY: `fds` is a valid 2-element array for `pipe2` to fill.
+        check(unsafe { sys::pipe2(fds.as_mut_ptr(), sys::O_NONBLOCK | sys::O_CLOEXEC) })?;
+        Ok(WakePipe {
+            read_fd: fds[0],
+            write_fd: fds[1],
+        })
+    }
+
+    fn notify(&self) {
+        let byte = [1u8];
+        // SAFETY: writing one byte from a valid buffer to an owned fd.
+        // EAGAIN (pipe full) is success: a wakeup is already queued.
+        let _ = unsafe { sys::write(self.write_fd, byte.as_ptr(), 1) };
+    }
+
+    fn drain(&self) {
+        let mut buf = [0u8; 64];
+        loop {
+            // SAFETY: reading into a valid owned buffer from an owned
+            // non-blocking fd; 0/negative returns end the drain.
+            let n = unsafe { sys::read(self.read_fd, buf.as_mut_ptr(), buf.len()) };
+            if n <= 0 {
+                return;
+            }
+        }
+    }
+}
+
+impl Drop for WakePipe {
+    fn drop(&mut self) {
+        // SAFETY: closing fds this struct owns, exactly once.
+        unsafe {
+            sys::close(self.read_fd);
+            sys::close(self.write_fd);
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod backend {
+    use super::sys::epoll::*;
+    use super::{check, last_error, sys, timeout_ms, Event, Interest, WakePipe, NOTIFY_KEY};
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::time::Duration;
+
+    /// Level-triggered `epoll` poller.
+    #[derive(Debug)]
+    pub struct Poller {
+        epoll_fd: RawFd,
+        wake: WakePipe,
+    }
+
+    fn event_bits(interest: Interest) -> u32 {
+        let mut bits = 0;
+        if interest.readable {
+            bits |= EPOLLIN;
+        }
+        if interest.writable {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            // SAFETY: plain syscall; the returned fd is owned here.
+            let epoll_fd = check(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            let wake = WakePipe::new()?;
+            let poller = Poller { epoll_fd, wake };
+            poller.ctl(EPOLL_CTL_ADD, poller.wake.read_fd, EPOLLIN, NOTIFY_KEY)?;
+            Ok(poller)
+        }
+
+        fn ctl(&self, op: sys::c_int, fd: RawFd, events: u32, key: usize) -> io::Result<()> {
+            let mut event = epoll_event {
+                events,
+                data: key as u64,
+            };
+            // SAFETY: `event` is a valid epoll_event for the duration
+            // of the call; fds are the caller's responsibility per the
+            // crate contract (register while open, delete before close).
+            check(unsafe { epoll_ctl(self.epoll_fd, op, fd, &mut event) })?;
+            Ok(())
+        }
+
+        pub fn add(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, event_bits(interest), key)
+        }
+
+        pub fn modify(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, event_bits(interest), key)
+        }
+
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+        }
+
+        pub fn wait(
+            &self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            events.clear();
+            const CAPACITY: usize = 256;
+            let mut raw = [epoll_event { events: 0, data: 0 }; CAPACITY];
+            let n = loop {
+                // SAFETY: `raw` is a valid array of CAPACITY entries
+                // for the kernel to fill.
+                let n = unsafe {
+                    epoll_wait(
+                        self.epoll_fd,
+                        raw.as_mut_ptr(),
+                        CAPACITY as sys::c_int,
+                        timeout_ms(timeout),
+                    )
+                };
+                if n >= 0 {
+                    break n as usize;
+                }
+                let err = last_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+                // EINTR: retry. (The timeout restarts, which over-waits
+                // at worst; callers re-derive deadlines per iteration.)
+            };
+            for entry in raw.iter().take(n) {
+                // A packed struct's fields can't be borrowed; copy out.
+                let (bits, key) = (entry.events, entry.data as usize);
+                if key == NOTIFY_KEY {
+                    self.wake.drain();
+                    continue;
+                }
+                let broken = bits & (EPOLLERR | EPOLLHUP) != 0;
+                events.push(Event {
+                    key,
+                    readable: bits & EPOLLIN != 0 || broken,
+                    writable: bits & EPOLLOUT != 0 || broken,
+                });
+            }
+            Ok(events.len())
+        }
+
+        pub fn notify(&self) {
+            self.wake.notify();
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            // SAFETY: closing the epoll fd this struct owns.
+            unsafe {
+                sys::close(self.epoll_fd);
+            }
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod backend {
+    use super::sys::poll::*;
+    use super::{last_error, sys, timeout_ms, Event, Interest, WakePipe, NOTIFY_KEY};
+    use std::collections::BTreeMap;
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    /// `poll(2)` fallback: the registration set lives in a mutex map
+    /// and is rebuilt into a `pollfd` array on every wait.
+    #[derive(Debug)]
+    pub struct Poller {
+        registrations: Mutex<BTreeMap<RawFd, (usize, Interest)>>,
+        wake: WakePipe,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller {
+                registrations: Mutex::new(BTreeMap::new()),
+                wake: WakePipe::new()?,
+            })
+        }
+
+        pub fn add(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+            let mut map = self.registrations.lock().expect("poller map");
+            if map.insert(fd, (key, interest)).is_some() {
+                return Err(io::ErrorKind::AlreadyExists.into());
+            }
+            Ok(())
+        }
+
+        pub fn modify(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+            let mut map = self.registrations.lock().expect("poller map");
+            match map.get_mut(&fd) {
+                Some(slot) => {
+                    *slot = (key, interest);
+                    Ok(())
+                }
+                None => Err(io::ErrorKind::NotFound.into()),
+            }
+        }
+
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            let mut map = self.registrations.lock().expect("poller map");
+            match map.remove(&fd) {
+                Some(_) => Ok(()),
+                None => Err(io::ErrorKind::NotFound.into()),
+            }
+        }
+
+        pub fn wait(
+            &self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            events.clear();
+            let mut fds: Vec<pollfd> = vec![pollfd {
+                fd: self.wake.read_fd,
+                events: POLLIN,
+                revents: 0,
+            }];
+            let mut keys: Vec<usize> = vec![NOTIFY_KEY];
+            {
+                let map = self.registrations.lock().expect("poller map");
+                for (&fd, &(key, interest)) in map.iter() {
+                    let mut bits = 0;
+                    if interest.readable {
+                        bits |= POLLIN;
+                    }
+                    if interest.writable {
+                        bits |= POLLOUT;
+                    }
+                    fds.push(pollfd {
+                        fd,
+                        events: bits,
+                        revents: 0,
+                    });
+                    keys.push(key);
+                }
+            }
+            let n = loop {
+                // SAFETY: `fds` is a valid array of pollfd entries.
+                let n = unsafe {
+                    poll(
+                        fds.as_mut_ptr(),
+                        fds.len() as sys::c_ulong,
+                        timeout_ms(timeout),
+                    )
+                };
+                if n >= 0 {
+                    break n;
+                }
+                let err = last_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            };
+            if n == 0 {
+                return Ok(0);
+            }
+            for (entry, &key) in fds.iter().zip(&keys) {
+                if entry.revents == 0 {
+                    continue;
+                }
+                if key == NOTIFY_KEY {
+                    self.wake.drain();
+                    continue;
+                }
+                let broken = entry.revents & (POLLERR | POLLHUP) != 0;
+                events.push(Event {
+                    key,
+                    readable: entry.revents & POLLIN != 0 || broken,
+                    writable: entry.revents & POLLOUT != 0 || broken,
+                });
+            }
+            Ok(events.len())
+        }
+
+        pub fn notify(&self) {
+            self.wake.notify();
+        }
+    }
+}
+
+/// A readiness poller over raw file descriptors. See the crate docs
+/// for semantics; all methods are callable from any thread.
+#[derive(Debug)]
+pub struct Poller {
+    inner: backend::Poller,
+}
+
+impl Poller {
+    /// Creates a poller (and its internal wake pipe).
+    ///
+    /// # Errors
+    ///
+    /// Propagates fd-allocation failures (e.g. fd exhaustion).
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller {
+            inner: backend::Poller::new()?,
+        })
+    }
+
+    /// Registers `source` under `key` with the given interest. The
+    /// descriptor must outlive the registration (delete before close).
+    ///
+    /// # Errors
+    ///
+    /// Fails on a duplicate registration or an invalid descriptor;
+    /// [`NOTIFY_KEY`] is reserved and rejected.
+    pub fn add(&self, source: &impl AsRawFd, key: usize, interest: Interest) -> io::Result<()> {
+        if key == NOTIFY_KEY {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "NOTIFY_KEY is reserved for the poller's wake pipe",
+            ));
+        }
+        self.inner.add(source.as_raw_fd(), key, interest)
+    }
+
+    /// Replaces the key/interest of an already-registered descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `source` is not registered.
+    pub fn modify(&self, source: &impl AsRawFd, key: usize, interest: Interest) -> io::Result<()> {
+        if key == NOTIFY_KEY {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "NOTIFY_KEY is reserved for the poller's wake pipe",
+            ));
+        }
+        self.inner.modify(source.as_raw_fd(), key, interest)
+    }
+
+    /// Removes a descriptor from the watched set. Must be called
+    /// before the descriptor is closed.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `source` is not registered.
+    pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+        self.inner.delete(source.as_raw_fd())
+    }
+
+    /// Blocks until at least one watched descriptor is ready, `timeout`
+    /// expires (`Ok(0)`), or [`notify`](Self::notify) is called
+    /// (`Ok(0)` unless real events raced in). `events` is cleared and
+    /// refilled; the return value is its final length.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend poll failures (`EINTR` is retried).
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        self.inner.wait(events, timeout)
+    }
+
+    /// Wakes a concurrent (or the next) [`wait`](Self::wait). Callable
+    /// from any thread; never blocks; coalesces with pending wakeups.
+    pub fn notify(&self) {
+        self.inner.notify();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Instant;
+
+    /// A connected loopback socket pair.
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let client = TcpStream::connect(listener.local_addr().expect("addr")).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        (client, server)
+    }
+
+    #[test]
+    fn readability_is_reported_level_triggered() {
+        let poller = Poller::new().expect("poller");
+        let (mut client, server) = pair();
+        poller.add(&server, 7, Interest::READ).expect("add");
+
+        let mut events = Vec::new();
+        // Nothing to read yet: a short wait times out.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .expect("wait");
+        assert_eq!(n, 0);
+
+        client.write_all(b"x").expect("write");
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .expect("wait");
+        assert_eq!(n, 1);
+        assert_eq!(events[0].key, 7);
+        assert!(events[0].readable);
+
+        // Level-triggered: unread data keeps reporting.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .expect("wait");
+        assert_eq!(n, 1);
+
+        // ...until drained.
+        let mut byte = [0u8; 8];
+        let read = {
+            let mut s = &server;
+            s.read(&mut byte).expect("read")
+        };
+        assert_eq!(read, 1);
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .expect("wait");
+        assert_eq!(n, 0);
+        poller.delete(&server).expect("delete");
+    }
+
+    #[test]
+    fn writability_and_modify() {
+        let poller = Poller::new().expect("poller");
+        let (client, _server) = pair();
+        poller.add(&client, 3, Interest::READ).expect("add");
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .expect("wait");
+        assert_eq!(n, 0, "no read interest satisfied");
+        // An idle socket's send buffer has room: writable immediately
+        // once the interest flips.
+        poller.modify(&client, 3, Interest::WRITE).expect("modify");
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .expect("wait");
+        assert_eq!(n, 1);
+        assert!(events[0].writable);
+        poller.delete(&client).expect("delete");
+    }
+
+    #[test]
+    fn peer_close_wakes_a_read_interest() {
+        let poller = Poller::new().expect("poller");
+        let (client, server) = pair();
+        poller.add(&server, 9, Interest::READ).expect("add");
+        drop(client);
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .expect("wait");
+        assert_eq!(n, 1);
+        assert!(events[0].readable, "EOF reads as readable");
+        poller.delete(&server).expect("delete");
+    }
+
+    #[test]
+    fn notify_wakes_a_blocked_wait_from_another_thread() {
+        let poller = std::sync::Arc::new(Poller::new().expect("poller"));
+        let waker = std::sync::Arc::clone(&poller);
+        let start = Instant::now();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            waker.notify();
+        });
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(30)))
+            .expect("wait");
+        handle.join().expect("join");
+        assert_eq!(n, 0, "notify is not an event");
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "notify must wake the wait long before the timeout"
+        );
+        // Coalesced notifications don't pile up: the next wait times
+        // out instead of waking spuriously.
+        poller.notify();
+        poller.notify();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .expect("wait");
+        assert_eq!(n, 0);
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .expect("wait");
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn reserved_key_and_double_registration_are_rejected() {
+        let poller = Poller::new().expect("poller");
+        let (client, _server) = pair();
+        assert!(poller.add(&client, NOTIFY_KEY, Interest::READ).is_err());
+        poller.add(&client, 1, Interest::READ).expect("add");
+        assert!(
+            poller.add(&client, 2, Interest::READ).is_err(),
+            "one registration per fd"
+        );
+        poller.delete(&client).expect("delete");
+        assert!(poller.delete(&client).is_err(), "already removed");
+    }
+
+    #[test]
+    fn subsecond_timeouts_round_up_not_down() {
+        let poller = Poller::new().expect("poller");
+        let mut events = Vec::new();
+        let start = Instant::now();
+        // 300 µs must not become a 0 ms (non-blocking) poll — that
+        // would let a sub-ms connection deadline spin the event loop.
+        poller
+            .wait(&mut events, Some(Duration::from_micros(300)))
+            .expect("wait");
+        // No assertion on a lower bound (the kernel may round), just
+        // that the call returned without error and without events.
+        assert!(events.is_empty());
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+}
