@@ -356,11 +356,12 @@ fn parse_serve_args(args: &[String]) -> Result<(ServeMode, ServeConfig), String>
                 serve.stream_threshold =
                     parse_num(&value("--stream-threshold")?, "--stream-threshold")?;
             }
+            "--scenario" => serve.scenario = parse_scenario(&value("--scenario")?)?,
             "--listen" => mode = ServeMode::Listen(value("--listen")?),
             "--remote" => mode = ServeMode::Remote(value("--remote")?),
             other => {
                 return Err(format!(
-                    "unknown serve flag {other:?}; use --clients/--batches/--shots/--size/--rounds/--seed/--workers/--max-inflight/--cache-bytes/--repeat/--auth-token/--stream-threshold/--listen/--remote"
+                    "unknown serve flag {other:?}; use --clients/--batches/--shots/--size/--rounds/--seed/--workers/--max-inflight/--cache-bytes/--repeat/--auth-token/--stream-threshold/--scenario/--listen/--remote"
                 ))
             }
         }
@@ -432,9 +433,10 @@ fn parse_route_args(args: &[String]) -> Result<(RouteMode, ServeConfig), String>
             "--repeat" => {
                 serve.repeat = parse_num::<usize>(&value("--repeat")?, "--repeat")?.max(1);
             }
+            "--scenario" => serve.scenario = parse_scenario(&value("--scenario")?)?,
             other => {
                 return Err(format!(
-                    "unknown route flag {other:?}; use --listen/--backends/--replicas or --remote plus --clients/--batches/--shots/--size/--rounds/--seed/--repeat"
+                    "unknown route flag {other:?}; use --listen/--backends/--replicas or --remote plus --clients/--batches/--shots/--size/--rounds/--seed/--repeat/--scenario"
                 ))
             }
         }
@@ -462,6 +464,43 @@ fn parse_route_args(args: &[String]) -> Result<(RouteMode, ServeConfig), String>
 fn parse_num<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, String> {
     raw.parse()
         .map_err(|_| format!("{flag}: invalid number {raw:?}"))
+}
+
+/// Parses a `--scenario` value into a typed [`qrm_server::Scenario`]:
+/// `uniform`, `defects:FRACTION`, `loss:PROB`, `zones:RxC`, or
+/// `correlated:GRAIN:PROB`. Validation of the parameter ranges happens
+/// server-side in [`qrm_server::BatchSpec::validate`], exactly as for
+/// a wire submission.
+fn parse_scenario(raw: &str) -> Result<qrm_server::Scenario, String> {
+    use qrm_server::Scenario;
+    const USAGE: &str =
+        "use uniform | defects:FRACTION | loss:PROB | zones:RxC | correlated:GRAIN:PROB";
+    let mut parts = raw.split(':');
+    let kind = parts.next().unwrap_or_default();
+    let rest: Vec<&str> = parts.collect();
+    match (kind, rest.as_slice()) {
+        ("uniform", []) => Ok(Scenario::UniformFill),
+        ("defects", [fraction]) => Ok(Scenario::DefectMap {
+            dead_fraction: parse_num(fraction, "--scenario defects")?,
+        }),
+        ("loss", [prob]) => Ok(Scenario::AtomLoss {
+            loss_prob: parse_num(prob, "--scenario loss")?,
+        }),
+        ("zones", [geometry]) => {
+            let (rows, cols) = geometry
+                .split_once('x')
+                .ok_or_else(|| format!("--scenario zones needs RxC; {USAGE}"))?;
+            Ok(Scenario::Zones {
+                rows: parse_num(rows, "--scenario zones")?,
+                cols: parse_num(cols, "--scenario zones")?,
+            })
+        }
+        ("correlated", [grain, prob]) => Ok(Scenario::CorrelatedFill {
+            grain: parse_num(grain, "--scenario correlated")?,
+            flip_prob: parse_num(prob, "--scenario correlated")?,
+        }),
+        _ => Err(format!("unknown scenario {raw:?}; {USAGE}")),
+    }
 }
 
 /// Stands up the HTTP front end on `addr` with the standard

@@ -153,9 +153,9 @@ pub fn pipeline_sweep(name: &'static str, choice: &PlannerChoice, sweep: &SweepC
     // The one workload construction shared with the planning service:
     // a sweep row and a `SubmitBatch` with the same (shots, size, seed)
     // plan bit-identical batches.
-    let (truths, target) = qrm_server::BatchSpec::new(sweep.shots, sweep.size, sweep.seed)
-        .workload()
-        .expect("valid sweep workload");
+    let spec = qrm_server::BatchSpec::new(sweep.shots, sweep.size, sweep.seed);
+    let truths = spec.workload().expect("valid sweep workload").truths;
+    let target = spec.target().expect("valid sweep target");
     let pipeline = Pipeline::new(PipelineConfig {
         planner: choice.clone(),
         workers: sweep.workers,
@@ -686,6 +686,11 @@ pub struct ServeConfig {
     /// [`NetConfig`](qrm_net::NetConfig): bodies at or above this many
     /// bytes leave as chunked streams.
     pub stream_threshold: usize,
+    /// Workload scenario stamped onto every generated spec
+    /// ([`qrm_server::Scenario::UniformFill`] = the classic load). The
+    /// same scenario flows through the in-process and remote drivers,
+    /// so scenario-bearing digests stay comparable between them.
+    pub scenario: qrm_server::Scenario,
 }
 
 impl Default for ServeConfig {
@@ -703,6 +708,7 @@ impl Default for ServeConfig {
             repeat: 1,
             auth_token: None,
             stream_threshold: qrm_net::NetConfig::default().stream_threshold,
+            scenario: qrm_server::Scenario::UniformFill,
         }
     }
 }
@@ -799,7 +805,8 @@ fn load_request(
         serve.shots,
         serve.size,
         serve.seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15),
-    );
+    )
+    .with_scenario(serve.scenario);
     qrm_server::SubmitBatch::new(name, spec)
 }
 

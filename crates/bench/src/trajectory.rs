@@ -35,7 +35,7 @@ use crate::{build_service, engine_workload, paper_instance, wait_for_server, Ser
 pub const TRAJECTORY_SCHEMA: &str = "qrm-bench-trajectory/v1";
 
 /// PR number stamped into the default snapshot (`BENCH_<pr>.json`).
-pub const TRAJECTORY_PR: u64 = 9;
+pub const TRAJECTORY_PR: u64 = 10;
 
 /// Jobs the owner pushes per push/pop batch and per steal round.
 const DEQUE_BATCH: usize = 256;
@@ -123,6 +123,11 @@ pub struct Trajectory {
     /// `Transfer-Encoding: chunked` — the streaming path's overhead
     /// relative to the plain `http` median.
     pub http_streamed_us: f64,
+    /// Median µs for the same pipeline batch over a **hostile** array:
+    /// a deterministic defect map (8% dead sites) plus 2% per-round
+    /// atom loss — what scenario workloads cost over the uniform
+    /// `pipeline` median.
+    pub pipeline_hostile_us: f64,
     /// Median per-shot completion µs of the skewed workload
     /// ([`crate::skewed_workload`]) under the shot-level dataflow
     /// scheduler.
@@ -181,7 +186,8 @@ pub fn measure(config: &TrajectoryConfig) -> Trajectory {
     // Pipeline layer: full closed-loop rounds (imaging, planning,
     // execution, loss) with per-item sharded stages.
     let spec = qrm_server::BatchSpec::new(4, 16, 606);
-    let (truths, rect) = spec.workload().expect("pipeline workload");
+    let truths = spec.workload().expect("pipeline workload").truths;
+    let rect = spec.target().expect("pipeline target");
     let pipeline = Pipeline::new(PipelineConfig {
         planner: PlannerChoice::Software(QrmConfig::paper()),
         workers: 0,
@@ -198,6 +204,40 @@ pub fn measure(config: &TrajectoryConfig) -> Trajectory {
                 });
             })
             .expect("pipeline median");
+
+    // Hostile-pipeline layer: the same closed loop on a hostile array —
+    // a deterministic defect map killing 8% of sites plus per-round
+    // atom loss — so the snapshot prices what scenario workloads add
+    // over the uniform `pipeline` median.
+    let hostile_spec =
+        qrm_server::BatchSpec::new(4, 16, 606).with_scenario(qrm_server::Scenario::DefectMap {
+            dead_fraction: 0.08,
+        });
+    let hostile = hostile_spec.workload().expect("hostile workload");
+    let hostile_config = PipelineConfig {
+        planner: PlannerChoice::Software(QrmConfig::paper()),
+        workers: 0,
+        max_rounds: 2,
+        loss_prob: 0.02,
+        ..PipelineConfig::default()
+    };
+    let hostile_planner = hostile_config.planner.resolve(hostile_config.workers);
+    let hostile_pipeline = Pipeline::new(hostile_config);
+    let pipeline_hostile_us = 1e6
+        * group
+            .bench_median("pipeline_hostile", |b| {
+                b.iter(|| {
+                    hostile_pipeline
+                        .run_batch_zones_tracked(
+                            &*hostile_planner,
+                            &hostile.truths,
+                            &hostile.zones,
+                            606,
+                        )
+                        .expect("hostile batch")
+                });
+            })
+            .expect("hostile pipeline median");
 
     // Service layer: the same submission repeated against a warm
     // in-process service (planner registry + admission + stats).
@@ -374,6 +414,7 @@ pub fn measure(config: &TrajectoryConfig) -> Trajectory {
         kernel_us,
         engine_us,
         pipeline_us,
+        pipeline_hostile_us,
         service_us,
         http_us,
         service_cached_us,
@@ -509,6 +550,12 @@ pub fn to_json(trajectory: &Trajectory, quick: bool) -> String {
                 // Added in PR 9 (the readiness event loop's chunked
                 // response path); optional for the same reason.
                 ("http_streamed", Value::F64(trajectory.http_streamed_us)),
+                // Added in PR 10 (hostile-array scenarios); optional
+                // for the same reason.
+                (
+                    "pipeline_hostile",
+                    Value::F64(trajectory.pipeline_hostile_us),
+                ),
             ]),
         ),
         (
@@ -533,13 +580,14 @@ pub const LAYER_KEYS: [&str; 5] = ["kernel", "engine", "pipeline", "service", "h
 /// validator (older snapshots lack them) but still required to be
 /// finite and positive when present. `pipeline_skewed*` arrived in
 /// PR 7, the cached-path medians in PR 8, the streamed-response
-/// median in PR 9.
-pub const OPTIONAL_LAYER_KEYS: [&str; 5] = [
+/// median in PR 9, the hostile-array median in PR 10.
+pub const OPTIONAL_LAYER_KEYS: [&str; 6] = [
     "pipeline_skewed",
     "pipeline_skewed_barriered",
     "service_cached",
     "http_cached",
     "http_streamed",
+    "pipeline_hostile",
 ];
 
 /// Pool metrics that are optional for the same reason.
@@ -625,6 +673,7 @@ pub fn validate(text: &str) -> Result<(), String> {
 pub fn summary(trajectory: &Trajectory) -> String {
     format!(
         "layers_us: kernel {:.1} | engine {:.1} | pipeline {:.1} | service {:.1} | http {:.1}\n\
+         hostile pipeline us: {:.1} (vs {:.1} uniform)\n\
          cached-path us: service {:.1} (vs {:.1} uncached) | http {:.1} (vs {:.1} uncached)\n\
          streamed http us: {:.1} (vs {:.1} whole-body)\n\
          skewed shot completion us (median): dataflow {:.1} vs barriered {:.1}\n\
@@ -637,6 +686,8 @@ pub fn summary(trajectory: &Trajectory) -> String {
         trajectory.pipeline_us,
         trajectory.service_us,
         trajectory.http_us,
+        trajectory.pipeline_hostile_us,
+        trajectory.pipeline_us,
         trajectory.service_cached_us,
         trajectory.service_us,
         trajectory.http_cached_us,
@@ -742,6 +793,12 @@ mod tests {
         assert!(validate(&snapshot(",\"http_streamed\":0.0", ""))
             .unwrap_err()
             .contains("http_streamed"));
+        // And the PR-10 hostile-array median.
+        validate(&snapshot(",\"pipeline_hostile\":1.0", ""))
+            .expect("hostile-array snapshot validates");
+        assert!(validate(&snapshot(",\"pipeline_hostile\":0.0", ""))
+            .unwrap_err()
+            .contains("pipeline_hostile"));
         // Present but zero: rejected, same as any required metric.
         assert!(validate(&snapshot(",\"pipeline_skewed\":0.0", ""))
             .unwrap_err()
@@ -770,5 +827,15 @@ mod tests {
     #[test]
     fn checked_in_bench_8_still_validates() {
         validate(include_str!("../../../BENCH_8.json")).expect("BENCH_8.json validates");
+    }
+
+    #[test]
+    fn checked_in_bench_9_still_validates() {
+        validate(include_str!("../../../BENCH_9.json")).expect("BENCH_9.json validates");
+    }
+
+    #[test]
+    fn checked_in_bench_10_still_validates() {
+        validate(include_str!("../../../BENCH_10.json")).expect("BENCH_10.json validates");
     }
 }

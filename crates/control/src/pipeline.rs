@@ -22,6 +22,7 @@ use qrm_core::loading::seeded_rng;
 use qrm_core::planner::Planner;
 use qrm_core::schedule::MotionModel;
 use qrm_core::scheduler::{QrmConfig, QrmScheduler};
+use qrm_core::trace::ShotTrace;
 use qrm_core::typical::TypicalScheduler;
 use qrm_fpga::accelerator::{AcceleratorConfig, QrmAccelerator};
 use qrm_vision::prelude::*;
@@ -207,6 +208,10 @@ pub struct PipelineConfig {
     pub loss_prob: f64,
     /// Maximum image→plan→move rounds.
     pub max_rounds: usize,
+    /// Record a replayable [`ShotTrace`] per shot (reported through
+    /// [`BatchRun::traces`]). Tracing only observes — reports are
+    /// bit-identical with it on or off.
+    pub record_trace: bool,
     /// Straggler injections for the adversarial-schedule determinism
     /// suite (test builds only): each entry stalls one shot at one
     /// stage of one round. Reports must be bit-identical with any
@@ -226,6 +231,7 @@ impl Default for PipelineConfig {
             motion: MotionModel::typical(),
             loss_prob: 0.0,
             max_rounds: 3,
+            record_trace: false,
             #[cfg(feature = "test-hooks")]
             debug_stage_delay: Vec::new(),
         }
@@ -292,6 +298,112 @@ pub struct BatchRun {
     /// quantity the skewed-workload benchmark compares between the
     /// dataflow schedule and the barriered baseline.
     pub completion_us: Vec<f64>,
+    /// Per-shot replayable move traces, in input order — present iff
+    /// the pipeline ran with
+    /// [`record_trace`](PipelineConfig::record_trace). Replaying a
+    /// shot's trace on its initial occupancy reproduces its report's
+    /// `final_state` bit-exactly
+    /// ([`qrm_core::trace::TraceReplayer`]).
+    pub traces: Option<Vec<ShotTrace>>,
+}
+
+/// One zone of a multi-zone target pattern: a `target` rectangle to
+/// assemble, and the `tile` sub-array whose atoms source it.
+///
+/// Planning for a zone runs on the tile's sub-grid with the target in
+/// tile-local coordinates, and the resulting schedule is translated
+/// back to full-array coordinates for execution. Planners therefore
+/// see an ordinary (grid, centred target) problem per zone — which is
+/// what keeps multi-zone patterns compatible with *every* planner,
+/// including QRM's centred-even-target contract — and moves for a zone
+/// never leave its tile. When the tile covers the whole array this
+/// reduces exactly to the classic single-target path (no sub-grid, no
+/// translation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Zone {
+    /// The sub-array the zone's planning rounds see (full-array
+    /// coordinates). Atoms are sourced only from this tile.
+    pub tile: Rect,
+    /// The target rectangle to assemble, in full-array coordinates.
+    /// Must lie inside `tile`; planners that require centred targets
+    /// additionally need it centred *within the tile*.
+    pub target: Rect,
+}
+
+impl Zone {
+    /// The single-zone wrapper: the whole `height x width` array as the
+    /// tile — today's classic target semantics, byte-identical to the
+    /// pre-zone pipeline.
+    pub fn full_array(height: usize, width: usize, target: Rect) -> Self {
+        Zone {
+            tile: Rect::new(0, 0, height, width),
+            target,
+        }
+    }
+
+    /// Whether the tile covers all of `grid` (planning needs no
+    /// sub-grid extraction or schedule translation).
+    fn covers(&self, grid: &AtomGrid) -> bool {
+        self.tile.row == 0
+            && self.tile.col == 0
+            && self.tile.height == grid.height()
+            && self.tile.width == grid.width()
+    }
+
+    /// The target in tile-local coordinates.
+    fn local_target(&self) -> Rect {
+        Rect::new(
+            self.target.row - self.tile.row,
+            self.target.col - self.tile.col,
+            self.target.height,
+            self.target.width,
+        )
+    }
+
+    /// The planning job for this zone on `detected` occupancy: the
+    /// grid the planner sees and the target in that grid's frame.
+    fn plan_job(&self, detected: AtomGrid) -> Result<(AtomGrid, Rect), Error> {
+        if self.covers(&detected) {
+            Ok((detected, self.target))
+        } else {
+            Ok((detected.subgrid(&self.tile)?, self.local_target()))
+        }
+    }
+}
+
+/// The first zone of `zones` whose target is not yet defect-free in
+/// `state` — the zone the next round plans against. `None` means the
+/// whole multi-zone pattern is assembled. With a single full-array
+/// zone this is exactly the classic `is_filled` check.
+fn first_unfilled(state: &AtomGrid, zones: &[Zone]) -> Result<Option<Zone>, Error> {
+    for zone in zones {
+        if !state.is_filled(&zone.target)? {
+            return Ok(Some(*zone));
+        }
+    }
+    Ok(None)
+}
+
+/// Translates a tile-local schedule into full-array coordinates
+/// (`height x width`): every selected row/column is offset by the
+/// tile origin; displacements are unchanged.
+fn translate_schedule(
+    schedule: &qrm_core::schedule::Schedule,
+    tile: &Rect,
+    height: usize,
+    width: usize,
+) -> qrm_core::schedule::Schedule {
+    let mut out = qrm_core::schedule::Schedule::new(height, width);
+    for mv in schedule.iter() {
+        let rows = mv.rows().iter().map(|r| r + tile.row).collect();
+        let cols = mv.cols().iter().map(|c| c + tile.col).collect();
+        let (dr, dc) = mv.delta();
+        out.push(
+            qrm_core::moves::ParallelMove::new(rows, cols, dr, dc)
+                .expect("translation preserves move validity"),
+        );
+    }
+    out
 }
 
 /// The end-to-end pipeline driver.
@@ -344,27 +456,36 @@ impl Pipeline {
     /// detector missed; physically that light-assisted collision ejects
     /// both atoms, and the control loop recovers by re-imaging — hence
     /// the executor's eject collision policy.
+    #[allow(clippy::too_many_arguments)] // one closed-loop round's full physics state
     fn execute_round<R: Rng + ?Sized>(
         &self,
         executor: &Executor,
         state: &mut AtomGrid,
-        target: &Rect,
-        plan: &qrm_core::scheduler::Plan,
+        zones: &[Zone],
+        schedule: &qrm_core::schedule::Schedule,
         detection_fidelity: f64,
         rng: &mut R,
+        trace: Option<&mut ShotTrace>,
     ) -> Result<RoundReport, Error> {
-        let program = ToneProgram::compile(
-            &plan.schedule,
-            &AodCalibration::default(),
-            &self.config.motion,
-        )?;
-        let report = executor.run_with_loss(state, &plan.schedule, self.config.loss_prob, rng)?;
+        let program =
+            ToneProgram::compile(schedule, &AodCalibration::default(), &self.config.motion)?;
+        // The traced and untraced executor paths share one
+        // implementation, so the RNG stream (and therefore the report)
+        // is identical whether or not a trace is recorded.
+        let report = if let Some(trace) = trace {
+            let (report, round) =
+                executor.run_with_loss_traced(state, schedule, self.config.loss_prob, rng)?;
+            trace.rounds.push(round);
+            report
+        } else {
+            executor.run_with_loss(state, schedule, self.config.loss_prob, rng)?
+        };
         let atoms_lost = report.lost_atoms + report.ejected_atoms;
         *state = report.final_grid;
-        let filled = state.is_filled(target)?;
+        let filled = first_unfilled(state, zones)?.is_none();
         Ok(RoundReport {
             detection_fidelity,
-            moves: plan.schedule.len(),
+            moves: schedule.len(),
             atoms_lost,
             motion_us: program.total_duration_us(),
             state: state.clone(),
@@ -385,8 +506,32 @@ impl Pipeline {
         target: &Rect,
         rng: &mut R,
     ) -> Result<PipelineReport, Error> {
+        let zones = [Zone::full_array(truth.height(), truth.width(), *target)];
+        self.run_zones(truth, &zones, rng).map(|(report, _)| report)
+    }
+
+    /// [`run`](Self::run) against a **multi-zone** target pattern: each
+    /// round plans against the first [`Zone`] whose target is not yet
+    /// defect-free (earlier zones are repaired before later ones are
+    /// attempted), and the run is `filled` once every zone is. A single
+    /// full-array zone is byte-identical to [`run`](Self::run). Also
+    /// returns the shot's replayable trace when the pipeline records
+    /// traces ([`PipelineConfig::record_trace`]).
+    ///
+    /// An empty `zones` slice is trivially filled: no rounds run.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`run`](Self::run).
+    pub fn run_zones<R: Rng + ?Sized>(
+        &self,
+        truth: &AtomGrid,
+        zones: &[Zone],
+        rng: &mut R,
+    ) -> Result<(PipelineReport, Option<ShotTrace>), Error> {
         let mut state = truth.clone();
         let mut rounds = Vec::new();
+        let mut trace = self.config.record_trace.then(ShotTrace::default);
         let layout = TrapLayout::new(state.height(), state.width(), self.config.pitch_px, 4.0);
         let planner = self.planner();
         // The planner's transport contract (strict AOD sweeps, or
@@ -397,20 +542,31 @@ impl Pipeline {
             .with_collision_policy(CollisionPolicy::Eject);
 
         for _ in 0..self.config.max_rounds {
-            if state.is_filled(target)? {
+            let Some(zone) = first_unfilled(&state, zones)? else {
                 break;
-            }
-            // Image + detect, plan on the *detected* occupancy, execute
-            // on the true one.
+            };
+            // Image + detect, plan on the *detected* occupancy (in the
+            // zone's tile frame), execute on the true one.
             let (detection, detection_fidelity) = self.observe(&state, &layout, rng)?;
-            let plan = planner.plan(&detection.grid, target)?;
+            let covers = zone.covers(&detection.grid);
+            let (plan_grid, plan_target) = zone.plan_job(detection.grid)?;
+            let plan = planner.plan(&plan_grid, &plan_target)?;
+            let translated;
+            let schedule = if covers {
+                &plan.schedule
+            } else {
+                translated =
+                    translate_schedule(&plan.schedule, &zone.tile, state.height(), state.width());
+                &translated
+            };
             let round = self.execute_round(
                 &executor,
                 &mut state,
-                target,
-                &plan,
+                zones,
+                schedule,
                 detection_fidelity,
                 rng,
+                trace.as_mut(),
             )?;
             let filled = round.filled;
             rounds.push(round);
@@ -419,12 +575,15 @@ impl Pipeline {
             }
         }
 
-        let filled = state.is_filled(target)?;
-        Ok(PipelineReport {
-            rounds,
-            final_state: state,
-            filled,
-        })
+        let filled = first_unfilled(&state, zones)?.is_none();
+        Ok((
+            PipelineReport {
+                rounds,
+                final_state: state,
+                filled,
+            },
+            trace,
+        ))
     }
 
     /// The RNG driving shot `index` of a batched run with `base_seed`.
@@ -525,7 +684,36 @@ impl Pipeline {
     ) -> Result<BatchRun, Error> {
         self.run_shots_iter(
             planner,
-            truths.iter().map(|truth| (truth, *target)),
+            truths.iter().map(|truth| {
+                (
+                    truth,
+                    vec![Zone::full_array(truth.height(), truth.width(), *target)],
+                )
+            }),
+            base_seed,
+        )
+    }
+
+    /// [`run_batch_tracked`](Self::run_batch_tracked) against a
+    /// **multi-zone** target shared by every shot: the batched
+    /// counterpart of [`run_zones`](Self::run_zones), bit-identical to
+    /// running each shot alone through it. This is the scenario-aware
+    /// service entry point — zone lists and trace recording both flow
+    /// through here.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`run_batch`](Self::run_batch).
+    pub fn run_batch_zones_tracked(
+        &self,
+        planner: &dyn Planner,
+        truths: &[AtomGrid],
+        zones: &[Zone],
+        base_seed: u64,
+    ) -> Result<BatchRun, Error> {
+        self.run_shots_iter(
+            planner,
+            truths.iter().map(|truth| (truth, zones.to_vec())),
             base_seed,
         )
     }
@@ -563,7 +751,12 @@ impl Pipeline {
     ) -> Result<BatchRun, Error> {
         self.run_shots_iter(
             planner,
-            jobs.iter().map(|(truth, target)| (truth, *target)),
+            jobs.iter().map(|(truth, target)| {
+                (
+                    truth,
+                    vec![Zone::full_array(truth.height(), truth.width(), *target)],
+                )
+            }),
             base_seed,
         )
     }
@@ -573,7 +766,7 @@ impl Pipeline {
     fn run_shots_iter<'a>(
         &self,
         planner: &dyn Planner,
-        jobs: impl Iterator<Item = (&'a AtomGrid, Rect)>,
+        jobs: impl Iterator<Item = (&'a AtomGrid, Vec<Zone>)>,
         base_seed: u64,
     ) -> Result<BatchRun, Error> {
         let executor = planner
@@ -582,17 +775,19 @@ impl Pipeline {
         let started = Instant::now();
         let shots: Vec<DataflowShot<'_>> = jobs
             .enumerate()
-            .map(|(i, (truth, target))| DataflowShot {
+            .map(|(i, (truth, zones))| DataflowShot {
                 pipeline: self,
                 executor: &executor,
-                target,
+                zones,
                 // Grid dimensions never change across rounds, so the
                 // trap-to-pixel layout is per-shot, not per-round.
                 layout: TrapLayout::new(truth.height(), truth.width(), self.config.pitch_px, 4.0),
                 state: truth.clone(),
                 rounds: Vec::new(),
+                trace: self.config.record_trace.then(ShotTrace::default),
                 rng: Self::shot_rng(base_seed, i),
                 fidelity: 0.0,
+                pending_zone: None,
                 rounds_left: self.config.max_rounds,
                 started,
                 completed_us: 0.0,
@@ -604,9 +799,16 @@ impl Pipeline {
         let (shots, stats) = scheduler.run(shots, |group| planner.plan_batch(group))?;
         let mut reports = Vec::with_capacity(shots.len());
         let mut completion_us = Vec::with_capacity(shots.len());
+        let mut traces = self
+            .config
+            .record_trace
+            .then(|| Vec::with_capacity(shots.len()));
         for shot in shots {
-            let filled = shot.state.is_filled(&shot.target)?;
+            let filled = first_unfilled(&shot.state, &shot.zones)?.is_none();
             completion_us.push(shot.completed_us);
+            if let Some(traces) = traces.as_mut() {
+                traces.push(shot.trace.unwrap_or_default());
+            }
             reports.push(PipelineReport {
                 rounds: shot.rounds,
                 final_state: shot.state,
@@ -617,6 +819,7 @@ impl Pipeline {
             reports,
             stats,
             completion_us,
+            traces,
         })
     }
 
@@ -644,10 +847,51 @@ impl Pipeline {
         jobs: &[(AtomGrid, Rect)],
         base_seed: u64,
     ) -> Result<BatchRun, Error> {
+        self.run_shots_zones_barriered(
+            planner,
+            jobs.iter().map(|(truth, target)| {
+                (
+                    truth,
+                    vec![Zone::full_array(truth.height(), truth.width(), *target)],
+                )
+            }),
+            base_seed,
+        )
+    }
+
+    /// The barriered baseline against a **multi-zone** target shared by
+    /// every shot — the barriered counterpart of
+    /// [`run_batch_zones_tracked`](Self::run_batch_zones_tracked), with
+    /// the same report (and trace) bit-identity contract.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`run_shots_barriered`](Self::run_shots_barriered).
+    pub fn run_batch_zones_barriered(
+        &self,
+        planner: &dyn Planner,
+        truths: &[AtomGrid],
+        zones: &[Zone],
+        base_seed: u64,
+    ) -> Result<BatchRun, Error> {
+        self.run_shots_zones_barriered(
+            planner,
+            truths.iter().map(|truth| (truth, zones.to_vec())),
+            base_seed,
+        )
+    }
+
+    fn run_shots_zones_barriered<'a>(
+        &self,
+        planner: &dyn Planner,
+        jobs: impl Iterator<Item = (&'a AtomGrid, Vec<Zone>)>,
+        base_seed: u64,
+    ) -> Result<BatchRun, Error> {
         struct ShotState {
             state: AtomGrid,
-            target: Rect,
+            zones: Vec<Zone>,
             rounds: Vec<RoundReport>,
+            trace: Option<ShotTrace>,
             rng: StdRng,
             layout: TrapLayout,
             completed_us: Option<f64>,
@@ -660,31 +904,34 @@ impl Pipeline {
         let started = Instant::now();
         let stamp = |started: &Instant| started.elapsed().as_secs_f64() * 1e6;
         let mut shots: Vec<ShotState> = jobs
-            .iter()
             .enumerate()
-            .map(|(i, (truth, target))| ShotState {
+            .map(|(i, (truth, zones))| ShotState {
                 layout: TrapLayout::new(truth.height(), truth.width(), self.config.pitch_px, 4.0),
                 state: truth.clone(),
-                target: *target,
+                zones,
                 rounds: Vec::new(),
+                trace: self.config.record_trace.then(ShotTrace::default),
                 rng: Self::shot_rng(base_seed, i),
                 completed_us: None,
             })
             .collect();
 
         for _ in 0..self.config.max_rounds {
-            // Select the unfinished shots (cheap, serial), then image +
+            // Select the unfinished shots (cheap, serial) together with
+            // the zone each plans against this round, then image +
             // detect each of them as a slot-indexed pool job.
             let mut active: Vec<usize> = Vec::new();
+            let mut round_zones: Vec<(Zone, bool)> = Vec::new();
             let mut to_observe: Vec<&mut ShotState> = Vec::new();
             for (i, shot) in shots.iter_mut().enumerate() {
-                if shot.state.is_filled(&shot.target)? {
+                let Some(zone) = first_unfilled(&shot.state, &shot.zones)? else {
                     if shot.completed_us.is_none() {
                         shot.completed_us = Some(stamp(&started));
                     }
                     continue;
-                }
+                };
                 active.push(i);
+                round_zones.push((zone, zone.covers(&shot.state)));
                 to_observe.push(shot);
             }
             if active.is_empty() {
@@ -696,42 +943,65 @@ impl Pipeline {
                 });
             let mut round_jobs: Vec<(AtomGrid, Rect)> = Vec::with_capacity(active.len());
             let mut fidelities: Vec<f64> = Vec::with_capacity(active.len());
-            for (result, &i) in observed.into_iter().zip(&active) {
+            for (result, &(zone, _)) in observed.into_iter().zip(&round_zones) {
                 let (detection, fidelity) = result?;
-                round_jobs.push((detection.grid, shots[i].target));
+                round_jobs.push(zone.plan_job(detection.grid)?);
                 fidelities.push(fidelity);
             }
 
             // One batched planning call covers the whole round.
             let plans = planner.plan_batch(&round_jobs)?;
 
+            // Translate tile-frame schedules back to array coordinates
+            // (identity — and no copy — for full-array zones).
+            let translated: Vec<Option<qrm_core::schedule::Schedule>> = plans
+                .iter()
+                .zip(&round_zones)
+                .zip(&active)
+                .map(|((plan, &(zone, covers)), &i)| {
+                    (!covers).then(|| {
+                        translate_schedule(
+                            &plan.schedule,
+                            &zone.tile,
+                            shots[i].state.height(),
+                            shots[i].state.width(),
+                        )
+                    })
+                })
+                .collect();
+
             // Execute per shot, again as slot-indexed pool jobs. The
             // shots were only borrowed for observation, so re-borrow the
-            // active ones (in index order) alongside their plans.
-            let mut to_execute: Vec<(&mut ShotState, &qrm_core::scheduler::Plan, f64)> =
+            // active ones (in index order) alongside their schedules.
+            let mut to_execute: Vec<(&mut ShotState, &qrm_core::schedule::Schedule, f64)> =
                 Vec::with_capacity(active.len());
-            let mut round_inputs = plans.iter().zip(fidelities);
+            let mut round_inputs = plans
+                .iter()
+                .zip(&translated)
+                .map(|(plan, translated)| translated.as_ref().unwrap_or(&plan.schedule))
+                .zip(fidelities);
             let mut remaining = active.iter().copied().peekable();
             for (i, shot) in shots.iter_mut().enumerate() {
                 if remaining.peek() == Some(&i) {
                     remaining.next();
-                    let (plan, fidelity) = round_inputs.next().expect("one plan per active shot");
-                    to_execute.push((shot, plan, fidelity));
+                    let (schedule, fidelity) =
+                        round_inputs.next().expect("one plan per active shot");
+                    to_execute.push((shot, schedule, fidelity));
                 }
             }
             let executed = shard_map_granular(
                 to_execute,
                 workers,
                 ShardGranularity::PerItem,
-                |(shot, plan, detection_fidelity)| {
-                    let target = shot.target;
+                |(shot, schedule, detection_fidelity)| {
                     let round = self.execute_round(
                         &executor,
                         &mut shot.state,
-                        &target,
-                        plan,
+                        &shot.zones,
+                        schedule,
                         detection_fidelity,
                         &mut shot.rng,
+                        shot.trace.as_mut(),
                     )?;
                     shot.rounds.push(round);
                     Ok::<(), Error>(())
@@ -754,9 +1024,16 @@ impl Pipeline {
         let batch_end = stamp(&started);
         let mut reports = Vec::with_capacity(shots.len());
         let mut completion_us = Vec::with_capacity(shots.len());
+        let mut traces = self
+            .config
+            .record_trace
+            .then(|| Vec::with_capacity(shots.len()));
         for shot in shots {
-            let filled = shot.state.is_filled(&shot.target)?;
+            let filled = first_unfilled(&shot.state, &shot.zones)?.is_none();
             completion_us.push(shot.completed_us.unwrap_or(batch_end));
+            if let Some(traces) = traces.as_mut() {
+                traces.push(shot.trace.unwrap_or_default());
+            }
             reports.push(PipelineReport {
                 rounds: shot.rounds,
                 final_state: shot.state,
@@ -767,6 +1044,7 @@ impl Pipeline {
             reports,
             stats: DataflowStats::default(),
             completion_us,
+            traces,
         })
     }
 }
@@ -779,13 +1057,17 @@ impl Pipeline {
 struct DataflowShot<'a> {
     pipeline: &'a Pipeline,
     executor: &'a Executor,
-    target: Rect,
+    zones: Vec<Zone>,
     layout: TrapLayout,
     state: AtomGrid,
     rounds: Vec<RoundReport>,
+    trace: Option<ShotTrace>,
     rng: StdRng,
     /// Detection fidelity of the round in flight (observe → execute).
     fidelity: f64,
+    /// The zone the round in flight planned against (observe →
+    /// execute), for schedule translation out of its tile frame.
+    pending_zone: Option<Zone>,
     rounds_left: usize,
     started: Instant,
     completed_us: f64,
@@ -814,31 +1096,51 @@ impl ShotProgram for DataflowShot<'_> {
     type Plan = qrm_core::scheduler::Plan;
 
     fn observe(&mut self) -> Result<Option<(AtomGrid, Rect)>, Error> {
-        if self.rounds_left == 0 || self.state.is_filled(&self.target)? {
+        let zone = if self.rounds_left == 0 {
+            None
+        } else {
+            first_unfilled(&self.state, &self.zones)?
+        };
+        let Some(zone) = zone else {
             self.completed_us = self.started.elapsed().as_secs_f64() * 1e6;
             return Ok(None);
-        }
+        };
         self.stage_delay(DelayStage::Observe);
         let (detection, fidelity) =
             self.pipeline
                 .observe(&self.state, &self.layout, &mut self.rng)?;
         self.fidelity = fidelity;
+        self.pending_zone = Some(zone);
         // A `Plan`-stage delay runs after observation but before the
         // job joins a plan group, stalling group formation for this
         // shot specifically.
         self.stage_delay(DelayStage::Plan);
-        Ok(Some((detection.grid, self.target)))
+        Ok(Some(zone.plan_job(detection.grid)?))
     }
 
     fn execute(&mut self, plan: qrm_core::scheduler::Plan) -> Result<(), Error> {
         self.stage_delay(DelayStage::Execute);
+        let zone = self.pending_zone.take().expect("observe precedes execute");
+        let translated;
+        let schedule = if zone.covers(&self.state) {
+            &plan.schedule
+        } else {
+            translated = translate_schedule(
+                &plan.schedule,
+                &zone.tile,
+                self.state.height(),
+                self.state.width(),
+            );
+            &translated
+        };
         let round = self.pipeline.execute_round(
             self.executor,
             &mut self.state,
-            &self.target,
-            &plan,
+            &self.zones,
+            schedule,
             self.fidelity,
             &mut self.rng,
+            self.trace.as_mut(),
         )?;
         self.rounds.push(round);
         self.rounds_left -= 1;
@@ -990,6 +1292,95 @@ mod tests {
         let reports = pipeline.run_batch(&[full], &target, 1).unwrap();
         assert!(reports[0].filled);
         assert!(reports[0].rounds.is_empty());
+    }
+
+    #[test]
+    fn run_zones_single_zone_matches_run_and_trace_replays() {
+        // A single-zone `run_zones` call is byte-identical to `run`,
+        // tracing does not perturb the run, and the recorded trace
+        // replays to the report's final occupancy.
+        use qrm_core::trace::TraceReplayer;
+        let mut rng = seeded_rng(45);
+        let truth = AtomGrid::random(16, 16, 0.6, &mut rng);
+        let target = Rect::centered(16, 16, 8, 8).unwrap();
+        let plain = Pipeline::default();
+        let traced = Pipeline::new(PipelineConfig {
+            loss_prob: 0.02,
+            record_trace: true,
+            ..PipelineConfig::default()
+        });
+        let lossy = Pipeline::new(PipelineConfig {
+            loss_prob: 0.02,
+            ..PipelineConfig::default()
+        });
+
+        let zones = [Zone::full_array(16, 16, target)];
+        let mut a = seeded_rng(9);
+        let mut b = seeded_rng(9);
+        let single = plain.run(&truth, &target, &mut a).unwrap();
+        let (zoned, no_trace) = plain.run_zones(&truth, &zones, &mut b).unwrap();
+        assert_eq!(single, zoned);
+        assert!(no_trace.is_none());
+
+        let mut c = seeded_rng(9);
+        let mut d = seeded_rng(9);
+        let (with_trace, trace) = traced.run_zones(&truth, &zones, &mut c).unwrap();
+        let (without, _) = lossy.run_zones(&truth, &zones, &mut d).unwrap();
+        assert_eq!(with_trace, without, "tracing must not perturb the run");
+        let trace = trace.unwrap();
+        assert_eq!(
+            TraceReplayer::replay(&truth, &trace).unwrap(),
+            with_trace.final_state
+        );
+    }
+
+    #[test]
+    fn multi_zone_run_fills_every_zone() {
+        let mut rng = seeded_rng(46);
+        let truth = AtomGrid::random(20, 20, 0.6, &mut rng);
+        // Three quadrant tiles, each with a 4x4 target centred in its
+        // 10x10 tile — the QRM-compatible multi-zone shape.
+        let zones = [
+            Zone {
+                tile: Rect::new(0, 0, 10, 10),
+                target: Rect::new(3, 3, 4, 4),
+            },
+            Zone {
+                tile: Rect::new(0, 10, 10, 10),
+                target: Rect::new(3, 13, 4, 4),
+            },
+            Zone {
+                tile: Rect::new(10, 0, 10, 10),
+                target: Rect::new(13, 3, 4, 4),
+            },
+        ];
+        let config = PipelineConfig {
+            max_rounds: 9,
+            ..PipelineConfig::default()
+        };
+        let (report, _) = Pipeline::new(config)
+            .run_zones(&truth, &zones, &mut rng)
+            .unwrap();
+        assert!(report.filled, "rounds {}", report.rounds.len());
+        for zone in &zones {
+            assert!(report.final_state.is_filled(&zone.target).unwrap());
+        }
+        // The batched entry point reproduces the serial shot.
+        let pipeline = Pipeline::new(PipelineConfig {
+            max_rounds: 9,
+            ..PipelineConfig::default()
+        });
+        let batch = pipeline
+            .run_batch_zones_tracked(
+                &*pipeline.planner(),
+                std::slice::from_ref(&truth),
+                &zones,
+                31,
+            )
+            .unwrap();
+        let mut shot_rng = Pipeline::shot_rng(31, 0);
+        let (single, _) = pipeline.run_zones(&truth, &zones, &mut shot_rng).unwrap();
+        assert_eq!(batch.reports[0], single);
     }
 
     #[test]

@@ -113,6 +113,21 @@ pub enum Error {
         /// Human-readable reason.
         reason: String,
     },
+    /// A workload specification parameter is semantically invalid.
+    InvalidSpec {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// A replayed move trace contradicts the occupancy it is applied
+    /// to (see [`TraceReplayer`](crate::trace::TraceReplayer)).
+    TraceMismatch {
+        /// Replay round index.
+        round: usize,
+        /// Move index within the round.
+        move_index: usize,
+        /// Site where the trace and the grid state disagree.
+        site: Position,
+    },
 }
 
 impl fmt::Display for Error {
@@ -184,6 +199,16 @@ impl fmt::Display for Error {
                 "iteration budget ({iterations}) exhausted with {remaining_defects} defects left"
             ),
             Error::Parse { reason } => write!(f, "parse error: {reason}"),
+            Error::InvalidSpec { reason } => write!(f, "invalid spec: {reason}"),
+            Error::TraceMismatch {
+                round,
+                move_index,
+                site,
+            } => write!(
+                f,
+                "trace replay mismatch at round {round} move {move_index} site ({}, {})",
+                site.row, site.col
+            ),
         }
     }
 }

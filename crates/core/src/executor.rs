@@ -14,6 +14,7 @@ use crate::geometry::{Position, Rect};
 use crate::grid::AtomGrid;
 use crate::moves::{MoveRecord, ParallelMove};
 use crate::schedule::Schedule;
+use crate::trace::{RoundTrace, TracedMove, Transfer};
 
 /// How multi-step transit paths are validated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -141,6 +142,47 @@ impl Executor {
         loss_prob: f64,
         rng: &mut R,
     ) -> Result<ExecutionReport, Error> {
+        self.run_with_loss_impl(grid, schedule, loss_prob, rng, None)
+    }
+
+    /// [`run_with_loss`](Self::run_with_loss), additionally recording a
+    /// replayable [`RoundTrace`]: one [`TracedMove`] per schedule move
+    /// naming every transfer, transit loss, and ejection at the trap
+    /// site level. The execution itself is identical — same RNG draws,
+    /// same report — tracing only observes.
+    ///
+    /// The returned trace replays bit-exactly:
+    /// `TraceReplayer::replay(grid, &ShotTrace { rounds: vec![trace] })`
+    /// equals the report's `final_grid`
+    /// ([`crate::trace::TraceReplayer`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `loss_prob` is outside `0.0..=1.0`.
+    pub fn run_with_loss_traced<R: Rng + ?Sized>(
+        &self,
+        grid: &AtomGrid,
+        schedule: &Schedule,
+        loss_prob: f64,
+        rng: &mut R,
+    ) -> Result<(ExecutionReport, RoundTrace), Error> {
+        let mut trace = RoundTrace::default();
+        let report = self.run_with_loss_impl(grid, schedule, loss_prob, rng, Some(&mut trace))?;
+        Ok((report, trace))
+    }
+
+    fn run_with_loss_impl<R: Rng + ?Sized>(
+        &self,
+        grid: &AtomGrid,
+        schedule: &Schedule,
+        loss_prob: f64,
+        rng: &mut R,
+        mut trace: Option<&mut RoundTrace>,
+    ) -> Result<ExecutionReport, Error> {
         assert!(
             (0.0..=1.0).contains(&loss_prob),
             "loss probability {loss_prob} outside [0, 1]"
@@ -152,8 +194,22 @@ impl Executor {
         let mut max_parallel_atoms = 0usize;
         for (index, mv) in schedule.iter().enumerate() {
             let moved = self.apply_move_lossy(&mut state, mv, index, loss_prob, rng)?;
-            lost_atoms += moved.lost;
-            ejected_atoms += moved.ejected;
+            if let Some(round) = trace.as_deref_mut() {
+                round.moves.push(TracedMove {
+                    transfers: moved
+                        .records
+                        .iter()
+                        .map(|r| Transfer {
+                            from: r.from,
+                            to: r.to,
+                        })
+                        .collect(),
+                    lost: moved.lost.clone(),
+                    ejected: moved.ejected.clone(),
+                });
+            }
+            lost_atoms += moved.lost.len();
+            ejected_atoms += 2 * moved.ejected.len();
             max_parallel_atoms = max_parallel_atoms.max(moved.records.len());
             records.extend(moved.records);
         }
@@ -280,16 +336,16 @@ impl Executor {
         let trapped = self.trapped(grid, mv);
         let (dr, dc) = mv.delta();
         let mut records = Vec::new();
-        let mut lost = 0usize;
+        let mut lost = Vec::new();
         // Remove all movers first (they leave their traps together).
         for &p in &trapped {
             grid.set_unchecked(p.row, p.col, false);
         }
-        let mut ejected = 0usize;
+        let mut ejected = Vec::new();
         let mut survivors = Vec::with_capacity(trapped.len());
         for &p in &trapped {
             if rng.gen_bool(loss_prob) {
-                lost += 1;
+                lost.push(p);
             } else {
                 survivors.push(p);
             }
@@ -309,7 +365,7 @@ impl Executor {
                     }
                     CollisionPolicy::Eject => {
                         grid.set_unchecked(to.row, to.col, false);
-                        ejected += 2;
+                        ejected.push(Transfer { from, to });
                         continue;
                     }
                 }
@@ -399,8 +455,11 @@ impl ExecutionReport {
 
 struct LossyOutcome {
     records: Vec<MoveRecord>,
-    lost: usize,
-    ejected: usize,
+    /// Source sites of atoms lost in transit.
+    lost: Vec<Position>,
+    /// Light-assisted collision pairs (mover's source, occupied
+    /// destination); each pair removed **two** atoms.
+    ejected: Vec<Transfer>,
 }
 
 #[cfg(test)]

@@ -62,6 +62,7 @@
 //! | [`scheduler`] | [`QrmScheduler`](scheduler::QrmScheduler): the top-level QRM planner |
 //! | [`typical`] | the "typical rearrangement procedure" of paper §III-A |
 //! | [`executor`] | schedule execution, validation, loss injection, defect checks |
+//! | [`trace`] | replayable move traces, [`TraceReplayer`](trace::TraceReplayer) independent witness |
 //!
 //! ## Architecture: pool + `Planner`
 //!
@@ -113,6 +114,7 @@ pub mod quadrant;
 pub mod schedule;
 pub mod scheduler;
 pub mod target;
+pub mod trace;
 pub mod typical;
 
 pub use crate::error::Error;

@@ -82,7 +82,9 @@ pub struct Client {
     stream: Option<BufReader<TcpStream>>,
     read_timeout: Duration,
     max_response_bytes: usize,
-    auth_token: Option<String>,
+    /// Full `Authorization` header value (e.g. `Bearer <token>`), sent
+    /// verbatim on every request when set.
+    authorization: Option<String>,
 }
 
 impl Client {
@@ -94,7 +96,7 @@ impl Client {
             stream: None,
             read_timeout: Duration::from_secs(60),
             max_response_bytes: 256 << 20,
-            auth_token: None,
+            authorization: None,
         }
     }
 
@@ -102,8 +104,18 @@ impl Client {
     /// on every request, for servers running with
     /// [`NetConfig::auth_token`](crate::NetConfig::auth_token) set.
     #[must_use]
-    pub fn with_auth_token(mut self, token: impl Into<String>) -> Client {
-        self.auth_token = Some(token.into());
+    pub fn with_auth_token(self, token: impl Into<String>) -> Client {
+        self.with_authorization(format!("Bearer {}", token.into()))
+    }
+
+    /// Attaches a raw `Authorization` header value, forwarded verbatim
+    /// on every request. This is the relay form of
+    /// [`with_auth_token`](Self::with_auth_token): the router uses it
+    /// to pass an incoming request's credential through to its backend
+    /// unchanged, whatever the scheme.
+    #[must_use]
+    pub fn with_authorization(mut self, value: impl Into<String>) -> Client {
+        self.authorization = Some(value.into());
         self
     }
 
@@ -271,8 +283,8 @@ impl Client {
         let reader = self.stream.as_mut().expect("connected above");
 
         let body = body.unwrap_or("");
-        let auth = match &self.auth_token {
-            Some(token) => format!("authorization: Bearer {token}\r\n"),
+        let auth = match &self.authorization {
+            Some(value) => format!("authorization: {value}\r\n"),
             None => String::new(),
         };
         let head = format!(

@@ -444,6 +444,12 @@ fn relay_batch(request: &Request, shared: &Shared) -> (u16, String) {
         // is provable non-acceptance (see module docs).
         let mut client =
             Client::connect(backend.addr.clone()).with_read_timeout(shared.config.relay_timeout);
+        // Forward the caller's credential verbatim: authed backends
+        // must see the same `Authorization` the router was shown (the
+        // router itself does no auth — backends own that decision).
+        if let Some(auth) = request.header("authorization") {
+            client = client.with_authorization(auth);
+        }
         match client.post_classified("/v1/batch", text) {
             Ok(response) => {
                 backend.routed.fetch_add(1, Ordering::Relaxed);

@@ -1009,6 +1009,9 @@ fn submit(request: &Request, service: &PlanService, config: &NetConfig) -> (u16,
             let status = match &err {
                 ServiceError::UnknownPlanner(_) => 404,
                 ServiceError::Planning(_) => 422,
+                // Payload Too Large: the *response* the trace flag asks
+                // for would exceed the service's event cap.
+                ServiceError::TraceTooLarge { .. } => 413,
             };
             error(status, err.code(), err.to_string())
         }

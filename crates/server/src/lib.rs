@@ -81,8 +81,8 @@ mod service;
 mod stats;
 
 pub use cache::ResponseCache;
-pub use request::{BatchReport, BatchSpec, ServiceError, SubmitBatch};
-pub use service::{PlanService, PlanServiceBuilder, ServiceConfig};
+pub use request::{BatchReport, BatchSpec, Scenario, ServiceError, SubmitBatch, Workload};
+pub use service::{PlanService, PlanServiceBuilder, ServiceConfig, DEFAULT_TRACE_EVENT_CAP};
 pub use stats::{
     CacheStats, LatencyHistogram, NetStats, PlannerStats, SchedulerTotals, ServiceStats,
 };

@@ -7,6 +7,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Instant;
 
 use qrm_core::planner::Planner;
+use qrm_core::trace::ShotTrace;
 
 use qrm_control::pipeline::{Pipeline, PipelineConfig, PlannerChoice};
 
@@ -25,7 +26,18 @@ pub struct ServiceConfig {
     /// Byte budget of the content-addressed response cache. `0` (the
     /// default) disables caching entirely.
     pub cache_bytes: usize,
+    /// Maximum total recorded events a single traced submission may
+    /// return; a traced batch exceeding it fails with
+    /// [`ServiceError::TraceTooLarge`] (`trace_too_large` on the wire).
+    /// `0` (the default) means [`DEFAULT_TRACE_EVENT_CAP`].
+    pub trace_event_cap: usize,
 }
+
+/// Default cap on the total events of a traced submission (~1M events;
+/// tens of MB of JSON) — generous for demos and debugging, small enough
+/// that a hostile spec cannot make the service assemble an unbounded
+/// response body.
+pub const DEFAULT_TRACE_EVENT_CAP: usize = 1 << 20;
 
 /// One registered planner: its long-lived resolved instance, the
 /// pipeline configured around it, and its serving counters.
@@ -76,6 +88,14 @@ impl PlanServiceBuilder {
     #[must_use]
     pub fn cache_bytes(mut self, cache_bytes: usize) -> Self {
         self.config.cache_bytes = cache_bytes;
+        self
+    }
+
+    /// Caps the total recorded events of one traced submission (`0` =
+    /// [`DEFAULT_TRACE_EVENT_CAP`]).
+    #[must_use]
+    pub fn trace_event_cap(mut self, trace_event_cap: usize) -> Self {
+        self.config.trace_event_cap = trace_event_cap;
         self
     }
 
@@ -130,6 +150,10 @@ impl PlanServiceBuilder {
             regs: self.regs,
             gate: Gate::new(self.config.max_inflight),
             cache: ResponseCache::new(self.config.cache_bytes),
+            trace_event_cap: match self.config.trace_event_cap {
+                0 => DEFAULT_TRACE_EVENT_CAP,
+                cap => cap,
+            },
             batches_served: AtomicU64::new(0),
             shots_served: AtomicU64::new(0),
             scheduler: Mutex::new(SchedulerTotals::default()),
@@ -241,6 +265,8 @@ pub struct PlanService {
     /// Content-addressed response cache; disabled (zero budget) unless
     /// [`PlanServiceBuilder::cache_bytes`] opted in.
     cache: ResponseCache,
+    /// Resolved event cap for traced submissions (never zero).
+    trace_event_cap: usize,
     batches_served: AtomicU64,
     shots_served: AtomicU64,
     /// Lifetime dataflow-scheduler totals, folded in per batch under a
@@ -289,14 +315,19 @@ impl PlanService {
     /// # Errors
     ///
     /// [`ServiceError::UnknownPlanner`] when no registration matches;
-    /// [`ServiceError::Planning`] for workload or pipeline failures.
+    /// [`ServiceError::Planning`] for workload or pipeline failures;
+    /// [`ServiceError::TraceTooLarge`] when a traced submission's
+    /// recorded events exceed the service's cap.
     pub fn submit(&self, request: &SubmitBatch) -> Result<BatchReport, ServiceError> {
         let reg = self
             .regs
             .get(&request.planner)
             .ok_or_else(|| ServiceError::UnknownPlanner(request.planner.clone()))?;
 
-        let key = self.cache.enabled().then(|| request.cache_key());
+        // Traced submissions bypass the cache in both directions: their
+        // payload carries the (potentially huge) trace, which the cache
+        // neither stores nor should serve to untraced requests.
+        let key = (!request.trace && self.cache.enabled()).then(|| request.cache_key());
         if let Some(key) = &key {
             let t0 = Instant::now();
             if let Some(reports) = self.cache.lookup(key) {
@@ -306,18 +337,39 @@ impl PlanService {
                     planner: request.planner.clone(),
                     reports: reports.as_ref().clone(),
                     wall_us,
+                    trace: None,
                 });
             }
         }
 
-        let (truths, target) = request.spec.workload()?;
+        let workload = request.spec.workload()?;
+        // The scenario's overrides (loss, round budget) and the trace
+        // flag configure a per-request pipeline around the
+        // registration's long-lived planner; the default scenario
+        // reproduces the registered configuration exactly.
+        let mut config = workload.configure(reg.pipeline.config());
+        config.record_trace = request.trace;
+        let pipeline = Pipeline::new(config);
 
         let _permit = self.gate.admit();
         let t0 = Instant::now();
-        let run =
-            reg.pipeline
-                .run_batch_tracked(&*reg.planner, &truths, &target, request.spec.seed)?;
+        let run = pipeline.run_batch_zones_tracked(
+            &*reg.planner,
+            &workload.truths,
+            &workload.zones,
+            request.spec.seed,
+        )?;
         let wall_us = t0.elapsed().as_secs_f64() * 1e6;
+
+        if let Some(traces) = &run.traces {
+            let events: usize = traces.iter().map(ShotTrace::events).sum();
+            if events > self.trace_event_cap {
+                return Err(ServiceError::TraceTooLarge {
+                    events,
+                    cap: self.trace_event_cap,
+                });
+            }
+        }
 
         self.scheduler
             .lock()
@@ -340,6 +392,7 @@ impl PlanService {
             planner: request.planner.clone(),
             reports,
             wall_us,
+            trace: run.traces,
         })
     }
 
@@ -627,6 +680,83 @@ mod tests {
         assert_eq!(stats.cache.hits, 8);
         assert_eq!(stats.peak_queued, 2);
         assert_eq!(stats.batches_served, 11);
+    }
+
+    #[test]
+    fn scenario_submissions_serve_every_variant() {
+        use crate::request::Scenario;
+        let service = small_service(0);
+        let scenarios = [
+            Scenario::DefectMap { dead_fraction: 0.1 },
+            Scenario::AtomLoss { loss_prob: 0.02 },
+            Scenario::Zones { rows: 2, cols: 2 },
+            Scenario::CorrelatedFill {
+                grain: 3,
+                flip_prob: 0.05,
+            },
+        ];
+        for scenario in scenarios {
+            let spec = BatchSpec::new(2, 16, 7).with_scenario(scenario);
+            let report = service.submit(&SubmitBatch::new("qrm", spec)).unwrap();
+            assert_eq!(report.shots(), 2, "{scenario:?}");
+            assert!(report.trace.is_none());
+        }
+    }
+
+    #[test]
+    fn traced_submission_replays_to_the_reported_final_state() {
+        let service = small_service(0);
+        let spec = BatchSpec::new(2, 12, 5);
+        let request = SubmitBatch::new("qrm", spec.clone()).with_trace(true);
+        let report = service.submit(&request).unwrap();
+        let traces = report.trace.as_ref().expect("trace requested");
+        assert_eq!(traces.len(), report.shots());
+        let workload = spec.workload().unwrap();
+        for (i, (truth, trace)) in workload.truths.iter().zip(traces).enumerate() {
+            let replayed = qrm_core::trace::TraceReplayer::replay(truth, trace).unwrap();
+            assert_eq!(replayed, report.reports[i].final_state, "shot {i}");
+        }
+        // Tracing only observes: the reports match an untraced run.
+        let untraced = service.submit(&SubmitBatch::new("qrm", spec)).unwrap();
+        assert_eq!(untraced.reports, report.reports);
+        assert!(untraced.trace.is_none());
+    }
+
+    #[test]
+    fn tiny_trace_cap_rejects_with_trace_too_large() {
+        let service = PlanService::builder()
+            .trace_event_cap(1)
+            .register_default("qrm", PlannerChoice::Software(QrmConfig::default()), 1)
+            .build();
+        let request = SubmitBatch::new("qrm", BatchSpec::new(2, 12, 5)).with_trace(true);
+        let err = service.submit(&request).unwrap_err();
+        assert_eq!(err.code(), "trace_too_large");
+        assert!(matches!(err, ServiceError::TraceTooLarge { events, cap: 1 } if events > 1));
+        // The rejected batch was not recorded as served.
+        assert_eq!(service.stats().batches_served, 0);
+    }
+
+    #[test]
+    fn traced_submissions_bypass_the_cache() {
+        let service = PlanService::builder()
+            .cache_bytes(1 << 20)
+            .register_default("qrm", PlannerChoice::Software(QrmConfig::default()), 1)
+            .build();
+        let spec = BatchSpec::new(1, 12, 9);
+        let traced = SubmitBatch::new("qrm", spec.clone()).with_trace(true);
+        service.submit(&traced).unwrap();
+        service.submit(&traced).unwrap();
+        // Neither traced submission touched the cache.
+        assert_eq!(service.stats().cache.lookups, 0);
+        assert_eq!(service.stats().cache.insertions, 0);
+        // An untraced submission of the same spec computes and caches.
+        let untraced = SubmitBatch::new("qrm", spec);
+        service.submit(&untraced).unwrap();
+        let report = service.submit(&untraced).unwrap();
+        assert!(report.trace.is_none());
+        let stats = service.stats();
+        assert_eq!(stats.cache.hits, 1);
+        assert_eq!(stats.cache.insertions, 1);
     }
 
     #[test]

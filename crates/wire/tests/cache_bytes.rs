@@ -16,12 +16,38 @@ use proptest::prelude::*;
 
 use qrm_control::pipeline::{PipelineConfig, PlannerChoice};
 use qrm_core::scheduler::QrmConfig;
-use qrm_server::{BatchSpec, PlanService, SubmitBatch};
+use qrm_server::{BatchSpec, PlanService, Scenario, SubmitBatch};
 use qrm_wire::ToJson;
 
+/// Scenario values rich in near-misses: the same parameter value under
+/// different variants (`DefectMap { 0.25 }` vs `AtomLoss { 0.25 }`,
+/// which only the key's tag byte separates), transposed zone lattices,
+/// and the default `UniformFill` (whose key and encoding must both
+/// stay byte-identical to a pre-scenario submission's).
+fn scenarios() -> [Scenario; 7] {
+    [
+        Scenario::UniformFill,
+        Scenario::DefectMap {
+            dead_fraction: 0.25,
+        },
+        Scenario::AtomLoss { loss_prob: 0.25 },
+        Scenario::Zones { rows: 1, cols: 2 },
+        Scenario::Zones { rows: 2, cols: 1 },
+        Scenario::CorrelatedFill {
+            grain: 2,
+            flip_prob: 0.25,
+        },
+        Scenario::CorrelatedFill {
+            grain: 2,
+            flip_prob: 0.250_000_000_000_000_06,
+        },
+    ]
+}
+
 /// A submission drawn from a space deliberately rich in near-misses:
-/// few planner names, small numeric ranges, and `fill` values that
-/// include bit-level float neighbours (`0.5` vs `0.5000000000000001`).
+/// few planner names, small numeric ranges, `fill` values that include
+/// bit-level float neighbours (`0.5` vs `0.5000000000000001`), the
+/// scenario set above, and both trace-flag states.
 fn submissions() -> impl Strategy<Value = SubmitBatch> {
     const PLANNERS: [&str; 3] = ["qrm", "typical", "q"];
     const FILLS: [f64; 4] = [0.5, 0.5000000000000001, 0.55, 1.0];
@@ -31,12 +57,17 @@ fn submissions() -> impl Strategy<Value = SubmitBatch> {
         10usize..13,
         0u64..4,
         0usize..FILLS.len(),
+        0usize..scenarios().len(),
+        any::<bool>(),
     )
-        .prop_map(|(planner, shots, size, seed, fill)| {
+        .prop_map(|(planner, shots, size, seed, fill, scenario, trace)| {
             SubmitBatch::new(
                 PLANNERS[planner],
-                BatchSpec::new(shots, size, seed).with_fill(FILLS[fill]),
+                BatchSpec::new(shots, size, seed)
+                    .with_fill(FILLS[fill])
+                    .with_scenario(scenarios()[scenario]),
             )
+            .with_trace(trace)
         })
 }
 

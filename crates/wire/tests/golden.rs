@@ -39,12 +39,35 @@ fn batch_spec_v1_stays_decodable() {
 
 #[test]
 fn submit_batch_v1_stays_decodable() {
+    // This fixture predates the `scenario`/`trace` fields, so it doubles
+    // as the pre-scenario peer regression: a client that has never heard
+    // of scenarios must keep decoding to the defaults (uniform fill, no
+    // trace) — the additive-evolution rule of `docs/PROTOCOL.md` proven
+    // against real frozen bytes, not just specified. And because the
+    // encoder omits both fields at their defaults, byte-identical
+    // re-encoding still holds: this fixture is *not* decode-only.
     let request: SubmitBatch = assert_golden(
         "submit_batch.v1",
         include_str!("golden/submit_batch.v1.json"),
     );
     assert_eq!(request.planner, "qrm");
     assert_eq!(request.spec, BatchSpec::new(4, 16, 7));
+    assert_eq!(request.spec.scenario, qrm_server::Scenario::UniformFill);
+    assert!(!request.trace, "absent trace flag must decode as false");
+}
+
+#[test]
+fn submit_batch_v1_scenario_stays_decodable() {
+    let request: SubmitBatch = assert_golden(
+        "submit_batch.v1.scenario",
+        include_str!("golden/submit_batch.v1.scenario.json"),
+    );
+    assert_eq!(request.planner, "qrm");
+    assert_eq!(
+        request.spec.scenario,
+        qrm_server::Scenario::Zones { rows: 2, cols: 2 }
+    );
+    assert!(request.trace, "fixture requests the move trace");
 }
 
 #[test]
@@ -63,6 +86,33 @@ fn batch_report_v1_stays_decodable() {
         report.reports.iter().filter(|r| r.filled).count()
     );
     assert!(report.wall_us > 0.0);
+}
+
+#[test]
+fn batch_report_v1_trace_stays_decodable() {
+    let report: BatchReport = assert_golden(
+        "batch_report.v1.trace",
+        include_str!("golden/batch_report.v1.trace.json"),
+    );
+    assert_eq!(report.planner, "qrm");
+    // The decoded trace is not just schema-valid: replaying it on the
+    // fixture spec's initial grids must land on the reported final
+    // occupancy, so a decoder that scrambles transfer coordinates (but
+    // keeps the bytes) cannot pass.
+    let traces = report.trace.as_ref().expect("fixture carries a trace");
+    let truths = BatchSpec::new(2, 12, 7)
+        .workload()
+        .expect("fixture workload")
+        .truths;
+    assert_eq!(traces.len(), truths.len());
+    for (i, trace) in traces.iter().enumerate() {
+        let replayed = qrm_core::trace::TraceReplayer::replay(&truths[i], trace)
+            .expect("fixture trace must replay cleanly");
+        assert_eq!(
+            replayed, report.reports[i].final_state,
+            "shot {i}: fixture trace replay != reported final grid"
+        );
+    }
 }
 
 #[test]
@@ -229,6 +279,21 @@ fn regenerate_fixtures() {
     let report = service.submit(&request).expect("fixture submission");
     let reply = ErrorReply::new("unknown_planner", "no planner registered as \"nope\"");
 
+    // The scenario-era request fixture: a multi-zone workload with the
+    // trace flag raised, pinning the externally tagged `Scenario`
+    // encoding and the `trace` key.
+    let scenario_request = SubmitBatch::new(
+        "qrm",
+        BatchSpec::new(4, 16, 7).with_scenario(qrm_server::Scenario::Zones { rows: 2, cols: 2 }),
+    )
+    .with_trace(true);
+    // And the traced response fixture: a deterministic traced
+    // submission whose exported per-shot move traces replay to the
+    // reported final grids (asserted by the golden test).
+    let traced_report = service
+        .submit(&SubmitBatch::new("qrm", BatchSpec::new(2, 12, 7)).with_trace(true))
+        .expect("traced fixture submission");
+
     // The cache fixture's service: cache on, same spec twice, so the
     // snapshot carries one miss, one hit, one resident entry.
     let cached_service = qrm_server::PlanService::builder()
@@ -324,8 +389,10 @@ fn regenerate_fixtures() {
     };
     write("batch_spec.v1.json", spec.to_json());
     write("submit_batch.v1.json", request.to_json());
+    write("submit_batch.v1.scenario.json", scenario_request.to_json());
     write("error_reply.v1.json", reply.to_json());
     write("router_stats.v1.json", router_stats.to_json());
     write_if_absent("batch_report.v1.json", report.to_json());
+    write_if_absent("batch_report.v1.trace.json", traced_report.to_json());
     write_if_absent("service_stats.v1.net.json", net_stats.to_json());
 }

@@ -130,11 +130,26 @@ proptest! {
         size in 0usize..1_000,
         fill in 0.0f64..1.0,
         seed in any::<u64>(),
+        scenario in 0usize..5,
+        trace in any::<bool>(),
     ) {
+        use qrm_server::Scenario;
+        // Every scenario variant, parameterised by the case's own
+        // draws so the nested floats/integers round-trip too.
+        let scenario = match scenario {
+            0 => Scenario::UniformFill,
+            1 => Scenario::DefectMap { dead_fraction: fill },
+            2 => Scenario::AtomLoss { loss_prob: fill },
+            3 => Scenario::Zones { rows: shots.max(1), cols: size.max(1) },
+            _ => Scenario::CorrelatedFill { grain: shots.max(1), flip_prob: fill },
+        };
         let request = SubmitBatch::new(
             format!("planner-{seed}"),
-            BatchSpec::new(shots, size, seed).with_fill(fill),
-        );
+            BatchSpec::new(shots, size, seed)
+                .with_fill(fill)
+                .with_scenario(scenario),
+        )
+        .with_trace(trace);
         let back = SubmitBatch::from_json(&request.to_json()).expect("round-trip");
         prop_assert_eq!(back, request);
     }
@@ -215,7 +230,8 @@ fn batch_report_round_trips_bit_identically() {
 
     // And the same workload through the pipeline directly equals the
     // decoded wire copy — codec and service add nothing.
-    let (truths, target) = request.spec.workload().expect("workload");
+    let truths = request.spec.workload().expect("workload").truths;
+    let target = request.spec.target().expect("target");
     let direct = Pipeline::new(PipelineConfig {
         loss_prob: 0.02,
         max_rounds: 4,

@@ -104,6 +104,62 @@ fn routed_fleet_digest_matches_in_process_run() {
     assert_eq!(hits, 12, "every second-pass spec was a cache hit");
 }
 
+#[test]
+fn authed_fleet_relays_credentials_to_backends() {
+    let serve = ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    };
+    let token = "fleet-secret";
+    // Backends demand a bearer token; the router holds no credential of
+    // its own and must forward each caller's `Authorization` verbatim.
+    let mut servers = Vec::new();
+    let mut services = Vec::new();
+    for _ in 0..3 {
+        let service = Arc::new(build_service(&serve));
+        let config = NetConfig {
+            auth_token: Some(token.to_string()),
+            ..NetConfig::default()
+        };
+        servers.push(
+            qrm_net::Server::bind("127.0.0.1:0", Arc::clone(&service), config)
+                .expect("bind backend"),
+        );
+        services.push(service);
+    }
+    let backends: Vec<String> = servers.iter().map(|s| s.addr().to_string()).collect();
+    let router = Router::bind("127.0.0.1:0", backends, RouterConfig::default()).expect("bind");
+    assert!(
+        qrm_bench::wait_for_server(&router.addr().to_string(), Duration::from_secs(5)),
+        "router healthz never came up (health probes are auth-exempt)"
+    );
+
+    let request = SubmitBatch::new("qrm", BatchSpec::new(2, 12, 7700));
+    let expected = build_service(&serve)
+        .submit(&request)
+        .expect("in-process baseline");
+
+    // With the credential, the routed report matches in-process.
+    let mut authed = Client::connect(router.addr().to_string()).with_auth_token(token);
+    let report = authed
+        .submit(&request)
+        .expect("authed submit through the router");
+    assert_eq!(report.reports, expected.reports, "authed fleet != baseline");
+
+    // Without it, the backend's 401 travels back through the router
+    // untouched — the router neither strips nor supplies credentials.
+    let mut anon = Client::connect(router.addr().to_string());
+    match anon.submit(&request).unwrap_err() {
+        qrm_net::ClientError::Http { status, reply } => {
+            assert_eq!(status, 401);
+            assert_eq!(reply.expect("typed error").code, "unauthorized");
+        }
+        other => panic!("expected HTTP 401 through the router, got {other}"),
+    }
+    let served: u64 = services.iter().map(|s| s.stats().batches_served).sum();
+    assert_eq!(served, 1, "only the authed submission executed");
+}
+
 /// The deterministic request stream of the fault-injection scenario:
 /// request `i` and request `i + n/2` are identical, so the second half
 /// re-submits the first half's specs after the fleet has lost a node.

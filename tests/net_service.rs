@@ -59,7 +59,8 @@ fn http_reports_are_bit_identical_for_all_planners_at_workers_1_and_4() {
 
             // ...equals legs 1-2 (pipeline): a direct batched run with
             // an identically configured pipeline.
-            let (truths, target) = request.spec.workload().expect("workload");
+            let truths = request.spec.workload().expect("workload").truths;
+            let target = request.spec.target().expect("target");
             let pipeline = Pipeline::new(PipelineConfig {
                 workers,
                 loss_prob: 0.01,

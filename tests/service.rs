@@ -34,7 +34,8 @@ fn service_for(workers: usize) -> PlanService {
 /// The reference: a fresh pipeline (fresh planner, cold contexts)
 /// running the spec's workload directly.
 fn direct(choice: PlannerChoice, workers: usize, spec: &BatchSpec) -> Vec<PipelineReport> {
-    let (truths, target) = spec.workload().expect("valid spec");
+    let truths = spec.workload().expect("valid spec").truths;
+    let target = spec.target().expect("valid spec");
     Pipeline::new(config_for(choice, workers))
         .run_batch(&truths, &target, spec.seed)
         .expect("direct run")
@@ -148,15 +149,7 @@ fn unknown_planner_and_bad_spec_fail_cleanly_without_counting() {
         Err(ServiceError::UnknownPlanner(_))
     ));
     // Odd-sized arrays are invalid for QRM's quadrant decomposition.
-    let odd = SubmitBatch::new(
-        "qrm",
-        BatchSpec {
-            shots: 1,
-            size: 9,
-            fill: 0.5,
-            seed: 1,
-        },
-    );
+    let odd = SubmitBatch::new("qrm", BatchSpec::new(1, 9, 1).with_fill(0.5));
     assert!(matches!(
         service.submit(&odd),
         Err(ServiceError::Planning(_))

@@ -176,6 +176,8 @@ impl_tuple_strategy!(A, B, C);
 impl_tuple_strategy!(A, B, C, D);
 impl_tuple_strategy!(A, B, C, D, E);
 impl_tuple_strategy!(A, B, C, D, E, G);
+impl_tuple_strategy!(A, B, C, D, E, G, H);
+impl_tuple_strategy!(A, B, C, D, E, G, H, I);
 
 /// Types with a canonical "any value" strategy.
 pub trait Arbitrary: Sized {
